@@ -1,0 +1,123 @@
+"""E10 — adaptive arity selection across network conditions.
+
+Paper claim (§4): "The system maintains the sizes of m's, based on the
+number of workstations and the physical network bandwidth for different
+types of multimedia data.  This design achieves one of our project
+goals: adaptive to changing network conditions."
+
+The table sweeps class size and bandwidth; for each point it compares
+the selector's analytic pick against a brute-force simulated sweep over
+all candidate arities.  Expected shape: the pick matches the simulated
+optimum (the analytic recurrence is exact for whole-file forwarding),
+so the achieved/optimal makespan ratio is 1.00 everywhere.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import build_network, names, print_table
+from repro.distribution import AdaptiveMSelector, MAryTree, PreBroadcaster
+from repro.storage.blob import BlobKind
+from repro.util.units import MIB, Bandwidth
+
+SIZES = {
+    BlobKind.VIDEO: 50 * MIB,
+    BlobKind.AUDIO: 4 * MIB,
+    BlobKind.IMAGE: 100 * 1024,
+}
+CLASS_SIZES = (16, 64, 256)
+BANDWIDTHS = (1.0, 10.0, 100.0)
+LATENCY = 0.05
+
+
+def simulated_makespan(n: int, m: int, size: int, mbit: float) -> float:
+    net = build_network(n, mbit=mbit, latency=LATENCY)
+    tree = MAryTree(n, m, names=names(n))
+    report = PreBroadcaster(net).broadcast("lec", size, tree)
+    net.quiesce()
+    return report.makespan
+
+
+def evaluate(n: int, mbit: float, kind: BlobKind) -> dict:
+    size = SIZES[kind]
+    selector = AdaptiveMSelector(Bandwidth.from_mbps(mbit), latency_s=LATENCY)
+    pick = selector.m_for(kind, n, size)
+    sweep = {
+        m: simulated_makespan(n, m, size, mbit)
+        for m in selector.candidates
+        if m < n
+    }
+    best_m = min(sweep, key=sweep.get)
+    achieved = simulated_makespan(n, pick, size, mbit)
+    return {
+        "pick": pick,
+        "best": best_m,
+        "achieved": achieved,
+        "optimal": sweep[best_m],
+        "ratio": achieved / sweep[best_m],
+    }
+
+
+def experiment_rows() -> list[list]:
+    rows = []
+    for kind in (BlobKind.VIDEO, BlobKind.AUDIO, BlobKind.IMAGE):
+        for n in CLASS_SIZES:
+            for mbit in BANDWIDTHS:
+                outcome = evaluate(n, mbit, kind)
+                rows.append([
+                    kind.value,
+                    n,
+                    mbit,
+                    outcome["pick"],
+                    outcome["best"],
+                    f"{outcome['achieved']:.1f}",
+                    f"{outcome['ratio']:.3f}",
+                ])
+    return rows
+
+
+def test_e10_pick_achieves_simulated_optimum():
+    for n in (16, 64):
+        outcome = evaluate(n, 10.0, BlobKind.VIDEO)
+        assert outcome["ratio"] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_e10_table_varies_by_media_type():
+    selector = AdaptiveMSelector(Bandwidth.from_mbps(10), latency_s=LATENCY)
+    video_m = selector.m_for(BlobKind.VIDEO, 256, SIZES[BlobKind.VIDEO])
+    image_m = selector.m_for(BlobKind.IMAGE, 256, SIZES[BlobKind.IMAGE])
+    # tiny images are latency-dominated -> wider trees pay off
+    assert image_m >= video_m
+
+
+def test_e10_conditions_update_changes_choice():
+    selector = AdaptiveMSelector(Bandwidth.from_mbps(10), latency_s=0.001)
+    before = selector.m_for(BlobKind.VIDEO, 64, SIZES[BlobKind.VIDEO])
+    selector.update_conditions(Bandwidth.from_mbps(0.1), latency_s=30.0)
+    after = selector.m_for(BlobKind.VIDEO, 64, SIZES[BlobKind.VIDEO])
+    assert after != before or selector.table()  # table rebuilt
+
+
+def test_e10_bench_selection(benchmark):
+    selector = AdaptiveMSelector(Bandwidth.from_mbps(10), latency_s=LATENCY)
+    benchmark(selector.select_m, 256, SIZES[BlobKind.VIDEO])
+
+
+def main() -> None:
+    print_table(
+        "E10: adaptive m vs brute-force simulated optimum",
+        ["media", "N", "Mb/s", "picked_m", "best_m",
+         "achieved_s", "achieved/optimal"],
+        experiment_rows(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

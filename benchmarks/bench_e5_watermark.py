@@ -1,0 +1,104 @@
+"""E5 — watermark-frequency duplication.
+
+Paper claim (§4): "When a document instance is retrieved from a remote
+station more than a certain amount of iterations (or more than a
+watermark frequency), physical multimedia data are copied to the remote
+station" — hot documents earn local replicas.
+
+The table replays one Zipf(1.0) access trace (2000 accesses, 16
+stations, 100 documents of 2 MiB each, owner = instructor station)
+under a watermark sweep, including the two ablation endpoints: copy on
+first touch (w=1) and never copy (w=inf).  Expected shape: small
+watermarks buy low latency at replica-disk cost; large watermarks save
+disk but keep paying remote-transfer latency; intermediate values trade
+smoothly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import build_network, names, print_table
+from repro.distribution import WatermarkSimulator
+from repro.util.units import MIB, format_bytes
+from repro.workloads import AccessTraceGenerator
+
+N_STATIONS = 16
+N_DOCS = 100
+N_ACCESSES = 2000
+DOC_BYTES = 2 * MIB
+THRESHOLDS = (1, 2, 4, 8, 16, 32, None)
+
+
+def make_trace() -> list[tuple[float, str, str]]:
+    return AccessTraceGenerator(seed=5).generate(
+        stations=names(N_STATIONS)[1:],  # s1 is the owner
+        doc_ids=[f"doc{i}" for i in range(N_DOCS)],
+        n_accesses=N_ACCESSES,
+        mean_interarrival_s=2.0,
+        zipf_alpha=1.0,
+    )
+
+
+def replay(threshold: int | None):
+    net = build_network(N_STATIONS)
+    simulator = WatermarkSimulator(
+        net, "s1", {f"doc{i}": DOC_BYTES for i in range(N_DOCS)}
+    )
+    return simulator.replay(make_trace(), threshold)
+
+
+def experiment_rows() -> list[list]:
+    rows = []
+    for threshold in THRESHOLDS:
+        result = replay(threshold)
+        rows.append([
+            "inf (never)" if threshold is None else threshold,
+            f"{result.hit_rate:.2f}",
+            f"{result.mean_latency:.2f}",
+            format_bytes(result.total_bytes),
+            result.replicas_created,
+            format_bytes(result.replica_bytes),
+        ])
+    return rows
+
+
+def test_e5_hit_rate_monotone_in_threshold():
+    hit_rates = [replay(t).hit_rate for t in (1, 8, None)]
+    assert hit_rates[0] >= hit_rates[1] >= hit_rates[2]
+    assert hit_rates[0] > 0.5  # Zipf hot docs dominate
+
+
+def test_e5_latency_ordering():
+    assert replay(1).mean_latency < replay(None).mean_latency
+
+
+def test_e5_replica_disk_grows_as_threshold_drops():
+    assert replay(1).replica_bytes >= replay(16).replica_bytes
+
+
+def test_e5_bench_replay(benchmark):
+    benchmark(replay, 4)
+
+
+def main() -> None:
+    print(
+        f"\n{N_ACCESSES} Zipf(1.0) accesses, {N_STATIONS - 1} stations, "
+        f"{N_DOCS} x {format_bytes(DOC_BYTES)} documents, owner uplink 10 Mb/s"
+    )
+    print_table(
+        "E5: watermark duplication sweep",
+        ["watermark", "hit_rate", "mean_lat_s", "bytes_moved",
+         "replicas", "replica_disk"],
+        experiment_rows(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

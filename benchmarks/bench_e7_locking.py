@@ -1,0 +1,136 @@
+"""E7 — locking compatibility table under collaborative editing.
+
+Paper claim (§3): the object-locking compatibility table makes
+collaborative work feasible — readers of a container exclude writers of
+its components, while parents remain fully accessible.
+
+The workload: K instructors issue random lock/unlock operations over a
+shared course hierarchy (10 scripts x 4 implementations x 6 files).
+The table sweeps the instructor count and the write fraction, reporting
+grant rate (the concurrency the table actually admits) and conflicts.
+Expected shape: read-dominated workloads scale with little conflict;
+write-heavy workloads on a shared subtree conflict increasingly —
+exactly the collaboration/consistency trade the table encodes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.core import LockManager, LockMode, ObjectTree
+from repro.util.rng import make_rng
+
+N_SCRIPTS = 10
+N_IMPLS = 4
+N_FILES = 6
+N_OPS = 4000
+
+
+def build_tree() -> tuple[ObjectTree, list[str]]:
+    tree = ObjectTree("db")
+    objects: list[str] = []
+    for s in range(N_SCRIPTS):
+        script = f"script{s}"
+        tree.add(script, "db")
+        objects.append(script)
+        for i in range(N_IMPLS):
+            impl = f"script{s}/impl{i}"
+            tree.add(impl, script)
+            objects.append(impl)
+            for f in range(N_FILES):
+                file = f"script{s}/impl{i}/file{f}"
+                tree.add(file, impl)
+                objects.append(file)
+    return tree, objects
+
+
+def run_workload(n_users: int, write_fraction: float, seed: int = 3) -> dict:
+    tree, objects = build_tree()
+    manager = LockManager(tree)
+    rng = make_rng(seed, "locks", n_users, write_fraction)
+    held: list[tuple[str, str]] = []
+    grants = denials = 0
+    for _ in range(N_OPS):
+        if held and rng.random() < 0.45:
+            index = int(rng.integers(len(held)))
+            user, obj = held.pop(index)
+            manager.release(user, obj)
+            continue
+        user = f"instr{int(rng.integers(n_users))}"
+        obj = objects[int(rng.integers(len(objects)))]
+        mode = (
+            LockMode.WRITE
+            if rng.random() < write_fraction
+            else LockMode.READ
+        )
+        if manager.try_acquire(user, obj, mode):
+            grants += 1
+            held.append((user, obj))
+        else:
+            denials += 1
+    attempts = grants + denials
+    return {
+        "grants": grants,
+        "denials": denials,
+        "grant_rate": grants / attempts if attempts else 0.0,
+        "stats": manager.stats,
+    }
+
+
+def experiment_rows() -> list[list]:
+    rows = []
+    for n_users in (2, 4, 8, 16):
+        for write_fraction in (0.1, 0.5, 0.9):
+            outcome = run_workload(n_users, write_fraction)
+            rows.append([
+                n_users,
+                f"{write_fraction:.1f}",
+                outcome["grants"],
+                outcome["denials"],
+                f"{outcome['grant_rate']:.3f}",
+            ])
+    return rows
+
+
+def test_e7_read_only_never_conflicts():
+    outcome = run_workload(8, write_fraction=0.0)
+    assert outcome["denials"] == 0
+
+
+def test_e7_more_writers_more_conflicts():
+    light = run_workload(8, 0.1)
+    heavy = run_workload(8, 0.9)
+    assert heavy["denials"] > light["denials"]
+
+
+def test_e7_contention_grows_with_users():
+    few = run_workload(2, 0.5)
+    many = run_workload(16, 0.5)
+    assert many["denials"] >= few["denials"]
+
+
+def test_e7_bench_lock_workload(benchmark):
+    benchmark(run_workload, 8, 0.5)
+
+
+def main() -> None:
+    print(
+        f"\nhierarchy: {N_SCRIPTS} scripts x {N_IMPLS} impls x "
+        f"{N_FILES} files; {N_OPS} operations"
+    )
+    print_table(
+        "E7: lock grant/conflict rates under collaborative editing",
+        ["instructors", "write_frac", "grants", "conflicts", "grant_rate"],
+        experiment_rows(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""E8 — referential-integrity alert cascades.
+
+Paper claim (§3): "if a script SCI is updated, its corresponding
+implementations should be updated, which further triggers the changes
+of one or more HTML programs, zero or more multimedia resources, and
+some control programs."
+
+The table updates one script in courses of varying fanout and reports
+the alert cascade: how many dependent objects of each type get flagged,
+at what depth.  Expected shape: cascade size grows linearly with the
+course's object count; depth reflects the diagram (impl at 1, files and
+tests at 2, bug reports at 3).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.core import WebDocumentDatabase
+from repro.qa import QARunner
+from repro.workloads import CourseGenerator
+
+FANOUTS = (2, 5, 10, 20)  # pages per course
+
+
+def build_course(pages: int, with_qa: bool = True):
+    db = WebDocumentDatabase("station")
+    db.create_document_database("mmu", author="gen")
+    generator = CourseGenerator(
+        seed=pages, pages_per_course=pages, media_per_course=pages // 2 or 1
+    )
+    course = generator.generate_course(db, "mmu")
+    if with_qa:
+        QARunner(db, "qa").run(course.implementation.starting_url)
+    return db, course
+
+
+def cascade_for(pages: int) -> dict:
+    db, course = build_course(pages)
+    db.alerts.drain()
+    db.update_script(course.script.script_name, {"description": "edited"})
+    alerts = db.alerts.drain()
+    by_table: dict[str, int] = {}
+    max_depth = 0
+    for alert in alerts:
+        by_table[alert.dst_table] = by_table.get(alert.dst_table, 0) + 1
+        max_depth = max(max_depth, alert.depth)
+    return {"total": len(alerts), "by_table": by_table, "depth": max_depth}
+
+
+def experiment_rows() -> list[list]:
+    rows = []
+    for pages in FANOUTS:
+        cascade = cascade_for(pages)
+        by_table = cascade["by_table"]
+        rows.append([
+            pages,
+            cascade["total"],
+            by_table.get("implementations", 0),
+            by_table.get("html_files", 0),
+            by_table.get("program_files", 0),
+            by_table.get("blobs", 0),
+            by_table.get("test_records", 0),
+            cascade["depth"],
+        ])
+    return rows
+
+
+def test_e8_cascade_grows_with_fanout():
+    small = cascade_for(2)["total"]
+    large = cascade_for(20)["total"]
+    assert large > small
+
+
+def test_e8_cascade_covers_all_dependent_types():
+    by_table = cascade_for(10)["by_table"]
+    for table in ("implementations", "html_files", "blobs", "test_records"):
+        assert by_table.get(table, 0) > 0, table
+
+
+def test_e8_depth_matches_diagram():
+    assert cascade_for(5)["depth"] == 2  # no bug report filed (clean QA)
+
+
+def test_e8_every_html_file_flagged():
+    pages = 10
+    assert cascade_for(pages)["by_table"]["html_files"] == pages
+
+
+def test_e8_bench_propagation(benchmark):
+    db, course = build_course(20)
+
+    def kernel():
+        db.alerts.drain()
+        row = db.engine.get("scripts", course.script.script_name)
+        return len(db.alerts.propagate("scripts", row))
+
+    assert benchmark(kernel) > 0
+
+
+def main() -> None:
+    print_table(
+        "E8: integrity-alert cascade after one script update",
+        ["pages", "alerts", "impls", "html", "programs", "blobs",
+         "test_recs", "max_depth"],
+        experiment_rows(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

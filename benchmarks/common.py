@@ -1,0 +1,63 @@
+"""Shared helpers for the experiment benches.
+
+Every ``bench_eN_*.py`` file is both:
+
+* a pytest-benchmark module (``pytest benchmarks/ --benchmark-only``)
+  timing the experiment's computational kernel, and
+* a runnable script (``python benchmarks/bench_eN_*.py``) that prints
+  the experiment's table — the rows EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.net import Network, Simulator, Station
+from repro.net.link import DuplexLink
+
+__all__ = ["build_network", "names", "print_table"]
+
+
+def names(n: int) -> list[str]:
+    return [f"s{k}" for k in range(1, n + 1)]
+
+
+def build_network(
+    n: int, mbit: float = 10.0, latency: float = 0.05
+) -> Network:
+    """N stations s1..sN with symmetric ``mbit`` links."""
+    sim = Simulator()
+    network = Network(sim, default_latency_s=latency)
+    for name in names(n):
+        network.add(Station(name, DuplexLink.symmetric_mbps(mbit)))
+    return network
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> None:
+    """Print one experiment table in aligned columns."""
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    print("  ".join("-" * w for w in widths))
+    for row in rendered:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

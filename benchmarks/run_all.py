@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table (E1-E10) in one run.
+
+Usage:  python benchmarks/run_all.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+import time
+
+# Allow `python benchmarks/run_all.py` from the repo root.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+EXPERIMENTS = [
+    "bench_e1_mtree",
+    "bench_e2_broadcast",
+    "bench_e3_realtime",
+    "bench_e4_sharing",
+    "bench_e5_watermark",
+    "bench_e6_migration",
+    "bench_e7_locking",
+    "bench_e8_integrity",
+    "bench_e9_library",
+    "bench_e10_adaptive",
+    "bench_e11_syncdb",
+    "bench_e12_live_annotations",
+    "bench_e13_checkout",
+]
+
+
+def main() -> int:
+    started = time.perf_counter()
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"benchmarks.{name}")
+        module.main()
+    print(f"\nall experiments regenerated in "
+          f"{time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

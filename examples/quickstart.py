@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Quickstart: author a virtual course end to end.
+
+Walks the paper's whole document lifecycle on one instructor
+workstation: create a Web document database, write a script SCI, build
+an implementation with HTML pages / a control program / multimedia
+BLOBs, annotate it as a second instructor, run a QA traversal that
+files a test record, and browse the result through the virtual library.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.annotations import AnnotationDocument, Line, Point, TextNote
+from repro.core import (
+    AnnotationSCI,
+    ImplementationSCI,
+    ScriptSCI,
+    WebDocumentDatabase,
+)
+from repro.library import CatalogEntry, CirculationDesk, VirtualLibrary, assess
+from repro.qa import QARunner
+from repro.storage.blob import BlobKind
+from repro.storage.files import DocumentFile, FileKind
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The Web document database on the instructor workstation.
+    # ------------------------------------------------------------------
+    db = WebDocumentDatabase("instructor-shih")
+    db.create_document_database(
+        "mmu-courses",
+        author="shih",
+        keywords=["virtual-university", "mmu"],
+        created_at=dt.datetime(1999, 3, 1),
+    )
+
+    # ------------------------------------------------------------------
+    # 2. A script SCI — the specification of the course document.
+    # ------------------------------------------------------------------
+    script = db.add_script(
+        ScriptSCI(
+            script_name="cs101-intro",
+            db_name="mmu-courses",
+            author="shih",
+            description="Introduction to Computer Engineering, lecture 1",
+            keywords=["intro", "computer", "engineering"],
+            percent_complete=80.0,
+        )
+    )
+    print(f"script: {script.script_name} ({script.description})")
+
+    # ------------------------------------------------------------------
+    # 3. Multimedia resources in the BLOB layer (shared in-station).
+    # ------------------------------------------------------------------
+    video = db.register_blob("cs101/lecture1.mpg", 40_000_000, BlobKind.VIDEO)
+    narration = db.register_blob("cs101/narration.wav", 4_000_000, BlobKind.AUDIO)
+    print(f"blobs: video={video[:8]}... audio={narration[:8]}...")
+
+    # ------------------------------------------------------------------
+    # 4. An implementation try: linked HTML pages + a control applet.
+    # ------------------------------------------------------------------
+    impl = db.add_implementation(
+        ImplementationSCI(
+            starting_url="http://mmu/cs101/index.html",
+            script_name="cs101-intro",
+            author="shih",
+            multimedia=[video, narration],
+        ),
+        html_files=[
+            DocumentFile(
+                "cs101/index.html",
+                FileKind.HTML,
+                '<html><body><a href="cs101/topics.html">topics</a>'
+                '<img src="cs101/lecture1.mpg"></body></html>',
+            ),
+            DocumentFile(
+                "cs101/topics.html",
+                FileKind.HTML,
+                '<html><body><a href="cs101/index.html">home</a></body></html>',
+            ),
+        ],
+        program_files=[
+            DocumentFile("cs101/quiz.class", FileKind.PROGRAM, "quiz applet")
+        ],
+    )
+    print(f"implementation: {impl.starting_url} "
+          f"({len(impl.html_files)} pages, {len(impl.program_files)} programs)")
+
+    # ------------------------------------------------------------------
+    # 5. A second instructor overlays an annotation on the same course.
+    # ------------------------------------------------------------------
+    overlay = AnnotationDocument(
+        "ann-huang-1", "huang", impl.starting_url
+    )
+    overlay.record(0.0, Line(Point(10, 40), Point(300, 40), color="#ff0000"))
+    overlay.record(4.0, TextNote(Point(20, 60), "Remember the von Neumann model"))
+    db.add_annotation(
+        AnnotationSCI(
+            annotation_name="ann-huang-1",
+            author="huang",
+            script_name="cs101-intro",
+            starting_url=impl.starting_url,
+            annotation_file=None,  # replaced by the stored descriptor
+        ),
+        DocumentFile(
+            "cs101/ann-huang-1.json", FileKind.ANNOTATION, overlay.to_json()
+        ),
+    )
+    print(f"annotations on course: "
+          f"{[a.author for a in db.annotations_of(impl.starting_url)]}")
+
+    # ------------------------------------------------------------------
+    # 6. QA: traverse the document, file the test record.
+    # ------------------------------------------------------------------
+    outcome = QARunner(db, qa_engineer="ma").run(impl.starting_url)
+    print(f"qa: passed={outcome.passed}, "
+          f"{outcome.traversal.pages_opened} pages opened, "
+          f"{len(outcome.test_record.traversal_messages)} traversal messages")
+
+    # ------------------------------------------------------------------
+    # 7. Updating the script raises integrity alerts for its dependents.
+    # ------------------------------------------------------------------
+    db.update_script("cs101-intro", {"percent_complete": 100.0})
+    alerts = db.alerts.drain()
+    print(f"integrity alerts after script update: {len(alerts)}")
+    for alert in alerts[:3]:
+        print(f"  - {alert.message}")
+
+    # ------------------------------------------------------------------
+    # 8. Publish to the virtual library; a student checks it out.
+    # ------------------------------------------------------------------
+    library = VirtualLibrary(instructors={"shih"})
+    library.add_document(
+        "shih",
+        CatalogEntry(
+            doc_id="cs101-l1",
+            title="CS101 Lecture 1: Introduction",
+            course_number="CS101",
+            instructor="shih",
+            keywords=("intro", "computer", "engineering"),
+            starting_url=impl.starting_url,
+        ),
+    )
+    hits = library.search(keywords="computer engineering")
+    print(f"library search 'computer engineering': "
+          f"{[(h.doc_id, h.score) for h in hits]}")
+
+    desk = CirculationDesk(library)
+    desk.check_out("alice", "cs101-l1", time=0.0)
+    desk.check_in("alice", "cs101-l1", time=1800.0)
+    report = assess(desk, library)
+    top = report.ranking()[0]
+    print(f"assessment: {top.student} score={top.activity_score} "
+          f"(held {top.total_held_seconds:.0f}s)")
+
+    print("\nfinal stats:", db.stats())
+
+
+if __name__ == "__main__":
+    main()

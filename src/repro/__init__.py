@@ -1,0 +1,42 @@
+"""repro — a reproduction of "The Design and Implementation of a
+Distributed Web Document Database" (Shih, Ma & Huang, ICPP 1999).
+
+The package rebuilds the paper's entire system in Python:
+
+* :mod:`repro.core` — the three-layer Web document database (scripts,
+  implementations, test records, bug reports, annotations), referential
+  integrity alerts, hierarchical locking, class/instance/reference
+  reuse and configuration management;
+* :mod:`repro.rdb` — the relational engine substrate (the paper's
+  "off-the-rack" MS SQL Server stand-in);
+* :mod:`repro.storage` — BLOB store with in-station sharing, document
+  files, disk accounting;
+* :mod:`repro.net` — the deterministic discrete-event network
+  simulator;
+* :mod:`repro.distribution` — m-ary-tree pre-broadcast, on-demand pull,
+  watermark duplication, instance→reference migration, adaptive arity;
+* :mod:`repro.library` — the Web-savvy virtual library with
+  check-in/out assessment;
+* :mod:`repro.qa` — traversal testing and the four bug-report defect
+  checks;
+* :mod:`repro.annotations` — the annotation daemon (draw primitives +
+  playback);
+* :mod:`repro.tiers` — the three-tier architecture (clients, class
+  administrator, ODBC-style connection);
+* :mod:`repro.workloads` — synthetic courses, media and access traces.
+
+Quickstart::
+
+    from repro.core import WebDocumentDatabase, ScriptSCI
+
+    db = WebDocumentDatabase("instructor")
+    db.create_document_database("mmu", author="shih")
+    db.add_script(ScriptSCI("cs101", "mmu", author="shih"))
+
+See ``examples/`` for complete scenarios and ``EXPERIMENTS.md`` for the
+paper-claim reproductions.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""The annotation daemon stand-in.
+
+The paper's "instruction annotation editor, written as a Java-based
+daemon ... allows an individual instructor to draw lines, text, and
+simple graphic objects on the top of a Web page.  Different instructors
+can use the same virtual course but different annotations."
+
+:mod:`repro.annotations.model` defines the drawing primitives and the
+serializable annotation document; :mod:`repro.annotations.playback`
+replays a document's timed event stream (the "annotation playback"
+sub-system transmitted to student workstations).
+"""
+
+from repro.annotations.model import (
+    AnnotationDocument,
+    AnnotationEvent,
+    Line,
+    Point,
+    Shape,
+    ShapeKind,
+    TextNote,
+)
+from repro.annotations.playback import AnnotationPlayer, PlaybackFrame
+from repro.annotations.live import LiveAnnotationSession, StrokeDelivery
+
+__all__ = [
+    "LiveAnnotationSession",
+    "StrokeDelivery",
+    "AnnotationDocument",
+    "AnnotationEvent",
+    "Line",
+    "Point",
+    "Shape",
+    "ShapeKind",
+    "TextNote",
+    "AnnotationPlayer",
+    "PlaybackFrame",
+]

@@ -1,0 +1,166 @@
+"""Live annotation sessions: instructor strokes stream to the class.
+
+During a live lecture the paper's annotation daemon lets the instructor
+"draw lines, text, and simple graphic objects on the top of a Web
+page"; students watching remotely need each stroke as it happens.  A
+:class:`LiveAnnotationSession` fans every draw event down the m-ary
+tree (strokes are tiny control messages, so the same tree that carries
+lectures carries them with negligible load), and each student station
+accumulates a replica :class:`~repro.annotations.model.AnnotationDocument`
+that is byte-identical to the instructor's when the session closes —
+ready for the existing playback machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotations.model import AnnotationDocument, AnnotationEvent, Primitive
+from repro.distribution.mtree import MAryTree
+from repro.net.messages import Message
+from repro.net.station import Station
+from repro.net.transport import Network
+
+__all__ = ["StrokeDelivery", "LiveAnnotationSession"]
+
+STROKE_KIND = "annotation.stroke"
+STROKE_BYTES = 200
+_STATE_KEY = "live_annotations"
+
+
+@dataclass(frozen=True, slots=True)
+class StrokeDelivery:
+    """One stroke landing on one student station."""
+
+    station: str
+    event_time: float  # document time of the stroke
+    drawn_at: float  # sim time the instructor drew it
+    arrived_at: float  # sim time it reached this station
+
+    @property
+    def lag(self) -> float:
+        return self.arrived_at - self.drawn_at
+
+
+class LiveAnnotationSession:
+    """One live overlay, streamed from the tree root."""
+
+    def __init__(
+        self,
+        network: Network,
+        tree: MAryTree,
+        *,
+        session_id: str,
+        author: str,
+        page_url: str,
+    ) -> None:
+        self.network = network
+        self.tree = tree
+        self.session_id = session_id
+        self.instructor_station = tree.name_of(1)
+        self.document = AnnotationDocument(session_id, author, page_url)
+        self.started_at = network.sim.now
+        self.deliveries: list[StrokeDelivery] = []
+        self.closed = False
+        for name in tree.names:
+            station = network.station(name)
+            # One dispatcher per station; sessions register themselves in
+            # the station-local registry so several live overlays coexist.
+            if not station.handles(STROKE_KIND):
+                station.on(STROKE_KIND, _dispatch_stroke)
+            station.state.setdefault("live_sessions", {})[session_id] = self
+            if name != self.instructor_station:
+                self._replica(station)[session_id] = AnnotationDocument(
+                    session_id, author, page_url
+                )
+
+    # ------------------------------------------------------------------
+    # Instructor side
+    # ------------------------------------------------------------------
+    def draw(self, primitive: Primitive) -> AnnotationEvent:
+        """Record a stroke now and stream it to the class."""
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        event_time = self.network.sim.now - self.started_at
+        event = self.document.record(event_time, primitive)
+        payload = {
+            "session_id": self.session_id,
+            "event": event,
+            "drawn_at": self.network.sim.now,
+        }
+        for child in self.tree.children_names(self.instructor_station):
+            self.network.send(
+                self.instructor_station, child, STROKE_KIND, payload,
+                STROKE_BYTES,
+            )
+        return event
+
+    def close(self) -> AnnotationDocument:
+        """End the session; returns the authoritative document."""
+        self.closed = True
+        return self.document
+
+    # ------------------------------------------------------------------
+    # Student side
+    # ------------------------------------------------------------------
+    def _on_stroke(self, station: Station, message: Message) -> None:
+        payload = message.payload
+        event: AnnotationEvent = payload["event"]
+        replica = self._replica(station).get(self.session_id)
+        if replica is not None:
+            replica.events.append(event)
+            self.deliveries.append(
+                StrokeDelivery(
+                    station=station.name,
+                    event_time=event.time,
+                    drawn_at=payload["drawn_at"],
+                    arrived_at=self.network.sim.now,
+                )
+            )
+        for child in self.tree.children_names(station.name):
+            self.network.send(
+                station.name, child, STROKE_KIND, payload, STROKE_BYTES
+            )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def replica_at(self, station_name: str) -> AnnotationDocument:
+        station = self.network.station(station_name)
+        try:
+            return self._replica(station)[self.session_id]
+        except KeyError:
+            raise LookupError(
+                f"station {station_name!r} has no replica of session "
+                f"{self.session_id!r}"
+            ) from None
+
+    def replicas_consistent(self) -> bool:
+        """Every student replica matches the instructor's document."""
+        return all(
+            self.replica_at(name).events == self.document.events
+            for name in self.tree.names
+            if name != self.instructor_station
+        )
+
+    def mean_lag(self) -> float:
+        if not self.deliveries:
+            return 0.0
+        return sum(d.lag for d in self.deliveries) / len(self.deliveries)
+
+    def max_lag(self) -> float:
+        return max((d.lag for d in self.deliveries), default=0.0)
+
+    @staticmethod
+    def _replica(station: Station) -> dict[str, AnnotationDocument]:
+        return station.state.setdefault(_STATE_KEY, {})
+
+
+def _dispatch_stroke(station: Station, message: Message) -> None:
+    """Route a stroke to the owning session's handler (shared handler:
+    one per station, any number of live sessions)."""
+    session = station.state.get("live_sessions", {}).get(
+        message.payload["session_id"]
+    )
+    if session is not None:
+        session._on_stroke(station, message)

@@ -1,0 +1,227 @@
+"""Annotation drawing primitives and the serializable document.
+
+An annotation is an ordered, timed stream of draw events over a Web
+page: lines, text notes, and simple shapes — exactly the vocabulary the
+paper gives the Java annotation daemon.  Documents serialize to JSON so
+they can live as annotation files in the document layer
+(:class:`~repro.storage.files.DocumentFile` with
+``FileKind.ANNOTATION``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.util.validation import check_non_negative
+
+__all__ = [
+    "Point",
+    "Line",
+    "TextNote",
+    "ShapeKind",
+    "Shape",
+    "AnnotationEvent",
+    "AnnotationDocument",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A page coordinate (CSS-pixel space, origin top-left)."""
+
+    x: float
+    y: float
+
+    def as_json(self) -> list[float]:
+        return [self.x, self.y]
+
+    @classmethod
+    def from_json(cls, payload: list[float]) -> "Point":
+        return cls(float(payload[0]), float(payload[1]))
+
+
+@dataclass(frozen=True, slots=True)
+class Line:
+    """A straight stroke between two points."""
+
+    start: Point
+    end: Point
+    color: str = "#ff0000"
+    width: float = 2.0
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "type": "line",
+            "start": self.start.as_json(),
+            "end": self.end.as_json(),
+            "color": self.color,
+            "width": self.width,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Line":
+        return cls(
+            start=Point.from_json(payload["start"]),
+            end=Point.from_json(payload["end"]),
+            color=payload.get("color", "#ff0000"),
+            width=float(payload.get("width", 2.0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TextNote:
+    """A text label anchored at a point."""
+
+    anchor: Point
+    text: str
+    color: str = "#000000"
+    font_size: float = 12.0
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "type": "text",
+            "anchor": self.anchor.as_json(),
+            "text": self.text,
+            "color": self.color,
+            "font_size": self.font_size,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "TextNote":
+        return cls(
+            anchor=Point.from_json(payload["anchor"]),
+            text=payload["text"],
+            color=payload.get("color", "#000000"),
+            font_size=float(payload.get("font_size", 12.0)),
+        )
+
+
+class ShapeKind(enum.Enum):
+    """The simple graphic-object shapes the annotation daemon offers."""
+
+    RECTANGLE = "rectangle"
+    ELLIPSE = "ellipse"
+    ARROW = "arrow"
+
+
+@dataclass(frozen=True, slots=True)
+class Shape:
+    """A simple graphic object spanning a bounding box."""
+
+    kind: ShapeKind
+    top_left: Point
+    bottom_right: Point
+    color: str = "#0000ff"
+    filled: bool = False
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "type": "shape",
+            "kind": self.kind.value,
+            "top_left": self.top_left.as_json(),
+            "bottom_right": self.bottom_right.as_json(),
+            "color": self.color,
+            "filled": self.filled,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Shape":
+        return cls(
+            kind=ShapeKind(payload["kind"]),
+            top_left=Point.from_json(payload["top_left"]),
+            bottom_right=Point.from_json(payload["bottom_right"]),
+            color=payload.get("color", "#0000ff"),
+            filled=bool(payload.get("filled", False)),
+        )
+
+
+Primitive = Union[Line, TextNote, Shape]
+
+_PRIMITIVE_DECODERS = {
+    "line": Line.from_json,
+    "text": TextNote.from_json,
+    "shape": Shape.from_json,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotationEvent:
+    """One timed draw action: at ``time`` seconds, draw ``primitive``."""
+
+    time: float
+    primitive: Primitive
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.time, "time")
+
+    def as_json(self) -> dict[str, Any]:
+        return {"time": self.time, "primitive": self.primitive.as_json()}
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "AnnotationEvent":
+        primitive = payload["primitive"]
+        decoder = _PRIMITIVE_DECODERS[primitive["type"]]
+        return cls(time=float(payload["time"]), primitive=decoder(primitive))
+
+
+@dataclass
+class AnnotationDocument:
+    """A complete annotation overlay for one Web page.
+
+    Events are kept time-sorted; ``record`` appends at or after the
+    current end (an instructor annotates forward in time).
+    """
+
+    name: str
+    author: str
+    page_url: str
+    events: list[AnnotationEvent] | None = None
+
+    def __post_init__(self) -> None:
+        if self.events is None:
+            self.events = []
+        else:
+            self.events = sorted(self.events, key=lambda e: e.time)
+
+    def record(self, time: float, primitive: Primitive) -> AnnotationEvent:
+        """Append a draw event at ``time`` (>= the last event's time)."""
+        if self.events and time < self.events[-1].time:
+            raise ValueError(
+                f"events must be recorded in time order: {time} < "
+                f"{self.events[-1].time}"
+            )
+        event = AnnotationEvent(time=time, primitive=primitive)
+        self.events.append(event)
+        return event
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "author": self.author,
+                "page_url": self.page_url,
+                "events": [event.as_json() for event in self.events],
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AnnotationDocument":
+        data = json.loads(payload)
+        return cls(
+            name=data["name"],
+            author=data["author"],
+            page_url=data["page_url"],
+            events=[AnnotationEvent.from_json(e) for e in data["events"]],
+        )

@@ -1,0 +1,97 @@
+"""Timed playback of annotation documents.
+
+The student-side "annotation playback" daemon: given an
+:class:`~repro.annotations.model.AnnotationDocument`, the player
+reconstructs the canvas state at any time, steps through frames, and
+supports playback-rate scaling (a 2x review of a lecture's annotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotations.model import AnnotationDocument, AnnotationEvent, Primitive
+from repro.util.validation import check_positive
+
+__all__ = ["PlaybackFrame", "AnnotationPlayer"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlaybackFrame:
+    """The canvas at one playback instant."""
+
+    time: float
+    visible: tuple[Primitive, ...]
+
+    def __len__(self) -> int:
+        return len(self.visible)
+
+
+class AnnotationPlayer:
+    """Replays one annotation document."""
+
+    def __init__(self, document: AnnotationDocument, rate: float = 1.0) -> None:
+        check_positive(rate, "rate")
+        self.document = document
+        self.rate = rate
+        self._cursor = 0  # index of the next event to reveal
+        self.position = 0.0  # document-time position
+
+    @property
+    def finished(self) -> bool:
+        return self._cursor >= len(self.document.events)
+
+    @property
+    def wall_duration(self) -> float:
+        """Wall-clock seconds a full playback takes at this rate."""
+        return self.document.duration / self.rate
+
+    def seek(self, time: float) -> PlaybackFrame:
+        """Jump to document time ``time``; returns the canvas there."""
+        self.position = max(0.0, time)
+        self._cursor = 0
+        while (
+            self._cursor < len(self.document.events)
+            and self.document.events[self._cursor].time <= self.position
+        ):
+            self._cursor += 1
+        return self.frame()
+
+    def advance(self, wall_seconds: float) -> list[AnnotationEvent]:
+        """Play forward ``wall_seconds`` of wall time; returns the events
+        newly revealed (rate-scaled)."""
+        if wall_seconds < 0:
+            raise ValueError("cannot advance backwards; use seek()")
+        self.position += wall_seconds * self.rate
+        revealed: list[AnnotationEvent] = []
+        while (
+            self._cursor < len(self.document.events)
+            and self.document.events[self._cursor].time <= self.position
+        ):
+            revealed.append(self.document.events[self._cursor])
+            self._cursor += 1
+        return revealed
+
+    def frame(self) -> PlaybackFrame:
+        """The canvas (all revealed primitives) at the current position."""
+        return PlaybackFrame(
+            time=self.position,
+            visible=tuple(
+                event.primitive
+                for event in self.document.events[: self._cursor]
+            ),
+        )
+
+    def frames(self, step_s: float) -> list[PlaybackFrame]:
+        """Sample the whole playback every ``step_s`` document-seconds."""
+        check_positive(step_s, "step_s")
+        saved_cursor, saved_position = self._cursor, self.position
+        frames: list[PlaybackFrame] = []
+        t = 0.0
+        while True:
+            frames.append(self.seek(t))
+            if t >= self.document.duration:
+                break
+            t += step_s
+        self._cursor, self.position = saved_cursor, saved_position
+        return frames

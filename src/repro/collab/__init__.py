@@ -1,0 +1,26 @@
+"""Awareness and group-discussion tools.
+
+The paper's *Awareness Criterion* (§1): "Since instructors and students
+are separated spatially, they are sometimes hard to 'feel' the existence
+of each other.  A virtual university supporting environment needs to
+provide reasonable communication tools such that awareness is realized."
+Its architecture sends student workstations "sub-systems ... to allow
+group discussions".
+
+* :mod:`repro.collab.presence` — the awareness daemon: heartbeat-based
+  presence tracking over the simulated network, with per-course rosters
+  of who is "in the room".
+* :mod:`repro.collab.discussion` — a course discussion board: threaded
+  messages fanned out to present members through the network.
+"""
+
+from repro.collab.presence import PresenceDaemon, PresenceInfo
+from repro.collab.discussion import DiscussionBoard, Post, Thread
+
+__all__ = [
+    "PresenceDaemon",
+    "PresenceInfo",
+    "DiscussionBoard",
+    "Post",
+    "Thread",
+]

@@ -1,0 +1,160 @@
+"""Course discussion boards with live fan-out.
+
+The group-discussion sub-system of the paper's student workstation: a
+threaded board per course, hosted on the coordinator station.  Posting
+sends the message to the coordinator; the coordinator stores it and
+fans it out to every member currently *present* (per the awareness
+daemon), so discussion traffic follows real attendance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.collab.presence import PresenceDaemon
+from repro.net.messages import Message
+from repro.net.station import Station
+from repro.net.transport import Network
+
+__all__ = ["Post", "Thread", "DiscussionBoard"]
+
+POST_KIND = "discussion.post"
+DELIVER_KIND = "discussion.deliver"
+
+_post_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Post:
+    """One discussion message."""
+
+    post_id: int
+    course: str
+    thread_id: int
+    author: str
+    body: str
+    posted_at: float
+
+    @property
+    def wire_bytes(self) -> int:
+        return 256 + len(self.body.encode("utf-8"))
+
+
+@dataclass
+class Thread:
+    """One topic thread within a course board."""
+
+    thread_id: int
+    course: str
+    title: str
+    posts: list[Post] = field(default_factory=list)
+
+    @property
+    def last_activity(self) -> float:
+        return self.posts[-1].posted_at if self.posts else 0.0
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+
+class DiscussionBoard:
+    """Coordinator-hosted threaded boards with presence-driven fan-out."""
+
+    def __init__(self, network: Network, presence: PresenceDaemon) -> None:
+        self.network = network
+        self.presence = presence
+        self.coordinator = presence.coordinator
+        self._threads: dict[int, Thread] = {}
+        self._thread_counter = itertools.count(1)
+        #: station -> posts delivered live to it
+        self.deliveries: dict[str, list[Post]] = {}
+        self.posts_stored = 0
+        station = network.station(self.coordinator)
+        station.on(POST_KIND, self._on_post)
+        self._install_receivers()
+
+    def _install_receivers(self) -> None:
+        for station in self.network.stations():
+            if station.name != self.coordinator and not station.handles(
+                DELIVER_KIND
+            ):
+                station.on(DELIVER_KIND, self._on_deliver)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def create_thread(self, course: str, title: str) -> Thread:
+        """Open a topic (coordinator-local operation)."""
+        thread = Thread(
+            thread_id=next(self._thread_counter), course=course, title=title
+        )
+        self._threads[thread.thread_id] = thread
+        return thread
+
+    def post(
+        self, author: str, station_name: str, thread_id: int, body: str
+    ) -> None:
+        """Send a post from a member station to the board."""
+        if thread_id not in self._threads:
+            raise LookupError(f"unknown thread {thread_id}")
+        size = 256 + len(body.encode("utf-8"))
+        self.network.send(
+            station_name,
+            self.coordinator,
+            POST_KIND,
+            {"author": author, "thread_id": thread_id, "body": body},
+            size,
+        )
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+    def _on_post(self, _station: Station, message: Message) -> None:
+        payload = message.payload
+        thread = self._threads.get(payload["thread_id"])
+        if thread is None:
+            return  # thread was deleted while the post was in flight
+        post = Post(
+            post_id=next(_post_ids),
+            course=thread.course,
+            thread_id=thread.thread_id,
+            author=payload["author"],
+            body=payload["body"],
+            posted_at=self.network.sim.now,
+        )
+        thread.posts.append(post)
+        self.posts_stored += 1
+        # Fan out to everyone currently present in the course, except
+        # the author's own station (it already has the post).
+        for info in self.presence.present(thread.course):
+            if info.station == message.src:
+                continue
+            self.network.send(
+                self.coordinator,
+                info.station,
+                DELIVER_KIND,
+                post,
+                post.wire_bytes,
+            )
+
+    def _on_deliver(self, station: Station, message: Message) -> None:
+        self.deliveries.setdefault(station.name, []).append(message.payload)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def thread(self, thread_id: int) -> Thread:
+        try:
+            return self._threads[thread_id]
+        except KeyError:
+            raise LookupError(f"unknown thread {thread_id}") from None
+
+    def threads_in(self, course: str) -> list[Thread]:
+        return sorted(
+            (t for t in self._threads.values() if t.course == course),
+            key=lambda t: t.thread_id,
+        )
+
+    def delivered_to(self, station_name: str) -> list[Post]:
+        return list(self.deliveries.get(station_name, ()))

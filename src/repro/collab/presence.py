@@ -1,0 +1,160 @@
+"""The awareness daemon: who is present in which virtual classroom.
+
+Every participating station runs a presence daemon that heartbeats to a
+coordinator station (the class administrator's workstation in the
+paper's architecture).  The coordinator ages entries out after a missed-
+heartbeat timeout, so the roster reflects *live* presence — the paper's
+"feel the existence of each other".
+
+All timing is simulator virtual time; heartbeats are small control
+messages charged to the link model like any other traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.messages import Message
+from repro.net.station import Station
+from repro.net.transport import Network
+from repro.util.validation import check_positive
+
+__all__ = ["PresenceInfo", "PresenceDaemon"]
+
+HEARTBEAT_KIND = "presence.heartbeat"
+LEAVE_KIND = "presence.leave"
+HEARTBEAT_BYTES = 128
+
+
+@dataclass(frozen=True, slots=True)
+class PresenceInfo:
+    """One live roster entry on the coordinator."""
+
+    user: str
+    station: str
+    course: str
+    last_seen: float
+
+
+class PresenceDaemon:
+    """Coordinator-side presence tracking plus member-side heartbeats.
+
+    One instance manages one coordinator station; any number of member
+    stations announce through it.  ``timeout_s`` is the liveness window:
+    a member not heard from for longer is dropped from rosters.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        coordinator: str,
+        *,
+        heartbeat_interval_s: float = 30.0,
+        timeout_s: float = 90.0,
+    ) -> None:
+        check_positive(heartbeat_interval_s, "heartbeat_interval_s")
+        check_positive(timeout_s, "timeout_s")
+        if timeout_s <= heartbeat_interval_s:
+            raise ValueError(
+                "timeout_s must exceed heartbeat_interval_s, otherwise "
+                "every member flaps between beats"
+            )
+        self.network = network
+        self.coordinator = coordinator
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.timeout_s = timeout_s
+        #: (user) -> PresenceInfo
+        self._roster: dict[str, PresenceInfo] = {}
+        #: users with an active heartbeat loop
+        self._active: set[str] = set()
+        self.heartbeats_received = 0
+        station = network.station(coordinator)
+        station.on(HEARTBEAT_KIND, self._on_heartbeat)
+        station.on(LEAVE_KIND, self._on_leave)
+
+    # ------------------------------------------------------------------
+    # Member side
+    # ------------------------------------------------------------------
+    def join(self, user: str, station_name: str, course: str) -> None:
+        """Start ``user``'s heartbeat loop from ``station_name``."""
+        if user in self._active:
+            raise ValueError(f"user {user!r} already has a presence loop")
+        self._active.add(user)
+        self._send_heartbeat(user, station_name, course)
+
+    def leave(self, user: str, station_name: str) -> None:
+        """Stop heartbeating and notify the coordinator."""
+        if user not in self._active:
+            return
+        self._active.discard(user)
+        self.network.send(
+            station_name,
+            self.coordinator,
+            LEAVE_KIND,
+            {"user": user},
+            HEARTBEAT_BYTES,
+        )
+
+    def _send_heartbeat(self, user: str, station_name: str, course: str) -> None:
+        if user not in self._active:
+            return  # left while a beat was scheduled
+        self.network.send(
+            station_name,
+            self.coordinator,
+            HEARTBEAT_KIND,
+            {"user": user, "course": course},
+            HEARTBEAT_BYTES,
+        )
+        self.network.sim.schedule(
+            self.heartbeat_interval_s,
+            self._send_heartbeat,
+            user,
+            station_name,
+            course,
+        )
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, _station: Station, message: Message) -> None:
+        payload = message.payload
+        self.heartbeats_received += 1
+        self._roster[payload["user"]] = PresenceInfo(
+            user=payload["user"],
+            station=message.src,
+            course=payload["course"],
+            last_seen=self.network.sim.now,
+        )
+
+    def _on_leave(self, _station: Station, message: Message) -> None:
+        self._roster.pop(message.payload["user"], None)
+
+    def _expire(self) -> None:
+        horizon = self.network.sim.now - self.timeout_s
+        for user in [
+            u for u, info in self._roster.items() if info.last_seen < horizon
+        ]:
+            del self._roster[user]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def present(self, course: str | None = None) -> list[PresenceInfo]:
+        """Live members (optionally filtered to one course)."""
+        self._expire()
+        entries = [
+            info
+            for info in self._roster.values()
+            if course is None or info.course == course
+        ]
+        return sorted(entries, key=lambda info: info.user)
+
+    def is_present(self, user: str) -> bool:
+        self._expire()
+        return user in self._roster
+
+    def station_of(self, user: str) -> str | None:
+        """Where a live user sits (for targeted fan-out)."""
+        self._expire()
+        info = self._roster.get(user)
+        return None if info is None else info.station

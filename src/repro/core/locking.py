@@ -1,0 +1,270 @@
+"""The object-locking compatibility table for collaborative editing.
+
+The paper (§3): "if a container has a read lock by a user, its
+components (and itself) can have the read access by another user, but
+not the write access.  However, the parent objects of the container can
+have both read and write access by another user.  Of course, the
+accesses are prohibited in the current container object [when write
+locked].  Locking tables are implemented in the instructor workstation.
+With the table, the system can control which instructor is changing a
+Web document.  Therefore, collaborative work is feasible."
+
+Semantics implemented (and exposed as an explicit compatibility matrix):
+
+* ``READ`` on X by A  →  B may READ anywhere; B may WRITE only objects
+  that are **not** in X's subtree (X itself included in the subtree).
+  Ancestors of X remain fully writable.
+* ``WRITE`` on X by A →  B may neither READ nor WRITE anything in X's
+  subtree; ancestors of X remain fully accessible.
+* Locks are reentrant for their owner, and an owner may upgrade
+  READ→WRITE when no other holder conflicts.
+
+Note a deliberate asymmetry inherited from the paper: the table is
+*permissive upward* — because "the parent objects of the container can
+have both read and write access by another user", a WRITE on an ancestor
+may be granted while another user already holds a READ on a descendant.
+A strict multiple-granularity protocol would use intention locks to
+forbid that; the paper's table does not, and this implementation follows
+the paper.
+
+Objects live in an :class:`ObjectTree` (database → script →
+implementation → files/annotations/test records), the container
+hierarchy the compatibility rules quantify over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "LockMode",
+    "LockConflictError",
+    "ObjectTree",
+    "HeldLock",
+    "LockManager",
+    "COMPATIBILITY",
+]
+
+
+class LockMode(enum.Enum):
+    """Lock strength: shared READ or exclusive WRITE."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+#: The compatibility table, keyed by (held mode, requested mode,
+#: relation of requested object to held object).  Relations: "self",
+#: "descendant" (requested inside held subtree), "ancestor" (requested
+#: above the held object), "unrelated".
+COMPATIBILITY: dict[tuple[LockMode, LockMode, str], bool] = {
+    # held READ on X:
+    (LockMode.READ, LockMode.READ, "self"): True,
+    (LockMode.READ, LockMode.READ, "descendant"): True,
+    (LockMode.READ, LockMode.READ, "ancestor"): True,
+    (LockMode.READ, LockMode.READ, "unrelated"): True,
+    (LockMode.READ, LockMode.WRITE, "self"): False,
+    (LockMode.READ, LockMode.WRITE, "descendant"): False,
+    (LockMode.READ, LockMode.WRITE, "ancestor"): True,
+    (LockMode.READ, LockMode.WRITE, "unrelated"): True,
+    # held WRITE on X:
+    (LockMode.WRITE, LockMode.READ, "self"): False,
+    (LockMode.WRITE, LockMode.READ, "descendant"): False,
+    (LockMode.WRITE, LockMode.READ, "ancestor"): True,
+    (LockMode.WRITE, LockMode.READ, "unrelated"): True,
+    (LockMode.WRITE, LockMode.WRITE, "self"): False,
+    (LockMode.WRITE, LockMode.WRITE, "descendant"): False,
+    (LockMode.WRITE, LockMode.WRITE, "ancestor"): True,
+    (LockMode.WRITE, LockMode.WRITE, "unrelated"): True,
+}
+
+
+class LockConflictError(RuntimeError):
+    """A lock request conflicted with a lock held by another user."""
+
+    def __init__(
+        self, user: str, object_id: str, mode: "LockMode", holder: str,
+        held_object: str, held_mode: "LockMode",
+    ) -> None:
+        super().__init__(
+            f"{user} cannot {mode.value}-lock {object_id!r}: {holder} holds "
+            f"a {held_mode.value} lock on {held_object!r}"
+        )
+        self.user = user
+        self.object_id = object_id
+        self.mode = mode
+        self.holder = holder
+        self.held_object = held_object
+        self.held_mode = held_mode
+
+
+class ObjectTree:
+    """The container hierarchy the locking rules quantify over."""
+
+    def __init__(self, root: str = "root") -> None:
+        self.root = root
+        self._parent: dict[str, str] = {}
+        self._children: dict[str, list[str]] = {root: []}
+
+    def add(self, object_id: str, parent: str) -> None:
+        """Insert ``object_id`` under ``parent`` (which must exist)."""
+        if object_id in self._children:
+            raise ValueError(f"object {object_id!r} already in the tree")
+        if parent not in self._children:
+            raise LookupError(f"unknown parent {parent!r}")
+        self._parent[object_id] = parent
+        self._children[parent].append(object_id)
+        self._children[object_id] = []
+
+    def remove(self, object_id: str) -> None:
+        """Remove a leaf object from the tree."""
+        if object_id == self.root:
+            raise ValueError("cannot remove the root")
+        if self._children.get(object_id):
+            raise ValueError(f"object {object_id!r} still has children")
+        parent = self._parent.pop(object_id)
+        self._children[parent].remove(object_id)
+        del self._children[object_id]
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._children
+
+    def parent(self, object_id: str) -> str | None:
+        return self._parent.get(object_id)
+
+    def children(self, object_id: str) -> list[str]:
+        return list(self._children.get(object_id, ()))
+
+    def ancestors(self, object_id: str) -> Iterator[str]:
+        """Ancestors from the immediate parent up to the root."""
+        current = self._parent.get(object_id)
+        while current is not None:
+            yield current
+            current = self._parent.get(current)
+
+    def relation(self, held: str, requested: str) -> str:
+        """Relation of ``requested`` to ``held``: self / descendant /
+        ancestor / unrelated."""
+        if held == requested:
+            return "self"
+        if held in set(self.ancestors(requested)):
+            return "descendant"  # requested lies inside held's subtree
+        if requested in set(self.ancestors(held)):
+            return "ancestor"
+        return "unrelated"
+
+
+@dataclass(frozen=True, slots=True)
+class HeldLock:
+    user: str
+    object_id: str
+    mode: LockMode
+
+
+@dataclass
+class LockStats:
+    acquired: int = 0
+    conflicts: int = 0
+    released: int = 0
+    upgrades: int = 0
+    by_user: dict[str, int] = field(default_factory=dict)
+
+
+class LockManager:
+    """Grants and releases hierarchical locks per the compatibility table."""
+
+    def __init__(self, tree: ObjectTree) -> None:
+        self.tree = tree
+        self._locks: dict[str, dict[str, LockMode]] = {}  # object -> user -> mode
+        self.stats = LockStats()
+
+    # ------------------------------------------------------------------
+    def try_acquire(self, user: str, object_id: str, mode: LockMode) -> bool:
+        """Acquire if compatible; False (and a counted conflict) if not."""
+        try:
+            self.acquire(user, object_id, mode)
+            return True
+        except LockConflictError:
+            return False
+
+    def acquire(self, user: str, object_id: str, mode: LockMode) -> HeldLock:
+        """Acquire or raise :class:`LockConflictError`.
+
+        Reentrant per user; a READ holder may upgrade to WRITE when no
+        other user's lock conflicts.
+        """
+        if object_id not in self.tree:
+            raise LookupError(f"unknown object {object_id!r}")
+        conflict = self._find_conflict(user, object_id, mode)
+        if conflict is not None:
+            self.stats.conflicts += 1
+            held_object, holder, held_mode = conflict
+            raise LockConflictError(
+                user, object_id, mode, holder, held_object, held_mode
+            )
+        holders = self._locks.setdefault(object_id, {})
+        previous = holders.get(user)
+        if previous is LockMode.READ and mode is LockMode.WRITE:
+            self.stats.upgrades += 1
+        holders[user] = self._stronger(previous, mode)
+        self.stats.acquired += 1
+        self.stats.by_user[user] = self.stats.by_user.get(user, 0) + 1
+        return HeldLock(user, object_id, holders[user])
+
+    def release(self, user: str, object_id: str) -> bool:
+        """Release ``user``'s lock on ``object_id``; False if not held."""
+        holders = self._locks.get(object_id)
+        if not holders or user not in holders:
+            return False
+        del holders[user]
+        if not holders:
+            del self._locks[object_id]
+        self.stats.released += 1
+        return True
+
+    def release_all(self, user: str) -> int:
+        """Release every lock ``user`` holds; returns the count."""
+        count = 0
+        for object_id in [o for o, h in self._locks.items() if user in h]:
+            if self.release(user, object_id):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def _find_conflict(
+        self, user: str, object_id: str, mode: LockMode
+    ) -> tuple[str, str, LockMode] | None:
+        """First (held_object, holder, held_mode) that denies the request."""
+        for held_object, holders in self._locks.items():
+            relation = self.tree.relation(held_object, object_id)
+            for holder, held_mode in holders.items():
+                if holder == user:
+                    continue
+                if not COMPATIBILITY[(held_mode, mode, relation)]:
+                    return (held_object, holder, held_mode)
+        return None
+
+    def can_acquire(self, user: str, object_id: str, mode: LockMode) -> bool:
+        """Check without acquiring (no conflict counted)."""
+        if object_id not in self.tree:
+            raise LookupError(f"unknown object {object_id!r}")
+        return self._find_conflict(user, object_id, mode) is None
+
+    # ------------------------------------------------------------------
+    def holders(self, object_id: str) -> dict[str, LockMode]:
+        return dict(self._locks.get(object_id, {}))
+
+    def locks_of(self, user: str) -> list[HeldLock]:
+        return [
+            HeldLock(user, object_id, holders[user])
+            for object_id, holders in self._locks.items()
+            if user in holders
+        ]
+
+    @staticmethod
+    def _stronger(a: LockMode | None, b: LockMode) -> LockMode:
+        if a is LockMode.WRITE or b is LockMode.WRITE:
+            return LockMode.WRITE
+        return LockMode.READ

@@ -1,0 +1,294 @@
+"""Typed SCI (software configuration item) objects.
+
+"A SCI can be a page that shows a piece of lecture, an annotation to
+the piece of lecture, or a compound object containing the above."
+These dataclasses are the typed face of the document-layer rows:
+``to_row`` / ``from_row`` convert to and from the relational engine's
+dict rows, so application code never handles raw dicts.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.files import FileDescriptor
+
+__all__ = [
+    "TestScope",
+    "DocumentDatabaseInfo",
+    "ScriptSCI",
+    "ImplementationSCI",
+    "TestRecordSCI",
+    "BugReportSCI",
+    "AnnotationSCI",
+]
+
+
+class TestScope(enum.Enum):
+    """Testing scope of a test record (paper: "local or global")."""
+
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+@dataclass(slots=True)
+class DocumentDatabaseInfo:
+    """Database-layer object: one Web document database."""
+
+    db_name: str
+    author: str
+    keywords: list[str] = field(default_factory=list)
+    version: int = 1
+    created_at: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(1999, 1, 1)
+    )
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "db_name": self.db_name,
+            "keywords": list(self.keywords),
+            "author": self.author,
+            "version": self.version,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "DocumentDatabaseInfo":
+        return cls(
+            db_name=row["db_name"],
+            author=row["author"],
+            keywords=list(row["keywords"] or []),
+            version=row["version"],
+            created_at=row["created_at"],
+        )
+
+
+@dataclass(slots=True)
+class ScriptSCI:
+    """A document script — "similar to a software system specification"."""
+
+    script_name: str
+    db_name: str
+    author: str
+    description: str = ""
+    keywords: list[str] = field(default_factory=list)
+    version: int = 1
+    created_at: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(1999, 1, 1)
+    )
+    verbal_description: str | None = None  # BLOB digest of spoken spec
+    expected_completion: _dt.datetime | None = None
+    percent_complete: float = 0.0
+    multimedia: list[str] = field(default_factory=list)  # BLOB digests
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "script_name": self.script_name,
+            "db_name": self.db_name,
+            "keywords": list(self.keywords),
+            "author": self.author,
+            "version": self.version,
+            "created_at": self.created_at,
+            "description": self.description,
+            "verbal_description": self.verbal_description,
+            "expected_completion": self.expected_completion,
+            "percent_complete": self.percent_complete,
+            "multimedia": list(self.multimedia),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "ScriptSCI":
+        return cls(
+            script_name=row["script_name"],
+            db_name=row["db_name"],
+            author=row["author"],
+            description=row["description"],
+            keywords=list(row["keywords"] or []),
+            version=row["version"],
+            created_at=row["created_at"],
+            verbal_description=row["verbal_description"],
+            expected_completion=row["expected_completion"],
+            percent_complete=row["percent_complete"],
+            multimedia=list(row["multimedia"] or []),
+        )
+
+
+@dataclass(slots=True)
+class ImplementationSCI:
+    """One "try of implementation" of a script.
+
+    Must contain at least one HTML file (enforced by the facade, per the
+    paper: "each implementation contains at least one HTML file").
+    """
+
+    starting_url: str
+    script_name: str
+    author: str
+    html_files: list[FileDescriptor] = field(default_factory=list)
+    program_files: list[FileDescriptor] = field(default_factory=list)
+    multimedia: list[str] = field(default_factory=list)  # BLOB digests
+    created_at: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(1999, 1, 1)
+    )
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "starting_url": self.starting_url,
+            "script_name": self.script_name,
+            "author": self.author,
+            "created_at": self.created_at,
+            "html_files": [fd.as_json() for fd in self.html_files],
+            "program_files": [fd.as_json() for fd in self.program_files],
+            "multimedia": list(self.multimedia),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "ImplementationSCI":
+        return cls(
+            starting_url=row["starting_url"],
+            script_name=row["script_name"],
+            author=row["author"],
+            html_files=[FileDescriptor.from_json(d) for d in row["html_files"]],
+            program_files=[
+                FileDescriptor.from_json(d) for d in (row["program_files"] or [])
+            ],
+            multimedia=list(row["multimedia"] or []),
+            created_at=row["created_at"],
+        )
+
+
+@dataclass(slots=True)
+class TestRecordSCI:
+    """A test record over one implementation."""
+
+    test_record_name: str
+    script_name: str
+    starting_url: str
+    scope: TestScope = TestScope.LOCAL
+    traversal_messages: list[str] = field(default_factory=list)
+    created_at: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(1999, 1, 1)
+    )
+    passed: bool | None = None
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "test_record_name": self.test_record_name,
+            "scope": self.scope.value,
+            "traversal_messages": list(self.traversal_messages),
+            "script_name": self.script_name,
+            "starting_url": self.starting_url,
+            "created_at": self.created_at,
+            "passed": self.passed,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "TestRecordSCI":
+        return cls(
+            test_record_name=row["test_record_name"],
+            script_name=row["script_name"],
+            starting_url=row["starting_url"],
+            scope=TestScope(row["scope"]),
+            traversal_messages=list(row["traversal_messages"] or []),
+            created_at=row["created_at"],
+            passed=row["passed"],
+        )
+
+
+@dataclass(slots=True)
+class BugReportSCI:
+    """A bug report created for a test record."""
+
+    bug_report_name: str
+    test_record_name: str
+    qa_engineer: str
+    test_procedure: str = ""
+    bug_description: str = ""
+    bad_urls: list[str] = field(default_factory=list)
+    missing_objects: list[str] = field(default_factory=list)
+    inconsistency: str = ""
+    redundant_objects: list[str] = field(default_factory=list)
+    created_at: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(1999, 1, 1)
+    )
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the report records no defects."""
+        return not (
+            self.bad_urls
+            or self.missing_objects
+            or self.inconsistency
+            or self.redundant_objects
+            or self.bug_description
+        )
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "bug_report_name": self.bug_report_name,
+            "qa_engineer": self.qa_engineer,
+            "test_procedure": self.test_procedure,
+            "bug_description": self.bug_description,
+            "bad_urls": list(self.bad_urls),
+            "missing_objects": list(self.missing_objects),
+            "inconsistency": self.inconsistency,
+            "redundant_objects": list(self.redundant_objects),
+            "test_record_name": self.test_record_name,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "BugReportSCI":
+        return cls(
+            bug_report_name=row["bug_report_name"],
+            test_record_name=row["test_record_name"],
+            qa_engineer=row["qa_engineer"],
+            test_procedure=row["test_procedure"],
+            bug_description=row["bug_description"],
+            bad_urls=list(row["bad_urls"] or []),
+            missing_objects=list(row["missing_objects"] or []),
+            inconsistency=row["inconsistency"],
+            redundant_objects=list(row["redundant_objects"] or []),
+            created_at=row["created_at"],
+        )
+
+
+@dataclass(slots=True)
+class AnnotationSCI:
+    """A per-instructor annotation overlay on an implementation."""
+
+    annotation_name: str
+    author: str
+    script_name: str
+    starting_url: str
+    annotation_file: FileDescriptor
+    version: int = 1
+    created_at: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(1999, 1, 1)
+    )
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "annotation_name": self.annotation_name,
+            "author": self.author,
+            "version": self.version,
+            "created_at": self.created_at,
+            "annotation_file": self.annotation_file.as_json(),
+            "script_name": self.script_name,
+            "starting_url": self.starting_url,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "AnnotationSCI":
+        return cls(
+            annotation_name=row["annotation_name"],
+            author=row["author"],
+            script_name=row["script_name"],
+            starting_url=row["starting_url"],
+            annotation_file=FileDescriptor.from_json(row["annotation_file"]),
+            version=row["version"],
+            created_at=row["created_at"],
+        )

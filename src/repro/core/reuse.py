@@ -1,0 +1,258 @@
+"""Object reuse: document classes, instances and references.
+
+The paper (§4): a Web document exists "in one of the following three
+forms: Web Document class, Web Document instance, Web Document
+reference to instance".
+
+* Declaring a class from an instance moves the physical BLOBs into the
+  class; the instance keeps its structure but holds *pointers* to the
+  class's multimedia data.
+* Instantiating a class copies the structure (the small HTML/program
+  files are duplicated) and creates BLOB pointers — "the BLOBs are
+  shared by different instances instantiated from the class".
+* A reference is a broadcast mirror pointer to a remote instance.
+
+The :class:`ReuseManager` operates over one station's
+:class:`~repro.storage.blob.BlobStore` / :class:`~repro.storage.files.FileStore`,
+so the E4 experiment can read the sharing factor straight off the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.blob import BlobKind, BlobStore
+from repro.storage.files import DocumentFile, FileDescriptor, FileStore
+
+__all__ = [
+    "DocumentClass",
+    "DocumentInstance",
+    "DocumentReference",
+    "ReuseManager",
+]
+
+
+@dataclass(slots=True)
+class DocumentClass:
+    """A reusable template declared from an instance.
+
+    "The newly created class contains the structure of the document
+    instance and all multimedia data, such as BLOBs."
+    """
+
+    class_id: str
+    #: structural files (paths into the station FileStore)
+    structure: list[FileDescriptor] = field(default_factory=list)
+    #: the physical multimedia data the class owns
+    blob_digests: list[str] = field(default_factory=list)
+    instantiations: int = 0
+
+    @property
+    def owner_tag(self) -> str:
+        return f"class:{self.class_id}"
+
+
+@dataclass(slots=True)
+class DocumentInstance:
+    """A physical element of a Web document on some station."""
+
+    instance_id: str
+    station: str
+    structure: list[FileDescriptor] = field(default_factory=list)
+    #: BLOB digests; pointers into the class when ``from_class`` is set
+    blob_digests: list[str] = field(default_factory=list)
+    #: class this instance points at for its multimedia (None = it still
+    #: owns its physical data, i.e. it was newly created)
+    from_class: str | None = None
+
+    @property
+    def owner_tag(self) -> str:
+        return f"instance:{self.instance_id}"
+
+    @property
+    def owns_physical_blobs(self) -> bool:
+        return self.from_class is None
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentReference:
+    """A mirror pointer to an instance on another station."""
+
+    instance_id: str
+    instance_station: str
+
+
+class ReuseManager:
+    """Creates and converts the three document forms on one station."""
+
+    def __init__(self, blobs: BlobStore, files: FileStore) -> None:
+        self.blobs = blobs
+        self.files = files
+        self._classes: dict[str, DocumentClass] = {}
+        self._instances: dict[str, DocumentInstance] = {}
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+    def create_instance(
+        self,
+        instance_id: str,
+        files: list[DocumentFile],
+        media: list[tuple[str, int, BlobKind]],
+    ) -> DocumentInstance:
+        """A brand-new instance that owns its physical multimedia.
+
+        ``media`` entries are (label, size_bytes, kind) synthetic BLOBs.
+        """
+        if instance_id in self._instances:
+            raise ValueError(f"instance {instance_id!r} already exists")
+        instance = DocumentInstance(
+            instance_id=instance_id, station=self.files.station
+        )
+        for document_file in files:
+            instance.structure.append(self.files.write(document_file))
+        for label, size, kind in media:
+            digest = self.blobs.put_synthetic(
+                label, size, kind, owner=instance.owner_tag
+            )
+            instance.blob_digests.append(digest)
+        self._instances[instance_id] = instance
+        return instance
+
+    def declare_class(self, instance_id: str, class_id: str) -> DocumentClass:
+        """Declare a class from an instance (paper's promotion step).
+
+        The class takes ownership of the physical BLOBs; the instance's
+        digests become pointers to the class's data (in store terms the
+        bytes were already shared by content addressing — ownership
+        bookkeeping moves so the instance no longer pins the data).
+        """
+        if class_id in self._classes:
+            raise ValueError(f"class {class_id!r} already exists")
+        instance = self._instance(instance_id)
+        cls = DocumentClass(
+            class_id=class_id,
+            structure=list(instance.structure),
+            blob_digests=list(instance.blob_digests),
+        )
+        for digest in cls.blob_digests:
+            self.blobs.acquire(digest, cls.owner_tag)
+        # The original instance now points into the class.
+        instance.from_class = class_id
+        self._classes[class_id] = cls
+        return cls
+
+    def instantiate(
+        self, class_id: str, instance_id: str, *, path_prefix: str | None = None
+    ) -> DocumentInstance:
+        """New instance from a class: structure copied, BLOBs pointed-to.
+
+        "Structure of the document class is copied to the new document
+        instance and pointers to multimedia data are created."  The
+        small structural files are physically duplicated under a new
+        path prefix (default ``<instance_id>/``).
+        """
+        cls = self._class(class_id)
+        if instance_id in self._instances:
+            raise ValueError(f"instance {instance_id!r} already exists")
+        prefix = path_prefix if path_prefix is not None else f"{instance_id}/"
+        instance = DocumentInstance(
+            instance_id=instance_id,
+            station=self.files.station,
+            from_class=class_id,
+        )
+        for descriptor in cls.structure:
+            source = self.files.read(descriptor.path)
+            copy = DocumentFile(
+                path=f"{prefix}{source.path}", kind=source.kind,
+                content=source.content,
+            )
+            instance.structure.append(self.files.write(copy))
+        for digest in cls.blob_digests:
+            self.blobs.acquire(digest, instance.owner_tag)
+            instance.blob_digests.append(digest)
+        cls.instantiations += 1
+        self._instances[instance_id] = instance
+        return instance
+
+    def make_reference(self, instance_id: str) -> DocumentReference:
+        """A broadcastable mirror pointer to a local instance."""
+        instance = self._instance(instance_id)
+        return DocumentReference(
+            instance_id=instance.instance_id, instance_station=instance.station
+        )
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def drop_instance(self, instance_id: str) -> int:
+        """Delete an instance; returns BLOB bytes actually reclaimed
+        (zero while a class or sibling instance still shares them)."""
+        instance = self._instance(instance_id)
+        reclaimed = 0
+        for digest in instance.blob_digests:
+            size = self.blobs.get(digest).size
+            if self.blobs.release(digest, instance.owner_tag):
+                reclaimed += size
+        for descriptor in instance.structure:
+            self.files.delete(descriptor.path)
+        del self._instances[instance_id]
+        return reclaimed
+
+    def drop_class(self, class_id: str) -> int:
+        """Delete a class (refuses while instances point at it)."""
+        cls = self._class(class_id)
+        dependents = [
+            i.instance_id
+            for i in self._instances.values()
+            if i.from_class == class_id
+        ]
+        if dependents:
+            raise ValueError(
+                f"class {class_id!r} still has instances: {dependents}"
+            )
+        reclaimed = 0
+        for digest in cls.blob_digests:
+            size = self.blobs.get(digest).size
+            if self.blobs.release(digest, cls.owner_tag):
+                reclaimed += size
+        del self._classes[class_id]
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def instance(self, instance_id: str) -> DocumentInstance:
+        return self._instance(instance_id)
+
+    def document_class(self, class_id: str) -> DocumentClass:
+        return self._class(class_id)
+
+    def instances(self) -> list[DocumentInstance]:
+        return list(self._instances.values())
+
+    def classes(self) -> list[DocumentClass]:
+        return list(self._classes.values())
+
+    def sharing_report(self) -> dict[str, float | int]:
+        """Sharing metrics for E4, read from the underlying BLOB store."""
+        return {
+            "classes": len(self._classes),
+            "instances": len(self._instances),
+            "physical_bytes": self.blobs.physical_bytes,
+            "logical_bytes": self.blobs.logical_bytes,
+            "sharing_factor": self.blobs.sharing_factor,
+            "structure_bytes": self.files.total_bytes,
+        }
+
+    def _instance(self, instance_id: str) -> DocumentInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise LookupError(f"unknown instance {instance_id!r}") from None
+
+    def _class(self, class_id: str) -> DocumentClass:
+        try:
+            return self._classes[class_id]
+        except KeyError:
+            raise LookupError(f"unknown class {class_id!r}") from None

@@ -1,0 +1,179 @@
+"""Software-configuration management for course components.
+
+The paper (§1): "A software configuration management system allows
+checking in/out of course components and maintain versions of a
+course."  :class:`ConfigurationManager` layers version chains and an
+exclusive check-out protocol on top of the
+:class:`~repro.core.locking.LockManager` — a check-out takes a WRITE
+lock on the component (so the compatibility table governs who may work
+concurrently), and a check-in records a new immutable
+:class:`VersionRecord` and releases the lock.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.locking import LockConflictError, LockManager, LockMode
+
+__all__ = ["CheckoutError", "VersionRecord", "ConfigurationManager"]
+
+
+class CheckoutError(RuntimeError):
+    """Check-in/out protocol violation (not checked out, wrong user, ...)."""
+
+
+@dataclass(frozen=True, slots=True)
+class VersionRecord:
+    """One immutable version of a component."""
+
+    component_id: str
+    version: int
+    author: str
+    content: Any
+    comment: str
+    created_at: _dt.datetime
+
+
+@dataclass
+class _Component:
+    versions: list[VersionRecord] = field(default_factory=list)
+    checked_out_by: str | None = None
+    #: working copy handed out at check-out (content of latest version)
+    working_copy: Any = None
+
+
+class ConfigurationManager:
+    """Version chains + exclusive check-out over the lock manager."""
+
+    def __init__(self, locks: LockManager) -> None:
+        self.locks = locks
+        self._components: dict[str, _Component] = {}
+        self.checkouts = 0
+        self.checkins = 0
+
+    # ------------------------------------------------------------------
+    def add_component(
+        self,
+        component_id: str,
+        parent_object: str,
+        initial_content: Any,
+        author: str,
+        *,
+        created_at: _dt.datetime | None = None,
+    ) -> VersionRecord:
+        """Register a component under ``parent_object`` in the lock tree."""
+        if component_id in self._components:
+            raise ValueError(f"component {component_id!r} already exists")
+        if component_id not in self.locks.tree:
+            self.locks.tree.add(component_id, parent_object)
+        record = VersionRecord(
+            component_id=component_id,
+            version=1,
+            author=author,
+            content=initial_content,
+            comment="initial version",
+            created_at=created_at or _dt.datetime(1999, 1, 1),
+        )
+        self._components[component_id] = _Component(versions=[record])
+        return record
+
+    # ------------------------------------------------------------------
+    def check_out(self, user: str, component_id: str) -> Any:
+        """Take the component for editing; returns a working copy.
+
+        Raises :class:`LockConflictError` if the compatibility table
+        denies the WRITE lock, :class:`CheckoutError` on double check-out.
+        """
+        component = self._component(component_id)
+        if component.checked_out_by is not None:
+            raise CheckoutError(
+                f"component {component_id!r} is already checked out by "
+                f"{component.checked_out_by}"
+            )
+        self.locks.acquire(user, component_id, LockMode.WRITE)
+        component.checked_out_by = user
+        component.working_copy = component.versions[-1].content
+        self.checkouts += 1
+        return component.working_copy
+
+    def check_in(
+        self,
+        user: str,
+        component_id: str,
+        new_content: Any,
+        comment: str = "",
+        *,
+        created_at: _dt.datetime | None = None,
+    ) -> VersionRecord:
+        """Commit a new version and release the exclusive lock."""
+        component = self._component(component_id)
+        if component.checked_out_by != user:
+            raise CheckoutError(
+                f"component {component_id!r} is not checked out by {user}"
+                + (
+                    f" (held by {component.checked_out_by})"
+                    if component.checked_out_by
+                    else ""
+                )
+            )
+        latest = component.versions[-1]
+        record = VersionRecord(
+            component_id=component_id,
+            version=latest.version + 1,
+            author=user,
+            content=new_content,
+            comment=comment,
+            created_at=created_at or latest.created_at,
+        )
+        component.versions.append(record)
+        component.checked_out_by = None
+        component.working_copy = None
+        self.locks.release(user, component_id)
+        self.checkins += 1
+        return record
+
+    def cancel_checkout(self, user: str, component_id: str) -> None:
+        """Abandon a check-out without creating a version."""
+        component = self._component(component_id)
+        if component.checked_out_by != user:
+            raise CheckoutError(
+                f"component {component_id!r} is not checked out by {user}"
+            )
+        component.checked_out_by = None
+        component.working_copy = None
+        self.locks.release(user, component_id)
+
+    # ------------------------------------------------------------------
+    def latest(self, component_id: str) -> VersionRecord:
+        return self._component(component_id).versions[-1]
+
+    def version(self, component_id: str, version: int) -> VersionRecord:
+        for record in self._component(component_id).versions:
+            if record.version == version:
+                return record
+        raise LookupError(
+            f"component {component_id!r} has no version {version}"
+        )
+
+    def history(self, component_id: str) -> list[VersionRecord]:
+        return list(self._component(component_id).versions)
+
+    def is_checked_out(self, component_id: str) -> bool:
+        return self._component(component_id).checked_out_by is not None
+
+    def checked_out_by(self, component_id: str) -> str | None:
+        return self._component(component_id).checked_out_by
+
+    def components(self) -> list[str]:
+        return sorted(self._components)
+
+    def _component(self, component_id: str) -> _Component:
+        try:
+            return self._components[component_id]
+        except KeyError:
+            raise LookupError(
+                f"unknown component {component_id!r}"
+            ) from None

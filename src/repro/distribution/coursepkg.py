@@ -1,0 +1,244 @@
+"""Course packages: shipping whole courses between stations.
+
+The paper's off-line learning path (§5): "in order to support off-line
+learning, we encourage students to 'check out' lecture notes from a
+virtual library" — the notes land on the student's workstation.  And
+§4: "Some Web documents can be stored with duplicated copies in
+different machines for the ease of real-time information retrieval."
+
+A :class:`CoursePackage` is the serialized compound object: the script
+row, its implementation rows, the small document files, and the BLOB
+registry entries.  Two shipping modes mirror the paper's size split:
+
+* ``include_blobs=False`` (default) ships metadata + files only; the
+  multimedia stays as references, to be pulled later on demand — a
+  check-out of the *notes*;
+* ``include_blobs=True`` ships everything, paying the BLOB bytes up
+  front — a full duplicate copy.
+
+:class:`CourseShipper` runs the request/response exchange over the
+simulated network and installs arriving packages into the destination
+station's :class:`~repro.core.wddb.WebDocumentDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.objects import ImplementationSCI, ScriptSCI
+from repro.core.wddb import WebDocumentDatabase
+from repro.net.messages import Message
+from repro.net.station import Station
+from repro.net.transport import Network
+from repro.rdb import col
+from repro.storage.blob import BlobKind
+from repro.storage.files import DocumentFile, FileKind
+
+__all__ = ["CoursePackage", "package_course", "install_package", "CourseShipper"]
+
+REQUEST_KIND = "course.request"
+PACKAGE_KIND = "course.package"
+REQUEST_BYTES = 256
+
+
+@dataclass(frozen=True, slots=True)
+class CoursePackage:
+    """One serialized course compound."""
+
+    script_row: dict[str, Any]
+    implementation_rows: tuple[dict[str, Any], ...]
+    #: path -> (kind value, content)
+    files: dict[str, tuple[str, str]]
+    #: blob registry rows (digest, kind, size, label)
+    blob_rows: tuple[dict[str, Any], ...]
+    include_blobs: bool
+
+    @property
+    def file_bytes(self) -> int:
+        return sum(
+            len(content.encode("utf-8")) for _kind, content in self.files.values()
+        )
+
+    @property
+    def blob_bytes(self) -> int:
+        return sum(row["size_bytes"] for row in self.blob_rows)
+
+    @property
+    def wire_bytes(self) -> int:
+        """What crossing the network costs: metadata + files, plus the
+        BLOB payload only when it is included."""
+        metadata = 512 + 256 * (1 + len(self.implementation_rows))
+        total = metadata + self.file_bytes
+        if self.include_blobs:
+            total += self.blob_bytes
+        return total
+
+
+def package_course(
+    db: WebDocumentDatabase, script_name: str, *, include_blobs: bool = False
+) -> CoursePackage:
+    """Serialize one course from a station database."""
+    script_row = db.engine.get("scripts", script_name)
+    if script_row is None:
+        raise LookupError(f"unknown script {script_name!r}")
+    implementation_rows = tuple(
+        dict(row)
+        for row in db.engine.select(
+            "implementations",
+            where=col("script_name") == script_name,
+            order_by="starting_url",
+        )
+    )
+    files: dict[str, tuple[str, str]] = {}
+    digests: set[str] = set(script_row["multimedia"] or [])
+    for row in implementation_rows:
+        for descriptor in (*row["html_files"], *row["program_files"]):
+            document = db.files.read(descriptor["path"])
+            files[document.path] = (document.kind.value, document.content)
+        digests.update(row["multimedia"] or [])
+    blob_rows = tuple(
+        dict(db.engine.get("blobs", digest))
+        for digest in sorted(digests)
+        if db.engine.get("blobs", digest) is not None
+    )
+    return CoursePackage(
+        script_row=dict(script_row),
+        implementation_rows=implementation_rows,
+        files=files,
+        blob_rows=blob_rows,
+        include_blobs=include_blobs,
+    )
+
+
+def install_package(
+    db: WebDocumentDatabase, package: CoursePackage
+) -> ScriptSCI:
+    """Install a package into a (different) station database.
+
+    Creates the parent document database if absent, registers BLOBs
+    (physically when the package carried them, as registry-only
+    references otherwise), writes files and inserts the rows.
+    """
+    script_row = dict(package.script_row)
+    db_name = script_row["db_name"]
+    if db.engine.get("doc_databases", db_name) is None:
+        db.create_document_database(
+            db_name, author=script_row["author"],
+            created_at=script_row["created_at"],
+        )
+    if db.engine.get("scripts", script_row["script_name"]) is not None:
+        raise ValueError(
+            f"script {script_row['script_name']!r} already installed"
+        )
+    for blob_row in package.blob_rows:
+        # Registry entry always lands; bytes (synthetic) only arrive
+        # with a full package — a metadata check-out keeps them remote.
+        if db.engine.get("blobs", blob_row["digest"]) is None:
+            db.engine.insert("blobs", dict(blob_row))
+        if package.include_blobs:
+            db.blobs.put_synthetic(
+                blob_row["label"], blob_row["size_bytes"],
+                BlobKind(blob_row["kind"]), owner="library",
+            )
+    script = ScriptSCI.from_row(script_row)
+    db.engine.insert("scripts", script.to_row())
+    db.tree.add(f"script:{script.script_name}", f"db:{db_name}")
+    for row in package.implementation_rows:
+        impl = ImplementationSCI.from_row(row)
+        html_files = [
+            DocumentFile(fd.path, FileKind(package.files[fd.path][0]),
+                         package.files[fd.path][1])
+            for fd in impl.html_files
+        ]
+        program_files = [
+            DocumentFile(fd.path, FileKind(package.files[fd.path][0]),
+                         package.files[fd.path][1])
+            for fd in impl.program_files
+        ]
+        if package.include_blobs:
+            db.add_implementation(impl, html_files, program_files)
+        else:
+            # Without the BLOB bytes the facade's acquire would fail, so
+            # strip the references down to the registry level.
+            stripped = ImplementationSCI(
+                starting_url=impl.starting_url,
+                script_name=impl.script_name,
+                author=impl.author,
+                multimedia=[],
+                created_at=impl.created_at,
+            )
+            installed = db.add_implementation(
+                stripped, html_files, program_files
+            )
+            db.engine.update_pk(
+                "implementations", installed.starting_url,
+                {"multimedia": list(impl.multimedia)},
+            )
+    return script
+
+
+class CourseShipper:
+    """Serves and installs course packages over the network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        #: station -> its WebDocumentDatabase
+        self._databases: dict[str, WebDocumentDatabase] = {}
+        self.requests_served = 0
+        self.packages_installed: list[tuple[str, str]] = []
+
+    def attach(self, station_name: str, db: WebDocumentDatabase) -> None:
+        """Register a station's database for serving/receiving."""
+        self._databases[station_name] = db
+        station = self.network.station(station_name)
+        if not station.handles(REQUEST_KIND):
+            station.on(REQUEST_KIND, self._on_request)
+            station.on(PACKAGE_KIND, self._on_package)
+
+    def request_course(
+        self,
+        requester: str,
+        owner: str,
+        script_name: str,
+        *,
+        include_blobs: bool = False,
+    ) -> None:
+        """Ask ``owner`` for a course; installs on arrival."""
+        if requester not in self._databases:
+            raise LookupError(f"station {requester!r} has no database attached")
+        self.network.send(
+            requester,
+            owner,
+            REQUEST_KIND,
+            {"script_name": script_name, "include_blobs": include_blobs},
+            REQUEST_BYTES,
+        )
+
+    def _on_request(self, station: Station, message: Message) -> None:
+        db = self._databases.get(station.name)
+        if db is None:
+            return
+        payload = message.payload
+        package = package_course(
+            db, payload["script_name"],
+            include_blobs=payload["include_blobs"],
+        )
+        self.requests_served += 1
+        self.network.send(
+            station.name,
+            message.src,
+            PACKAGE_KIND,
+            package,
+            package.wire_bytes,
+        )
+
+    def _on_package(self, station: Station, message: Message) -> None:
+        db = self._databases.get(station.name)
+        if db is None:
+            return
+        package: CoursePackage = message.payload
+        install_package(db, package)
+        self.packages_installed.append(
+            (station.name, package.script_row["script_name"])
+        )

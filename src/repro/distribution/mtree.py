@@ -1,0 +1,184 @@
+"""The full m-ary tree placement formulas.
+
+The paper arranges the ``N`` stations that "join the database system in
+a linear order" into a full m-ary tree by breadth-first position.  Its
+two equations (§4) are implemented verbatim:
+
+* the ``n``-th station's ``i``-th child (``1 <= i <= m``) sits at linear
+  position ``m*(n-1) + i + 1``;
+* the ``k``-th station's parent sits at ``(k - i - 1)/m + 1`` where
+  ``i = (k-1) mod m`` unless that is zero, in which case ``i = m``.
+
+The paper states the formulas "are proved by mathematical induction and
+double induction"; here they are property-tested instead (mutual
+inverses, BFS layout, every node within bounds — see
+``tests/distribution/test_mtree.py``).
+
+Positions are 1-based throughout, matching the paper; helpers translate
+to station names via the join-order list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.util.validation import check_positive
+
+__all__ = ["child_position", "parent_position", "MAryTree"]
+
+
+def child_position(n: int, i: int, m: int) -> int:
+    """Linear position of the ``i``-th child of the station at position
+    ``n`` in a full m-ary tree (the paper's first equation).
+
+    >>> child_position(1, 1, 2), child_position(1, 2, 2)
+    (2, 3)
+    """
+    if n < 1:
+        raise ValueError(f"station position must be >= 1, got {n}")
+    if not 1 <= i <= m:
+        raise ValueError(f"child ordinal must be in [1, m={m}], got {i}")
+    return m * (n - 1) + i + 1
+
+
+def parent_position(k: int, m: int) -> int:
+    """Linear position of the parent of station ``k`` (the paper's
+    second equation, the inverse of :func:`child_position`).
+
+    >>> [parent_position(k, 2) for k in (2, 3, 4, 5, 6, 7)]
+    [1, 1, 2, 2, 3, 3]
+    """
+    if k < 2:
+        raise ValueError(f"the root (k=1) has no parent; got k={k}")
+    check_positive(m, "m")
+    i = (k - 1) % m
+    if i == 0:
+        i = m
+    return (k - i - 1) // m + 1
+
+
+class MAryTree:
+    """A full m-ary tree over ``n_stations`` breadth-first positions.
+
+    Wraps the closed-form formulas with the derived structure the
+    distribution layer needs: per-node children lists, depths, levels
+    and subtree enumeration.  Optionally binds a join-order sequence of
+    station names so lookups can be done by name.
+    """
+
+    def __init__(
+        self, n_stations: int, m: int, names: Sequence[str] | None = None
+    ) -> None:
+        check_positive(n_stations, "n_stations")
+        check_positive(m, "m")
+        self.n = int(n_stations)
+        self.m = int(m)
+        if names is not None:
+            if len(names) != self.n:
+                raise ValueError(
+                    f"names has {len(names)} entries for {self.n} stations"
+                )
+            if len(set(names)) != len(names):
+                raise ValueError("station names must be unique")
+            self._names = list(names)
+            self._positions = {name: pos for pos, name in enumerate(names, 1)}
+        else:
+            self._names = [f"s{pos}" for pos in range(1, self.n + 1)]
+            self._positions = {
+                name: pos for pos, name in enumerate(self._names, 1)
+            }
+
+    # -- positions ---------------------------------------------------------
+    def parent(self, k: int) -> int | None:
+        """Parent position of ``k`` (None for the root)."""
+        self._check_position(k)
+        if k == 1:
+            return None
+        return parent_position(k, self.m)
+
+    def children(self, n: int) -> list[int]:
+        """Child positions of ``n`` that exist among the N stations."""
+        self._check_position(n)
+        out = []
+        for i in range(1, self.m + 1):
+            child = child_position(n, i, self.m)
+            if child > self.n:
+                break  # children are consecutive; the rest overflow too
+            out.append(child)
+        return out
+
+    def depth_of(self, k: int) -> int:
+        """Edges between position ``k`` and the root."""
+        self._check_position(k)
+        depth = 0
+        while k != 1:
+            k = parent_position(k, self.m)
+            depth += 1
+        return depth
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over all stations (0 for a single station)."""
+        return self.depth_of(self.n) if self.n > 1 else 0
+
+    def levels(self) -> list[list[int]]:
+        """Positions grouped by depth, root first."""
+        out: list[list[int]] = []
+        for k in range(1, self.n + 1):
+            depth = self.depth_of(k)
+            while len(out) <= depth:
+                out.append([])
+            out[depth].append(k)
+        return out
+
+    def subtree(self, n: int) -> Iterator[int]:
+        """Positions of the subtree rooted at ``n`` (preorder)."""
+        self._check_position(n)
+        stack = [n]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self.children(node)))
+
+    def path_to_root(self, k: int) -> list[int]:
+        """Positions from ``k`` up to and including the root."""
+        self._check_position(k)
+        path = [k]
+        while path[-1] != 1:
+            path.append(parent_position(path[-1], self.m))
+        return path
+
+    def is_leaf(self, k: int) -> bool:
+        return not self.children(k)
+
+    # -- names -------------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    def name_of(self, k: int) -> str:
+        self._check_position(k)
+        return self._names[k - 1]
+
+    def position_of(self, name: str) -> int:
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise LookupError(f"unknown station {name!r}") from None
+
+    def parent_name(self, name: str) -> str | None:
+        parent = self.parent(self.position_of(name))
+        return None if parent is None else self.name_of(parent)
+
+    def children_names(self, name: str) -> list[str]:
+        return [self.name_of(c) for c in self.children(self.position_of(name))]
+
+    # -- internals ---------------------------------------------------------
+    def _check_position(self, k: int) -> None:
+        if not 1 <= k <= self.n:
+            raise ValueError(
+                f"position must be in [1, {self.n}], got {k}"
+            )
+
+    def __repr__(self) -> str:
+        return f"MAryTree(n={self.n}, m={self.m})"

@@ -1,0 +1,37 @@
+"""The Web document virtual library (paper §5).
+
+"Web Document instances are stored in the virtual library.  An
+instructor has a privilege to add or delete document instances ...
+Students can check out and check in these Web pages ... The check
+in/out procedure serves as an assessment criteria to the study
+performance of a student.  We provide a browsing interface which allows
+students to retrieve course materials according to matching keywords,
+instructor names, and course numbers/titles."
+
+* :mod:`repro.library.catalog` — the catalog of published lecture
+  documents (instructor-managed).
+* :mod:`repro.library.search` — the browsing interface: inverted-index
+  search over keywords, instructor names, course numbers and titles.
+* :mod:`repro.library.circulation` — unlimited check-out / check-in
+  with a full event log.
+* :mod:`repro.library.assessment` — study-performance reports derived
+  from the circulation log.
+"""
+
+from repro.library.catalog import CatalogEntry, VirtualLibrary
+from repro.library.search import SearchIndex, SearchResult
+from repro.library.circulation import CirculationDesk, CirculationEvent, Loan
+from repro.library.assessment import AssessmentReport, StudentAssessment, assess
+
+__all__ = [
+    "CatalogEntry",
+    "VirtualLibrary",
+    "SearchIndex",
+    "SearchResult",
+    "CirculationDesk",
+    "CirculationEvent",
+    "Loan",
+    "AssessmentReport",
+    "StudentAssessment",
+    "assess",
+]

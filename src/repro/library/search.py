@@ -1,0 +1,147 @@
+"""Inverted-index search for the virtual library's browsing interface.
+
+Three query axes, matching the paper: free-text keywords (tokenized,
+AND-combined, ranked by match count), exact-ish instructor name, and
+course number or title substring.  The index maintains one posting map
+per axis; queries intersect the axes they use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["tokenize", "SearchResult", "SearchIndex"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase alphanumeric tokens.
+
+    >>> tokenize("Introduction to Multimedia-Computing!")
+    ['introduction', 'to', 'multimedia', 'computing']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    doc_id: str
+    score: float
+
+
+@dataclass
+class SearchIndex:
+    """Postings per axis: term -> set of doc ids."""
+
+    _keyword_postings: dict[str, set[str]] = field(default_factory=dict)
+    _instructor_postings: dict[str, set[str]] = field(default_factory=dict)
+    #: course number (exact, lowered) -> docs
+    _course_postings: dict[str, set[str]] = field(default_factory=dict)
+    #: per-doc stored fields for filtering / scoring
+    _docs: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        doc_id: str,
+        *,
+        keywords: tuple[str, ...] = (),
+        instructor: str = "",
+        course_number: str = "",
+        title: str = "",
+    ) -> None:
+        if doc_id in self._docs:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        keyword_terms = set()
+        for source in (*keywords, title):
+            keyword_terms.update(tokenize(source))
+        for term in keyword_terms:
+            self._keyword_postings.setdefault(term, set()).add(doc_id)
+        for term in tokenize(instructor):
+            self._instructor_postings.setdefault(term, set()).add(doc_id)
+        if course_number:
+            self._course_postings.setdefault(
+                course_number.lower(), set()
+            ).add(doc_id)
+        self._docs[doc_id] = {
+            "keyword_terms": keyword_terms,
+            "instructor": instructor,
+            "course_number": course_number,
+            "title": title,
+        }
+
+    def remove(self, doc_id: str) -> None:
+        doc = self._docs.pop(doc_id, None)
+        if doc is None:
+            return
+        for postings in (
+            self._keyword_postings,
+            self._instructor_postings,
+            self._course_postings,
+        ):
+            empty = []
+            for term, ids in postings.items():
+                ids.discard(doc_id)
+                if not ids:
+                    empty.append(term)
+            for term in empty:
+                del postings[term]
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        keywords: str | None = None,
+        instructor: str | None = None,
+        course: str | None = None,
+        *,
+        limit: int | None = None,
+    ) -> list[SearchResult]:
+        """Intersect the axes in use; rank by keyword-match count.
+
+        ``course`` matches the course number exactly (case-insensitive)
+        or the title as a substring.
+        """
+        candidate_sets: list[set[str]] = []
+        query_terms = tokenize(keywords) if keywords else []
+        if query_terms:
+            per_term = [
+                self._keyword_postings.get(term, set()) for term in query_terms
+            ]
+            matched = set.union(*per_term) if per_term else set()
+            candidate_sets.append(matched)
+        if instructor:
+            terms = tokenize(instructor)
+            sets = [self._instructor_postings.get(t, set()) for t in terms]
+            candidate_sets.append(set.intersection(*sets) if sets else set())
+        if course:
+            exact = self._course_postings.get(course.lower(), set())
+            by_title = {
+                doc_id
+                for doc_id, doc in self._docs.items()
+                if course.lower() in str(doc["title"]).lower()
+            }
+            candidate_sets.append(exact | by_title)
+        if not candidate_sets:
+            candidates = set(self._docs)
+        else:
+            candidates = set.intersection(*candidate_sets)
+        results = [
+            SearchResult(doc_id=doc_id, score=self._score(doc_id, query_terms))
+            for doc_id in candidates
+        ]
+        results.sort(key=lambda r: (-r.score, r.doc_id))
+        if limit is not None:
+            results = results[:limit]
+        return results
+
+    def _score(self, doc_id: str, query_terms: list[str]) -> float:
+        if not query_terms:
+            return 1.0
+        doc_terms: set[str] = self._docs[doc_id]["keyword_terms"]  # type: ignore[assignment]
+        hits = sum(1 for term in query_terms if term in doc_terms)
+        return hits / len(query_terms)

@@ -1,0 +1,44 @@
+"""Typed message envelopes.
+
+Everything that crosses the simulated network is a :class:`Message`:
+a source, destination, kind tag (dispatch key), an arbitrary payload
+object (never serialized — this is a simulation) and the byte size that
+*would* cross the wire, which is what the link model charges for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["Message"]
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One network message.
+
+    ``size_bytes`` is the simulated wire size (payload is metadata, so a
+    50 MB lecture transfer is a tiny Python object with
+    ``size_bytes=50_000_000``).  ``sent_at`` is stamped by the transport.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    size_bytes: int
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.size_bytes, "size_bytes")
+
+    def reply_kind(self) -> str:
+        """Conventional kind tag for a response to this message."""
+        return f"{self.kind}.reply"

@@ -1,0 +1,217 @@
+"""The transport facade: stations + links + the event loop.
+
+Verbs follow the mpi4py tutorial's shape — ``send`` (point-to-point),
+``bcast`` (one-to-many, which on this link model is *sequential* unicast
+from the root, the very cost the paper's tree distribution avoids) —
+but delivery is asynchronous through the simulator, and handlers run at
+arrival time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.net.link import schedule_transfer
+from repro.net.messages import Message
+from repro.net.sim import Simulator
+from repro.net.station import Station
+from repro.util.rng import make_rng
+from repro.util.validation import check_non_negative, check_probability
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A set of stations wired through one simulator.
+
+    ``default_latency_s`` models propagation delay between any pair;
+    per-pair overrides are available through :meth:`set_latency` for
+    experiments with heterogeneous paths.
+
+    Failure injection: :meth:`set_down` crashes/revives a station
+    (messages to or from a down station are silently lost — the sender
+    cannot know), and :meth:`set_drop_rate` loses a seeded-random
+    fraction of messages, modelling the lossy 1999 Internet the paper's
+    mechanisms must survive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_latency_s: float = 0.05,
+        *,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        check_non_negative(default_latency_s, "default_latency_s")
+        check_probability(drop_rate, "drop_rate")
+        self.sim = sim
+        self.default_latency_s = default_latency_s
+        self._stations: dict[str, Station] = {}
+        self._latency: dict[tuple[str, str], float] = {}
+        self._down: set[str] = set()
+        self.drop_rate = drop_rate
+        self._drop_rng = make_rng(seed, "network-drops")
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.messages_dropped = 0
+
+    # -- membership ----------------------------------------------------------
+    def add(self, station: Station) -> Station:
+        """Register a station (names must be unique) and attach it."""
+        if station.name in self._stations:
+            raise ValueError(f"duplicate station name {station.name!r}")
+        self._stations[station.name] = station
+        station.network = self
+        return station
+
+    def station(self, name: str) -> Station:
+        """Look up a station by name; raises LookupError if unknown."""
+        try:
+            return self._stations[name]
+        except KeyError:
+            raise LookupError(f"unknown station {name!r}") from None
+
+    def stations(self) -> list[Station]:
+        """All registered stations, in registration order."""
+        return list(self._stations.values())
+
+    def names(self) -> list[str]:
+        """Station names in registration order."""
+        return list(self._stations)
+
+    def __len__(self) -> int:
+        return len(self._stations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stations
+
+    # -- latency topology ---------------------------------------------------
+    def set_latency(self, a: str, b: str, latency_s: float) -> None:
+        """Override propagation latency for the (a, b) pair, both ways."""
+        check_non_negative(latency_s, "latency_s")
+        self._latency[(a, b)] = latency_s
+        self._latency[(b, a)] = latency_s
+
+    def latency(self, a: str, b: str) -> float:
+        """Propagation latency between two stations."""
+        return self._latency.get((a, b), self.default_latency_s)
+
+    # -- failure injection ---------------------------------------------------
+    def set_down(self, name: str, down: bool = True) -> None:
+        """Crash (or revive) a station.
+
+        While down, everything it would send or receive is lost; a
+        revived station resumes with whatever state it had (the paper's
+        workstations keep their disk across reboots).
+        """
+        self.station(name)  # raise early on unknown
+        if down:
+            self._down.add(name)
+        else:
+            self._down.discard(name)
+
+    def is_down(self, name: str) -> bool:
+        """True while a station is crashed (see :meth:`set_down`)."""
+        return name in self._down
+
+    def set_drop_rate(self, drop_rate: float) -> None:
+        """Lose this fraction of messages (seeded, deterministic)."""
+        check_probability(drop_rate, "drop_rate")
+        self.drop_rate = drop_rate
+
+    def _should_drop(self, src: str, dst: str) -> bool:
+        if src in self._down or dst in self._down:
+            return True
+        if self.drop_rate and self._drop_rng.random() < self.drop_rate:
+            return True
+        return False
+
+    # -- verbs -------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+    ) -> Message:
+        """Queue a transfer; the destination handler runs at arrival time.
+
+        Returns the message (stamped with the send time) immediately;
+        completion is observable through handlers or by running the
+        simulator and checking link horizons.
+        """
+        sender = self.station(src)
+        receiver = self.station(dst)
+        if src == dst:
+            raise ValueError(f"station {src!r} cannot send to itself")
+        message = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+        )
+        sender.messages_sent += 1
+        self.total_messages += 1
+        if self._should_drop(src, dst):
+            # The bytes never make it; a down/ lossy path costs the
+            # sender nothing observable (fire-and-forget datagrams).
+            self.messages_dropped += 1
+            return message
+        timing = schedule_transfer(
+            self.sim.now,
+            size_bytes,
+            sender.link,
+            receiver.link,
+            self.latency(src, dst),
+        )
+        self.total_bytes += size_bytes
+        # A station may crash while the message is in flight; check
+        # again at delivery time.
+        self.sim.schedule_at(timing.arrival, self._deliver, receiver, message)
+        return message
+
+    def _deliver(self, receiver: Station, message: Message) -> None:
+        if receiver.name in self._down:
+            self.messages_dropped += 1
+            return
+        receiver.deliver(message)
+
+    def bcast(
+        self,
+        src: str,
+        dsts: Sequence[str] | Iterable[str],
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+    ) -> list[Message]:
+        """Flat broadcast: sequential unicasts out of the root's uplink.
+
+        This is the baseline the paper's m-ary tree beats — every copy
+        serializes through the single source link.
+        """
+        return [
+            self.send(src, dst, kind, payload, size_bytes)
+            for dst in dsts
+            if dst != src
+        ]
+
+    # -- introspection -----------------------------------------------------
+    def quiesce(self) -> float:
+        """Run the simulator dry; returns the final virtual time."""
+        self.sim.run()
+        return self.sim.now
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate traffic counters and the current virtual time."""
+        return {
+            "stations": len(self._stations),
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "dropped": self.messages_dropped,
+            "time": self.sim.now,
+            "events": self.sim.events_processed,
+        }

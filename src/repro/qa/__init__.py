@@ -1,0 +1,36 @@
+"""The testing subsystem behind the TestRecord / BugReport tables.
+
+The paper frames course development as software engineering — "how do
+we perform a white box or black box testing of a multimedia
+presentation" — and its schema reserves test records (with "Web
+traversal messages") and bug reports (bad URLs, missing objects,
+inconsistency, redundant objects).  This package supplies the tooling:
+
+* :mod:`repro.qa.traversal` — walks a Web document from its starting
+  URL, emitting the windowing/traversal messages a test record stores;
+  local scope stays inside one implementation, global follows
+  cross-document links.
+* :mod:`repro.qa.linkcheck` — detects the four defect classes of the
+  bug-report schema.
+* :mod:`repro.qa.reports` — runs a full QA pass and files the test
+  record and bug report into the Web document database.
+"""
+
+from repro.qa.traversal import TraversalResult, WebTraverser, extract_links
+from repro.qa.linkcheck import Finding, FindingKind, LinkChecker
+from repro.qa.reports import QARunner
+from repro.qa.testplan import TestPath, TestPlan, build_test_plan, verify_plan
+
+__all__ = [
+    "TestPath",
+    "TestPlan",
+    "build_test_plan",
+    "verify_plan",
+    "TraversalResult",
+    "WebTraverser",
+    "extract_links",
+    "Finding",
+    "FindingKind",
+    "LinkChecker",
+    "QARunner",
+]

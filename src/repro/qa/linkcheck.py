@@ -1,0 +1,160 @@
+"""Defect detection for the four bug-report categories.
+
+The paper's bug-report schema enumerates exactly four defect classes:
+
+* **Bad URLs** — "a number of URLs which can not be reached";
+* **Missing objects** — "multimedia or HTML files missing from the
+  implementation";
+* **Inconsistency** — "a text description of inconsistency" (here: a
+  registered file whose stored checksum no longer matches its content);
+* **Redundant objects** — "a list of redundant files" (registered to
+  the implementation but unreachable from its starting page).
+
+:class:`LinkChecker` derives all four from a traversal result plus the
+implementation's registrations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.objects import ImplementationSCI
+from repro.core.wddb import WebDocumentDatabase
+from repro.qa.traversal import TraversalResult
+
+__all__ = ["FindingKind", "Finding", "LinkChecker"]
+
+
+class FindingKind(enum.Enum):
+    """The four defect classes of the paper's bug-report schema."""
+
+    BAD_URL = "bad_url"
+    MISSING_OBJECT = "missing_object"
+    INCONSISTENCY = "inconsistency"
+    REDUNDANT_OBJECT = "redundant_object"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One detected defect."""
+
+    kind: FindingKind
+    subject: str
+    detail: str
+
+
+class LinkChecker:
+    """Runs the four defect checks over one implementation."""
+
+    def __init__(self, db: WebDocumentDatabase) -> None:
+        self.db = db
+
+    def check(
+        self, impl: ImplementationSCI, traversal: TraversalResult
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._bad_urls(traversal))
+        findings.extend(self._missing_objects(impl, traversal))
+        findings.extend(self._inconsistencies(impl))
+        findings.extend(self._redundant_objects(impl, traversal))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _bad_urls(self, traversal: TraversalResult) -> list[Finding]:
+        return [
+            Finding(
+                FindingKind.BAD_URL,
+                url,
+                "link target could not be reached during traversal",
+            )
+            for url in sorted(set(traversal.unreachable))
+        ]
+
+    def _missing_objects(
+        self, impl: ImplementationSCI, traversal: TraversalResult
+    ) -> list[Finding]:
+        """Referenced multimedia/programs that are nowhere to be found."""
+        findings: list[Finding] = []
+        registered_blobs = {
+            (self.db.blob_info(d) or {}).get("label") for d in impl.multimedia
+        }
+        for resource in sorted(traversal.referenced_resources):
+            if resource not in registered_blobs and not self.db.files.exists(
+                resource
+            ):
+                findings.append(
+                    Finding(
+                        FindingKind.MISSING_OBJECT,
+                        resource,
+                        "multimedia resource referenced but not registered "
+                        "to the implementation",
+                    )
+                )
+        program_paths = {fd.path for fd in impl.program_files}
+        for program in sorted(traversal.referenced_programs):
+            if program not in program_paths and not self.db.files.exists(program):
+                findings.append(
+                    Finding(
+                        FindingKind.MISSING_OBJECT,
+                        program,
+                        "control program referenced but not registered",
+                    )
+                )
+        return findings
+
+    def _inconsistencies(self, impl: ImplementationSCI) -> list[Finding]:
+        """Registered checksum no longer matches the stored content."""
+        findings: list[Finding] = []
+        for table, descriptors in (
+            ("html_files", impl.html_files),
+            ("program_files", impl.program_files),
+        ):
+            for descriptor in descriptors:
+                row = self.db.engine.get(table, descriptor.path)
+                if row is None:
+                    findings.append(
+                        Finding(
+                            FindingKind.MISSING_OBJECT,
+                            descriptor.path,
+                            f"file is listed by the implementation but "
+                            f"absent from the {table} registry",
+                        )
+                    )
+                    continue
+                if not self.db.files.exists(descriptor.path):
+                    findings.append(
+                        Finding(
+                            FindingKind.MISSING_OBJECT,
+                            descriptor.path,
+                            "file registered but missing from the store",
+                        )
+                    )
+                    continue
+                actual = self.db.files.read(descriptor.path).checksum
+                if actual != row["checksum"]:
+                    findings.append(
+                        Finding(
+                            FindingKind.INCONSISTENCY,
+                            descriptor.path,
+                            f"stored checksum {actual} != registered "
+                            f"{row['checksum']} (file changed without a "
+                            "registry update)",
+                        )
+                    )
+        return findings
+
+    def _redundant_objects(
+        self, impl: ImplementationSCI, traversal: TraversalResult
+    ) -> list[Finding]:
+        """Registered pages never reached from the starting page."""
+        visited = set(traversal.visited_pages)
+        return [
+            Finding(
+                FindingKind.REDUNDANT_OBJECT,
+                descriptor.path,
+                "registered HTML file unreachable from the starting URL",
+            )
+            for descriptor in impl.html_files
+            if descriptor.path not in visited
+        ]

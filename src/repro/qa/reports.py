@@ -1,0 +1,186 @@
+"""End-to-end QA runs: traverse, check, file the records.
+
+:class:`QARunner` is the QA engineer's tool: it traverses an
+implementation, runs the link checker, then writes the
+:class:`~repro.core.objects.TestRecordSCI` (with the traversal's
+windowing messages) and — when defects were found — the
+:class:`~repro.core.objects.BugReportSCI` into the database, exactly
+the object chain the paper's document layer stores.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import itertools
+from dataclasses import dataclass
+
+from repro.core.objects import BugReportSCI, TestRecordSCI, TestScope
+from repro.core.wddb import WebDocumentDatabase
+from repro.qa.linkcheck import Finding, FindingKind, LinkChecker
+from repro.qa.traversal import TraversalResult, WebTraverser
+
+__all__ = ["QAOutcome", "QARunner"]
+
+
+@dataclass(frozen=True, slots=True)
+class QAOutcome:
+    """Everything one QA pass produced."""
+
+    test_record: TestRecordSCI
+    bug_report: BugReportSCI | None
+    traversal: TraversalResult
+    findings: tuple[Finding, ...]
+
+    @property
+    def passed(self) -> bool:
+        return self.bug_report is None
+
+
+class QARunner:
+    """Runs QA passes and files their records into the database."""
+
+    def __init__(self, db: WebDocumentDatabase, qa_engineer: str) -> None:
+        self.db = db
+        self.qa_engineer = qa_engineer
+        self.traverser = WebTraverser(db.files)
+        self.checker = LinkChecker(db)
+        self._seq = itertools.count(1)
+
+    def run(
+        self,
+        starting_url: str,
+        scope: TestScope = TestScope.LOCAL,
+        *,
+        created_at: _dt.datetime | None = None,
+    ) -> QAOutcome:
+        """QA one implementation; files a test record (+ bug report)."""
+        impl = self.db.implementation(starting_url)
+        if impl is None:
+            raise LookupError(f"unknown implementation {starting_url!r}")
+        known_external = {
+            row["path"]
+            for row in self.db.engine.select("html_files")
+            if row["starting_url"] != starting_url
+        }
+        traversal = self.traverser.traverse(
+            impl, scope, known_external=known_external
+        )
+        findings = tuple(self.checker.check(impl, traversal))
+        stamp = created_at or _dt.datetime(1999, 1, 1)
+        seq = next(self._seq)
+        record = TestRecordSCI(
+            test_record_name=f"tr-{impl.script_name}-{seq}",
+            script_name=impl.script_name,
+            starting_url=starting_url,
+            scope=scope,
+            traversal_messages=list(traversal.messages),
+            created_at=stamp,
+            passed=not findings,
+        )
+        self.db.add_test_record(record)
+        bug_report: BugReportSCI | None = None
+        if findings:
+            bug_report = BugReportSCI(
+                bug_report_name=f"bug-{impl.script_name}-{seq}",
+                test_record_name=record.test_record_name,
+                qa_engineer=self.qa_engineer,
+                test_procedure=(
+                    f"{scope.value} traversal from {starting_url} "
+                    f"({traversal.pages_opened} pages opened)"
+                ),
+                bug_description=self._describe(findings),
+                bad_urls=self._subjects(findings, FindingKind.BAD_URL),
+                missing_objects=self._subjects(
+                    findings, FindingKind.MISSING_OBJECT
+                ),
+                inconsistency="; ".join(
+                    f.detail
+                    for f in findings
+                    if f.kind is FindingKind.INCONSISTENCY
+                ),
+                redundant_objects=self._subjects(
+                    findings, FindingKind.REDUNDANT_OBJECT
+                ),
+                created_at=stamp,
+            )
+            self.db.add_bug_report(bug_report)
+        return QAOutcome(
+            test_record=record,
+            bug_report=bug_report,
+            traversal=traversal,
+            findings=findings,
+        )
+
+    def run_plan(
+        self,
+        starting_url: str,
+        *,
+        created_at: _dt.datetime | None = None,
+    ) -> QAOutcome:
+        """White-box pass: build the edge-coverage plan, replay it, file
+        the record (paper's "white box ... testing" half).
+
+        The test record stores the plan's click-scripts as its traversal
+        messages; failures (vanished pages / removed links) become a
+        bug report with the broken targets as bad URLs.
+        """
+        from repro.qa.testplan import build_test_plan, verify_plan
+
+        impl = self.db.implementation(starting_url)
+        if impl is None:
+            raise LookupError(f"unknown implementation {starting_url!r}")
+        plan = build_test_plan(self.db.files, impl)
+        failures = verify_plan(self.db.files, plan)
+        stamp = created_at or _dt.datetime(1999, 1, 1)
+        seq = next(self._seq)
+        messages: list[str] = [
+            f"PLAN coverage={plan.coverage:.2f} paths={len(plan.paths)}"
+        ]
+        for path in plan.paths:
+            messages.extend(path.as_messages())
+        record = TestRecordSCI(
+            test_record_name=f"tr-{impl.script_name}-wb{seq}",
+            script_name=impl.script_name,
+            starting_url=starting_url,
+            scope=TestScope.LOCAL,
+            traversal_messages=messages,
+            created_at=stamp,
+            passed=not failures,
+        )
+        self.db.add_test_record(record)
+        bug_report: BugReportSCI | None = None
+        if failures:
+            bug_report = BugReportSCI(
+                bug_report_name=f"bug-{impl.script_name}-wb{seq}",
+                test_record_name=record.test_record_name,
+                qa_engineer=self.qa_engineer,
+                test_procedure=(
+                    f"white-box plan replay, {plan.total_clicks} clicks "
+                    f"over {len(plan.paths)} paths"
+                ),
+                bug_description=f"{len(failures)} plan step(s) failed",
+                bad_urls=failures,
+                created_at=stamp,
+            )
+            self.db.add_bug_report(bug_report)
+        traversal = TraversalResult(
+            starting_url=starting_url, scope=TestScope.LOCAL,
+            messages=messages,
+        )
+        return QAOutcome(
+            test_record=record,
+            bug_report=bug_report,
+            traversal=traversal,
+            findings=(),
+        )
+
+    @staticmethod
+    def _subjects(findings: tuple[Finding, ...], kind: FindingKind) -> list[str]:
+        return [f.subject for f in findings if f.kind is kind]
+
+    @staticmethod
+    def _describe(findings: tuple[Finding, ...]) -> str:
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.kind.value] = counts.get(finding.kind.value, 0) + 1
+        return ", ".join(f"{n} {kind}" for kind, n in sorted(counts.items()))

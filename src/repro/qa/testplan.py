@@ -1,0 +1,210 @@
+"""White-box test planning for Web documents.
+
+The paper (§1) asks "how do we perform a white box or black box testing
+of a multimedia presentation".  The traversal tester
+(:mod:`repro.qa.traversal`) is the black-box half — follow what a
+student can click.  This module is the white-box half: from the page
+graph it derives a **path coverage plan**, a minimal-ish set of
+click-paths from the starting page that together cover every reachable
+link (edge coverage — the graph analogue of branch coverage), sized in
+line with the graph's cyclomatic complexity.
+
+The plan's paths convert directly into traversal-message scripts, and
+:func:`verify_plan` replays them against the file store to confirm each
+step is still clickable — a regression suite for the course.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.objects import ImplementationSCI
+from repro.qa.traversal import extract_links
+from repro.storage.files import FileStore
+
+__all__ = ["TestPath", "TestPlan", "build_test_plan", "verify_plan"]
+
+
+@dataclass(frozen=True, slots=True)
+class TestPath:
+    """One click-path from the starting page."""
+
+    pages: tuple[str, ...]
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        return tuple(zip(self.pages, self.pages[1:]))
+
+    def as_messages(self) -> list[str]:
+        """The traversal-message script this path corresponds to."""
+        out = [f"OPEN_PAGE {self.pages[0]}"]
+        for src, dst in self.edges:
+            out.append(f"FOLLOW_LINK {src} -> {dst}")
+            out.append(f"OPEN_PAGE {dst}")
+        return out
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+@dataclass(frozen=True, slots=True)
+class TestPlan:
+    """An edge-covering set of click-paths for one implementation."""
+
+    starting_url: str
+    paths: tuple[TestPath, ...]
+    covered_edges: frozenset[tuple[str, str]]
+    #: edges out of unreachable pages, which no click-path can exercise
+    uncoverable_edges: frozenset[tuple[str, str]]
+
+    @property
+    def total_clicks(self) -> int:
+        return sum(len(path.edges) for path in self.paths)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.covered_edges) + len(self.uncoverable_edges)
+        return len(self.covered_edges) / total if total else 1.0
+
+
+def _page_graph(
+    files: FileStore, impl: ImplementationSCI
+) -> tuple[list[str], dict[str, list[str]]]:
+    pages = [fd.path for fd in impl.html_files]
+    page_set = set(pages)
+    adjacency: dict[str, list[str]] = {page: [] for page in pages}
+    for page in pages:
+        if not files.exists(page):
+            continue
+        for href in extract_links(files.read(page).content).hrefs:
+            if href in page_set and href not in adjacency[page]:
+                adjacency[page].append(href)
+    return pages, adjacency
+
+
+def build_test_plan(files: FileStore, impl: ImplementationSCI) -> TestPlan:
+    """Greedy edge-covering paths from the starting page.
+
+    Repeatedly walks from the start, preferring unvisited edges; each
+    walk ends when the current page has no uncovered outgoing edge and
+    revisiting cannot be extended without a cycle over covered ground.
+    Terminates because every walk covers at least one new edge.
+    """
+    if not impl.html_files:
+        return TestPlan(
+            starting_url=impl.starting_url,
+            paths=(),
+            covered_edges=frozenset(),
+            uncoverable_edges=frozenset(),
+        )
+    pages, adjacency = _page_graph(files, impl)
+    start = pages[0]
+    all_edges = {
+        (src, dst) for src, targets in adjacency.items() for dst in targets
+    }
+    # Which pages can a click-path reach at all?
+    reachable = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in reachable:
+                reachable.add(neighbour)
+                frontier.append(neighbour)
+    coverable = {(a, b) for (a, b) in all_edges if a in reachable}
+    uncoverable = all_edges - coverable
+
+    covered: set[tuple[str, str]] = set()
+    paths: list[TestPath] = []
+    while covered != coverable:
+        walk = [start]
+        progressed = False
+        current = start
+        # Bound each walk to avoid pathological loops; the bound is
+        # generous (every edge twice).
+        for _ in range(2 * len(coverable) + 1):
+            next_edge = None
+            for neighbour in adjacency[current]:
+                if (current, neighbour) not in covered:
+                    next_edge = (current, neighbour)
+                    break
+            if next_edge is None:
+                # move toward the nearest uncovered edge through covered
+                # ground (BFS), or stop if none is reachable from here
+                step = _step_toward_uncovered(
+                    adjacency, current, coverable - covered
+                )
+                if step is None:
+                    break
+                walk.append(step)
+                current = step
+                continue
+            covered.add(next_edge)
+            progressed = True
+            walk.append(next_edge[1])
+            current = next_edge[1]
+        if not progressed:
+            break  # remaining edges unreachable from start (defensive)
+        paths.append(TestPath(pages=tuple(walk)))
+    if not paths:
+        paths.append(TestPath(pages=(start,)))
+    return TestPlan(
+        starting_url=impl.starting_url,
+        paths=tuple(paths),
+        covered_edges=frozenset(covered),
+        uncoverable_edges=frozenset(uncoverable),
+    )
+
+
+def _step_toward_uncovered(
+    adjacency: dict[str, list[str]],
+    current: str,
+    remaining: set[tuple[str, str]],
+) -> str | None:
+    """First hop of the shortest path to any page with an uncovered
+    outgoing edge; None when no such page is reachable."""
+    targets = {src for src, _dst in remaining}
+    if current in targets:
+        return None  # caller will pick the uncovered edge directly
+    queue = [(current, None)]
+    seen = {current}
+    parents: dict[str, str] = {}
+    while queue:
+        node, _ = queue.pop(0)
+        for neighbour in adjacency[node]:
+            if neighbour in seen:
+                continue
+            seen.add(neighbour)
+            parents[neighbour] = node
+            if neighbour in targets:
+                # walk back to find the first hop
+                hop = neighbour
+                while parents.get(hop) != current:
+                    hop = parents[hop]
+                return hop
+            queue.append((neighbour, node))
+    return None
+
+
+def verify_plan(files: FileStore, plan: TestPlan) -> list[str]:
+    """Replay a plan against the store; returns failure descriptions.
+
+    A step fails when its source page is missing or no longer links to
+    the destination — the regression the plan exists to catch.
+    """
+    failures: list[str] = []
+    for index, path in enumerate(plan.paths):
+        for src, dst in path.edges:
+            if not files.exists(src):
+                failures.append(f"path {index}: page {src!r} missing")
+                continue
+            hrefs = extract_links(files.read(src).content).hrefs
+            if dst not in hrefs:
+                failures.append(
+                    f"path {index}: {src!r} no longer links to {dst!r}"
+                )
+            elif not files.exists(dst):
+                failures.append(
+                    f"path {index}: link target {dst!r} missing"
+                )
+    return failures

@@ -1,0 +1,611 @@
+"""The :class:`Database` facade — the engine's public API.
+
+Binds the catalog, constraint checker, trigger registry, transaction
+manager and (optionally) a write-ahead journal into the interface the
+rest of the reproduction programs against::
+
+    db = Database("mmu")
+    db.create_table(schema)
+    db.insert("scripts", {"script_name": "cs101", ...})
+    rows = db.select("scripts", where=col("author") == "shih")
+    with db.transaction():
+        db.update_pk("scripts", ("cs101",), {"version": 2})
+
+Statements outside an explicit transaction autocommit atomically (a
+CASCADE delete either fully applies or fully rolls back).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.rdb.catalog import Catalog
+from repro.rdb.constraints import Action, ConstraintChecker, ForeignKey
+from repro.rdb.errors import (
+    ForeignKeyError,
+    RdbError,
+    SchemaError,
+    TransactionError,
+)
+from repro.rdb.predicate import Expr
+from repro.rdb.query import aggregate, execute_select, join_rows, plan_select, range_scan
+from repro.rdb.table import Table
+from repro.rdb.transaction import Transaction, TransactionManager, UndoRecord
+from repro.rdb.triggers import TriggerEvent, TriggerRegistry, TriggerTiming
+from repro.rdb.types import Schema
+from repro.rdb.wal import Journal, decode_row, encode_row, read_snapshot, write_snapshot
+from repro.util.validation import check_identifier
+
+__all__ = ["Database"]
+
+
+def _as_pk(pk: Any) -> tuple:
+    """Normalize a scalar or sequence primary key into a tuple."""
+    if isinstance(pk, tuple):
+        return pk
+    if isinstance(pk, list):
+        return tuple(pk)
+    return (pk,)
+
+
+class Database:
+    """An in-memory relational database with optional journaling."""
+
+    def __init__(self, name: str = "db") -> None:
+        check_identifier(name, "database name")
+        self.name = name
+        self._catalog = Catalog()
+        self._checker = ConstraintChecker(self._catalog.tables)
+        self._triggers = TriggerRegistry()
+        self._txn = TransactionManager(on_commit=self._flush_wal)
+        self._journal: Journal | None = None
+        self._wal_buffer: list[list[Any]] = []
+        self._wal_savepoints: dict[str, int] = {}
+        self.statements = 0
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, schema: Schema) -> None:
+        """Create a table from ``schema`` (see :class:`repro.rdb.Schema`)."""
+        self._catalog.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table (refused while other tables reference it)."""
+        self._catalog.drop_table(name)
+
+    def table_names(self) -> list[str]:
+        """Sorted names of all tables."""
+        return self._catalog.names()
+
+    def table(self, name: str) -> Table:
+        """Access the underlying table object (tests, planners)."""
+        return self._catalog.get(name)
+
+    def schema(self, name: str) -> Schema:
+        """The schema of one table."""
+        return self._catalog.get(name).schema
+
+    def create_hash_index(self, table: str, name: str, columns: Sequence[str]) -> None:
+        """Create a secondary hash (equality) index."""
+        self._catalog.get(table).create_hash_index(name, tuple(columns))
+
+    def create_sorted_index(self, table: str, name: str, column: str) -> None:
+        """Create a secondary sorted (range) index."""
+        self._catalog.get(table).create_sorted_index(name, column)
+
+    # ------------------------------------------------------------------
+    # Triggers
+    # ------------------------------------------------------------------
+    def register_trigger(
+        self,
+        name: str,
+        table: str,
+        event: TriggerEvent,
+        timing: TriggerTiming,
+        fn: Callable,
+    ) -> None:
+        """Register a row-level trigger; ``fn(ctx: TriggerContext)``."""
+        self._catalog.get(table)  # raise early on unknown table
+        self._triggers.register(name, table, event, timing, fn)
+
+    def drop_trigger(self, name: str, table: str) -> bool:
+        """Remove a trigger; returns False when it was not registered."""
+        return self._triggers.drop(name, table)
+
+    def triggers_on(self, table: str) -> list[str]:
+        """Names of the triggers registered on ``table``."""
+        return self._triggers.names_for(table)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Open an explicit transaction."""
+        self._txn.begin()
+
+    def commit(self) -> None:
+        """Commit the explicit transaction (journals its ops)."""
+        self._txn.commit()
+
+    def rollback(self) -> None:
+        """Roll back the explicit transaction (undoes its ops)."""
+        self._txn.rollback()
+        self._wal_buffer.clear()
+        self._wal_savepoints.clear()
+
+    def savepoint(self, name: str) -> None:
+        """Mark a named savepoint inside the open transaction."""
+        if self._txn.active is None:
+            raise TransactionError("savepoint outside a transaction")
+        self._txn.active.savepoint(name)
+        self._wal_savepoints[name] = len(self._wal_buffer)
+
+    def rollback_to(self, name: str) -> None:
+        """Undo everything back to a savepoint (transaction stays open)."""
+        if self._txn.active is None:
+            raise TransactionError("rollback_to outside a transaction")
+        self._txn.active.rollback_to(name)
+        # Drop the journal entries for the ops that were just undone so
+        # the committed WAL matches the surviving effects.
+        mark = self._wal_savepoints.get(name, 0)
+        del self._wal_buffer[mark:]
+        self._wal_savepoints = {
+            sp: pos for sp, pos in self._wal_savepoints.items() if pos <= mark
+        }
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn.in_transaction
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[None]:
+        """``with db.transaction():`` — commit on success, rollback on error."""
+        self.begin()
+        try:
+            yield
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(self, table_name: str, values: dict[str, Any]) -> tuple:
+        """Insert one row; returns its primary-key tuple."""
+        table = self._catalog.get(table_name)
+        row = table.schema.normalize_row(values)
+        with self._statement():
+            self._triggers.fire(
+                table_name, TriggerEvent.INSERT, TriggerTiming.BEFORE, None, row
+            )
+            self._checker.check_insert(table, row)
+            rowid = table.apply_insert(row)
+            self._txn.record(UndoRecord("insert", table, rowid, None))
+            self._wal_buffer.append(["insert", table_name, encode_row(row)])
+            self._triggers.fire(
+                table_name, TriggerEvent.INSERT, TriggerTiming.AFTER, None, row
+            )
+        return table.schema.primary_key_of(row)
+
+    def insert_many(
+        self, table_name: str, rows: Sequence[dict[str, Any]]
+    ) -> list[tuple]:
+        """Insert several rows atomically; returns their PK tuples."""
+        with self._statement():
+            return [self.insert(table_name, values) for values in rows]
+
+    def upsert(self, table_name: str, values: dict[str, Any]) -> bool:
+        """Insert, or update the existing row with the same primary key.
+
+        Returns True when a new row was created, False on update.  The
+        values must include every primary-key column.
+        """
+        table = self._catalog.get(table_name)
+        schema = table.schema
+        try:
+            pk = tuple(values[c] for c in schema.primary_key)
+        except KeyError as exc:
+            raise SchemaError(
+                f"upsert into {table_name!r} needs primary-key column "
+                f"{exc.args[0]!r}"
+            ) from None
+        with self._statement():
+            if table.rowid_for_pk(pk) is None:
+                self.insert(table_name, values)
+                return True
+            changes = {
+                k: v for k, v in values.items()
+                if k not in schema.primary_key
+            }
+            if changes:
+                self.update_pk(table_name, pk, changes)
+            return False
+
+    def get(self, table_name: str, pk: Any) -> dict[str, Any] | None:
+        """Fetch one row by primary key (scalar or tuple); None if absent."""
+        table = self._catalog.get(table_name)
+        row = table.row_for_pk(_as_pk(pk))
+        return dict(row) if row is not None else None
+
+    def exists(self, table_name: str, pk: Any) -> bool:
+        """True when a row with primary key ``pk`` exists."""
+        return self.get(table_name, pk) is not None
+
+    def count(self, table_name: str, where: Expr | None = None) -> int:
+        """Count rows matching ``where`` (all rows when None)."""
+        table = self._catalog.get(table_name)
+        if where is None:
+            return len(table)
+        return sum(1 for row in table.rows() if where.eval(row))
+
+    def select(
+        self,
+        table_name: str,
+        where: Expr | None = None,
+        order_by: str | Sequence[str] | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        offset: int = 0,
+        columns: Sequence[str] | None = None,
+        distinct: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Select rows; see :func:`repro.rdb.query.execute_select`."""
+        table = self._catalog.get(table_name)
+        return execute_select(
+            table,
+            where=where,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            offset=offset,
+            columns=columns,
+            distinct=distinct,
+        )
+
+    def explain(self, table_name: str, where: Expr | None = None) -> str:
+        """Describe the access path a select would use."""
+        table = self._catalog.get(table_name)
+        plan, _ = plan_select(table, where)
+        return f"{plan.table}: {plan.access_path} (~{plan.estimated_candidates} rows)"
+
+    def range(
+        self,
+        table_name: str,
+        column: str,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Range query over one column (sorted-index accelerated)."""
+        return range_scan(
+            self._catalog.get(table_name),
+            column,
+            low,
+            high,
+            include_low=include_low,
+            include_high=include_high,
+        )
+
+    def join(
+        self,
+        left_table: str,
+        right_table: str,
+        on: Sequence[tuple[str, str]],
+        *,
+        where_left: Expr | None = None,
+        where_right: Expr | None = None,
+        kind: str = "inner",
+    ) -> list[dict[str, Any]]:
+        """Join two tables; output keys are ``"l.<col>"`` / ``"r.<col>"``."""
+        left_rows = self.select(left_table, where=where_left)
+        right_rows = self.select(right_table, where=where_right)
+        return join_rows(left_rows, right_rows, on, kind=kind)
+
+    def aggregate(
+        self,
+        table_name: str,
+        spec: dict[str, tuple[str, str | None]],
+        where: Expr | None = None,
+        group_by: Sequence[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Grouped aggregation; see :func:`repro.rdb.query.aggregate`."""
+        rows = self.select(table_name, where=where)
+        return aggregate(rows, spec, group_by=group_by)
+
+    def update(
+        self,
+        table_name: str,
+        changes: dict[str, Any],
+        where: Expr | None = None,
+    ) -> int:
+        """Update matching rows; returns the count updated.
+
+        Referenced-key changes follow each child FK's ``on_update``
+        action (RESTRICT / CASCADE / SET NULL).
+        """
+        table = self._catalog.get(table_name)
+        target_rowids = [
+            rowid
+            for rowid, row in list(table.items())
+            if where is None or where.eval(row)
+        ]
+        with self._statement():
+            for rowid in target_rowids:
+                self._update_rowid(table, rowid, changes)
+        return len(target_rowids)
+
+    def update_pk(self, table_name: str, pk: Any, changes: dict[str, Any]) -> bool:
+        """Update the row with primary key ``pk``; False if absent."""
+        table = self._catalog.get(table_name)
+        rowid = table.rowid_for_pk(_as_pk(pk))
+        if rowid is None:
+            return False
+        with self._statement():
+            self._update_rowid(table, rowid, changes)
+        return True
+
+    def delete(self, table_name: str, where: Expr | None = None) -> int:
+        """Delete matching rows (honouring referential actions)."""
+        table = self._catalog.get(table_name)
+        target_rowids = [
+            rowid
+            for rowid, row in list(table.items())
+            if where is None or where.eval(row)
+        ]
+        with self._statement():
+            deleted = 0
+            for rowid in target_rowids:
+                if table.get(rowid) is not None:  # may be cascade-deleted
+                    self._delete_rowid(table, rowid, _seen=set())
+                    deleted += 1
+        return deleted
+
+    def delete_pk(self, table_name: str, pk: Any) -> bool:
+        """Delete the row with primary key ``pk``; False if absent."""
+        table = self._catalog.get(table_name)
+        rowid = table.rowid_for_pk(_as_pk(pk))
+        if rowid is None:
+            return False
+        with self._statement():
+            self._delete_rowid(table, rowid, _seen=set())
+        return True
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal: Journal) -> None:
+        """Journal every committed statement from now on."""
+        self._journal = journal
+
+    def snapshot(self, path: str) -> None:
+        """Dump all rows to ``path`` and truncate the journal (if any)."""
+        if self.in_transaction:
+            raise TransactionError("cannot snapshot inside a transaction")
+        dump = {
+            name: [dict(row) for row in self._catalog.get(name).rows()]
+            for name in self._catalog.names()
+        }
+        write_snapshot(path, dump)
+        if self._journal is not None:
+            self._journal.truncate()
+
+    @classmethod
+    def recover(
+        cls,
+        name: str,
+        schemas: Sequence[Schema],
+        *,
+        snapshot_path: str | None = None,
+        journal_path: str | None = None,
+    ) -> "Database":
+        """Rebuild a database from a snapshot plus journal replay.
+
+        Schemas must be supplied in dependency order (parents first), the
+        same order used to create the original database.  Replay trusts
+        the log: constraints were checked before the ops were journaled,
+        and triggers do not re-fire.
+        """
+        db = cls(name)
+        for schema in schemas:
+            db.create_table(schema)
+        if snapshot_path is not None:
+            import os
+
+            if os.path.exists(snapshot_path):
+                for table_name, rows in read_snapshot(snapshot_path).items():
+                    table = db._catalog.get(table_name)
+                    for row in rows:
+                        table.apply_insert(table.schema.normalize_row(row))
+        if journal_path is not None:
+            for record in Journal.read(journal_path):
+                for op in record["ops"]:
+                    db._replay_op(op)
+        return db
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def commits(self) -> int:
+        return self._txn.commits
+
+    @property
+    def rollbacks(self) -> int:
+        return self._txn.rollbacks
+
+    def stats(self) -> dict[str, Any]:
+        """Engine counters and per-table row counts."""
+        return {
+            "name": self.name,
+            "tables": {
+                name: len(self._catalog.get(name)) for name in self._catalog.names()
+            },
+            "statements": self.statements,
+            "commits": self.commits,
+            "rollbacks": self.rollbacks,
+            "journaled_records": (
+                self._journal.records_written if self._journal else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _statement(self) -> Iterator[None]:
+        """Wrap a statement: reuse the open transaction, or autocommit a
+        scratch one so multi-row statements stay atomic."""
+        self.statements += 1
+        if self._txn.in_transaction:
+            yield
+            return
+        self._txn.begin()
+        try:
+            yield
+        except BaseException:
+            self._txn.rollback()
+            self._wal_buffer.clear()
+            raise
+        else:
+            self._txn.commit()
+
+    def _update_rowid(
+        self, table: Table, rowid: int, changes: dict[str, Any]
+    ) -> None:
+        old_row = table.get(rowid)
+        assert old_row is not None
+        new_row = dict(old_row)
+        for key, value in changes.items():
+            column = table.schema.column(key)  # raises on unknown column
+            if value is not None:
+                value = column.type.validate(value, column=key)
+            new_row[key] = value
+        table_name = table.schema.name
+        self._triggers.fire(
+            table_name, TriggerEvent.UPDATE, TriggerTiming.BEFORE, old_row, new_row
+        )
+        self._checker.check_update(table, rowid, new_row)
+        old_pk = table.schema.primary_key_of(old_row)
+        key_changed = any(
+            old_row[c] != new_row[c]
+            for group in (table.schema.primary_key, *table.schema.unique)
+            for c in group
+        )
+        snapshot = dict(old_row)
+        table.apply_update(rowid, new_row)
+        self._txn.record(UndoRecord("update", table, rowid, snapshot))
+        self._wal_buffer.append(
+            [
+                "update",
+                table_name,
+                [encode_row({"v": v})["v"] for v in old_pk],
+                encode_row({k: new_row[k] for k in changes}),
+            ]
+        )
+        # Referential ON UPDATE actions run after the parent row changed
+        # so cascaded children validate against the *new* key; a RESTRICT
+        # raise aborts the whole statement (the scratch transaction rolls
+        # the parent change back).
+        if key_changed:
+            self._apply_on_update_actions(table, snapshot, new_row)
+        self._triggers.fire(
+            table_name, TriggerEvent.UPDATE, TriggerTiming.AFTER, snapshot, new_row
+        )
+
+    def _apply_on_update_actions(
+        self, parent: Table, old_row: dict[str, Any], new_row: dict[str, Any]
+    ) -> None:
+        parent_name = parent.schema.name
+        for child, fk, child_rowid in self._checker.referencing_children(
+            parent_name, old_row
+        ):
+            # Only act if the columns this FK targets actually changed.
+            if all(old_row[c] == new_row[c] for c in fk.parent_columns):
+                continue
+            if fk.on_update is Action.RESTRICT:
+                raise ForeignKeyError(
+                    f"cannot update key of {parent_name!r}: row is referenced "
+                    f"by {child.schema.name!r} (ON UPDATE RESTRICT)"
+                )
+            if fk.on_update is Action.CASCADE:
+                child_changes = {
+                    cc: new_row[pc] for cc, pc in zip(fk.columns, fk.parent_columns)
+                }
+            else:  # SET_NULL
+                child_changes = {cc: None for cc in fk.columns}
+            self._update_rowid(child, child_rowid, child_changes)
+
+    def _delete_rowid(
+        self, table: Table, rowid: int, _seen: set[tuple[str, int]]
+    ) -> None:
+        key = (table.schema.name, rowid)
+        if key in _seen:
+            return
+        _seen.add(key)
+        row = table.get(rowid)
+        if row is None:
+            return
+        table_name = table.schema.name
+        self._triggers.fire(
+            table_name, TriggerEvent.DELETE, TriggerTiming.BEFORE, row, None
+        )
+        for child, fk, child_rowid in self._checker.referencing_children(
+            table_name, row
+        ):
+            if (child.schema.name, child_rowid) in _seen:
+                continue
+            if fk.on_delete is Action.RESTRICT:
+                raise ForeignKeyError(
+                    f"cannot delete from {table_name!r}: row is referenced by "
+                    f"{child.schema.name!r} (ON DELETE RESTRICT)"
+                )
+            if fk.on_delete is Action.CASCADE:
+                self._delete_rowid(child, child_rowid, _seen)
+            else:  # SET_NULL
+                self._update_rowid(
+                    child, child_rowid, {cc: None for cc in fk.columns}
+                )
+        pk = table.schema.primary_key_of(row)
+        snapshot = dict(row)
+        table.apply_delete(rowid)
+        self._txn.record(UndoRecord("delete", table, rowid, snapshot))
+        self._wal_buffer.append(
+            ["delete", table_name, [encode_row({"v": v})["v"] for v in pk]]
+        )
+        self._triggers.fire(
+            table_name, TriggerEvent.DELETE, TriggerTiming.AFTER, snapshot, None
+        )
+
+    def _flush_wal(self, txn: Transaction) -> None:
+        if self._journal is not None and self._wal_buffer:
+            self._journal.append(txn.txn_id, self._wal_buffer)
+        self._wal_buffer = []
+        self._wal_savepoints = {}
+
+    def _replay_op(self, op: list[Any]) -> None:
+        kind = op[0]
+        table = self._catalog.get(op[1])
+        if kind == "insert":
+            table.apply_insert(table.schema.normalize_row(decode_row(op[2])))
+        elif kind == "update":
+            pk = tuple(decode_row({"v": v})["v"] for v in op[2])
+            rowid = table.rowid_for_pk(pk)
+            if rowid is not None:
+                old = table.get(rowid)
+                assert old is not None
+                new_row = dict(old)
+                new_row.update(decode_row(op[3]))
+                table.apply_update(rowid, new_row)
+        elif kind == "delete":
+            pk = tuple(decode_row({"v": v})["v"] for v in op[2])
+            rowid = table.rowid_for_pk(pk)
+            if rowid is not None:
+                table.apply_delete(rowid)
+        else:  # pragma: no cover - defensive
+            raise RdbError(f"unknown journal op {kind!r}")

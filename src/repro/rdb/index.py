@@ -1,0 +1,188 @@
+"""Secondary indexes: hash (equality) and sorted (range).
+
+Indexes map a key tuple (values of the indexed columns) to the set of
+row ids holding that key.  The table maintains them on every mutation;
+the query planner consults them through :class:`IndexSet`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+__all__ = ["HashIndex", "SortedIndex", "IndexSet"]
+
+
+class HashIndex:
+    """Equality index: key tuple -> set of row ids.
+
+    ``None`` components are allowed in keys (SQL would exclude them from
+    unique enforcement; uniqueness is handled by the constraint layer,
+    not here, so the index simply stores what it is given).
+    """
+
+    __slots__ = ("name", "columns", "_map")
+
+    def __init__(self, name: str, columns: tuple[str, ...]) -> None:
+        if not columns:
+            raise ValueError("an index needs at least one column")
+        self.name = name
+        self.columns = columns
+        self._map: dict[tuple, set[int]] = {}
+
+    def insert(self, key: tuple, rowid: int) -> None:
+        self._map.setdefault(key, set()).add(rowid)
+
+    def remove(self, key: tuple, rowid: int) -> None:
+        rowids = self._map.get(key)
+        if rowids is None:
+            return
+        rowids.discard(rowid)
+        if not rowids:
+            del self._map[key]
+
+    def lookup(self, key: tuple) -> frozenset[int]:
+        return frozenset(self._map.get(key, ()))
+
+    def count(self, key: tuple) -> int:
+        return len(self._map.get(key, ()))
+
+    def keys(self) -> Iterator[tuple]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._map.values())
+
+
+class SortedIndex:
+    """Range index over a single column, ``None`` keys excluded.
+
+    Implemented as parallel sorted lists (keys / rowid lists) maintained
+    with :mod:`bisect` — O(log n) lookup, O(n) worst-case insert, which is
+    fine at the table sizes the document database reaches and keeps the
+    implementation transparent.
+    """
+
+    __slots__ = ("name", "column", "_keys", "_rowids")
+
+    def __init__(self, name: str, column: str) -> None:
+        self.name = name
+        self.column = column
+        self._keys: list[Any] = []
+        self._rowids: list[set[int]] = []
+
+    def insert(self, key: Any, rowid: int) -> None:
+        if key is None:
+            return
+        pos = bisect.bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            self._rowids[pos].add(rowid)
+        else:
+            self._keys.insert(pos, key)
+            self._rowids.insert(pos, {rowid})
+
+    def remove(self, key: Any, rowid: int) -> None:
+        if key is None:
+            return
+        pos = bisect.bisect_left(self._keys, key)
+        if pos >= len(self._keys) or self._keys[pos] != key:
+            return
+        self._rowids[pos].discard(rowid)
+        if not self._rowids[pos]:
+            del self._keys[pos]
+            del self._rowids[pos]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield row ids whose key falls in [low, high] (bounds optional)."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif include_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        for pos in range(start, stop):
+            yield from self._rowids[pos]
+
+    def min_key(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Any:
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._rowids)
+
+
+class IndexSet:
+    """All secondary indexes of one table, keyed by index name."""
+
+    def __init__(self) -> None:
+        self._hash: dict[str, HashIndex] = {}
+        self._sorted: dict[str, SortedIndex] = {}
+
+    # -- registration ------------------------------------------------------
+    def add_hash(self, index: HashIndex) -> None:
+        if index.name in self._hash or index.name in self._sorted:
+            raise ValueError(f"duplicate index name {index.name!r}")
+        self._hash[index.name] = index
+
+    def add_sorted(self, index: SortedIndex) -> None:
+        if index.name in self._hash or index.name in self._sorted:
+            raise ValueError(f"duplicate index name {index.name!r}")
+        self._sorted[index.name] = index
+
+    @property
+    def hash_indexes(self) -> Iterable[HashIndex]:
+        return self._hash.values()
+
+    @property
+    def sorted_indexes(self) -> Iterable[SortedIndex]:
+        return self._sorted.values()
+
+    def hash_index_on(self, columns: tuple[str, ...]) -> HashIndex | None:
+        """Find a hash index whose column tuple is exactly ``columns``."""
+        for index in self._hash.values():
+            if index.columns == columns:
+                return index
+        return None
+
+    def best_hash_index(self, bound_columns: frozenset[str]) -> HashIndex | None:
+        """Pick the widest hash index fully covered by equality bindings."""
+        best: HashIndex | None = None
+        for index in self._hash.values():
+            if set(index.columns) <= bound_columns:
+                if best is None or len(index.columns) > len(best.columns):
+                    best = index
+        return best
+
+    def sorted_index_on(self, column: str) -> SortedIndex | None:
+        for index in self._sorted.values():
+            if index.column == column:
+                return index
+        return None
+
+    # -- maintenance ---------------------------------------------------------
+    def insert_row(self, row: dict[str, Any], rowid: int) -> None:
+        for index in self._hash.values():
+            index.insert(tuple(row[c] for c in index.columns), rowid)
+        for index in self._sorted.values():
+            index.insert(row[index.column], rowid)
+
+    def remove_row(self, row: dict[str, Any], rowid: int) -> None:
+        for index in self._hash.values():
+            index.remove(tuple(row[c] for c in index.columns), rowid)
+        for index in self._sorted.values():
+            index.remove(row[index.column], rowid)

@@ -1,0 +1,400 @@
+"""A composable predicate / expression mini-language.
+
+Queries filter rows with expression trees built from :func:`col` and
+:func:`lit`::
+
+    from repro.rdb import col
+
+    where = (col("author") == "shih") & col("version").ge(2)
+    rows = db.select("scripts", where=where)
+
+Expressions support comparisons, boolean algebra (``&``, ``|``, ``~``),
+``is_null``/``not_null``, ``isin``, ``between``, ``like`` (SQL ``%``/``_``
+wildcards) and ``contains`` for JSON list columns.  Evaluation is
+null-aware in the SQL sense: comparisons against ``None`` are false
+rather than raising.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable
+
+__all__ = ["Expr", "col", "lit"]
+
+
+class Expr:
+    """A node in a predicate expression tree.
+
+    Subclasses implement :meth:`eval` over a row mapping and
+    :meth:`columns` for planner use (index selection inspects equality
+    predicates on indexed columns).
+    """
+
+    def eval(self, row: dict[str, Any]) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- boolean algebra -------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, _as_expr(other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, _as_expr(other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    # -- comparisons -----------------------------------------------------
+    def __eq__(self, other: object) -> "Expr":  # type: ignore[override]
+        return Compare(self, _as_expr(other), "==")
+
+    def __ne__(self, other: object) -> "Expr":  # type: ignore[override]
+        return Compare(self, _as_expr(other), "!=")
+
+    def __lt__(self, other: object) -> "Expr":
+        return Compare(self, _as_expr(other), "<")
+
+    def __le__(self, other: object) -> "Expr":
+        return Compare(self, _as_expr(other), "<=")
+
+    def __gt__(self, other: object) -> "Expr":
+        return Compare(self, _as_expr(other), ">")
+
+    def __ge__(self, other: object) -> "Expr":
+        return Compare(self, _as_expr(other), ">=")
+
+    # Named aliases keep call sites readable when operator overloading
+    # would be ambiguous (e.g. inside comprehensions).
+    def eq(self, other: object) -> "Expr":
+        return self == other
+
+    def ne(self, other: object) -> "Expr":
+        return self != other
+
+    def lt(self, other: object) -> "Expr":
+        return self < other
+
+    def le(self, other: object) -> "Expr":
+        return self <= other
+
+    def gt(self, other: object) -> "Expr":
+        return self > other
+
+    def ge(self, other: object) -> "Expr":
+        return self >= other
+
+    # -- SQL-ish extras ----------------------------------------------------
+    def is_null(self) -> "Expr":
+        return IsNull(self, expect_null=True)
+
+    def not_null(self) -> "Expr":
+        return IsNull(self, expect_null=False)
+
+    def isin(self, values: Iterable[Any]) -> "Expr":
+        return In(self, frozenset(values))
+
+    def between(self, low: Any, high: Any) -> "Expr":
+        """Inclusive range check, null-aware."""
+        return (self >= low) & (self <= high)
+
+    def like(self, pattern: str) -> "Expr":
+        """SQL LIKE with ``%`` (any run) and ``_`` (single char)."""
+        return Like(self, pattern)
+
+    def contains(self, item: Any) -> "Expr":
+        """Membership test for JSON-list or text columns."""
+        return Contains(self, item)
+
+    def apply(self, fn: Callable[[Any], Any], label: str = "apply") -> "Expr":
+        """Escape hatch: arbitrary function of this expression's value."""
+        return Apply(self, fn, label)
+
+    # Exprs are structural; using == for comparison building means they
+    # must hash by identity so they can live in sets during planning.
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return id(self)
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Expr has no truth value; combine predicates with & | ~ "
+            "(not `and`/`or`/`not`)"
+        )
+
+
+class ColumnRef(Expr):
+    """Reference to a column's value in the row under evaluation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def eval(self, row: dict[str, Any]) -> Any:
+        return row[self.name]
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expr):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def eval(self, row: dict[str, Any]) -> Any:
+        return self.value
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Compare(Expr):
+    """Binary comparison; SQL-style null semantics (null compares false,
+    except ``!=`` where a single null yields true only if the other side
+    is non-null... we keep it simple: any null operand makes the
+    comparison false, matching SQL's UNKNOWN treated as not-matching)."""
+
+    __slots__ = ("left", "right", "op")
+
+    def __init__(self, left: Expr, right: Expr, op: str) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        a = self.left.eval(row)
+        b = self.right.eval(row)
+        if a is None or b is None:
+            return False
+        return _OPS[self.op](a, b)
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        return bool(self.left.eval(row)) and bool(self.right.eval(row))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+class Or(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        return bool(self.left.eval(row)) or bool(self.right.eval(row))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+class Not(Expr):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expr) -> None:
+        self.inner = inner
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        return not bool(self.inner.eval(row))
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        return f"~{self.inner!r}"
+
+
+class IsNull(Expr):
+    __slots__ = ("inner", "expect_null")
+
+    def __init__(self, inner: Expr, expect_null: bool) -> None:
+        self.inner = inner
+        self.expect_null = expect_null
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        return (self.inner.eval(row) is None) == self.expect_null
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        suffix = "is_null" if self.expect_null else "not_null"
+        return f"{self.inner!r}.{suffix}()"
+
+
+class In(Expr):
+    __slots__ = ("inner", "values")
+
+    def __init__(self, inner: Expr, values: frozenset) -> None:
+        self.inner = inner
+        self.values = values
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        value = self.inner.eval(row)
+        if value is None:
+            return False
+        try:
+            return value in self.values
+        except TypeError:
+            return False
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}.isin({sorted(map(repr, self.values))})"
+
+
+class Like(Expr):
+    __slots__ = ("inner", "pattern", "_regex")
+
+    def __init__(self, inner: Expr, pattern: str) -> None:
+        self.inner = inner
+        self.pattern = pattern
+        self._regex = _like_to_regex(pattern)
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        value = self.inner.eval(row)
+        if not isinstance(value, str):
+            return False
+        return self._regex.match(value) is not None
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}.like({self.pattern!r})"
+
+
+class Contains(Expr):
+    __slots__ = ("inner", "item")
+
+    def __init__(self, inner: Expr, item: Any) -> None:
+        self.inner = inner
+        self.item = item
+
+    def eval(self, row: dict[str, Any]) -> bool:
+        value = self.inner.eval(row)
+        if value is None:
+            return False
+        try:
+            return self.item in value
+        except TypeError:
+            return False
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}.contains({self.item!r})"
+
+
+class Apply(Expr):
+    __slots__ = ("inner", "fn", "label")
+
+    def __init__(self, inner: Expr, fn: Callable[[Any], Any], label: str) -> None:
+        self.inner = inner
+        self.fn = fn
+        self.label = label
+
+    def eval(self, row: dict[str, Any]) -> Any:
+        return self.fn(self.inner.eval(row))
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}.apply(<{self.label}>)"
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern to an anchored regex."""
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out) + r"\Z", re.DOTALL)
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name in a predicate expression."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Wrap a constant in a predicate expression."""
+    return Literal(value)
+
+
+def _as_expr(value: object) -> Expr:
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+def equality_bindings(expr: Expr) -> dict[str, Any]:
+    """Extract ``column == literal`` bindings from the top-level AND chain.
+
+    Used by the query planner to pick a hash index: walks conjunctions
+    only (an OR branch can't guarantee the binding holds) and collects
+    comparisons of a column against a literal.
+    """
+    bindings: dict[str, Any] = {}
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, And):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, Compare) and node.op == "==":
+            left, right = node.left, node.right
+            if isinstance(left, ColumnRef) and isinstance(right, Literal):
+                bindings[left.name] = right.value
+            elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+                bindings[right.name] = left.value
+    return bindings

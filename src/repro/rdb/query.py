@@ -1,0 +1,241 @@
+"""Query execution: filtered scans, index selection, joins, aggregates.
+
+The planner is intentionally small: if the WHERE clause binds all columns
+of some hash index through top-level equality conjuncts, probe that index
+and filter the residue; otherwise scan the heap.  ORDER BY sorts the
+result (a sorted index accelerates the common "range over one column"
+case via :func:`range_scan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.rdb.errors import UnknownColumnError
+from repro.rdb.predicate import Expr, equality_bindings
+from repro.rdb.table import Table
+
+__all__ = ["SelectPlan", "execute_select", "range_scan", "join_rows", "aggregate"]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectPlan:
+    """How a select will run — exposed for tests and EXPLAIN-style output."""
+
+    table: str
+    access_path: str  # "index:<name>" or "scan"
+    estimated_candidates: int
+
+
+def plan_select(table: Table, where: Expr | None) -> tuple[SelectPlan, Iterable[int]]:
+    """Choose an access path; returns (plan, candidate rowids)."""
+    if where is not None:
+        bindings = equality_bindings(where)
+        index = table.indexes.best_hash_index(frozenset(bindings))
+        if index is not None:
+            key = tuple(bindings[c] for c in index.columns)
+            rowids = index.lookup(key)
+            plan = SelectPlan(
+                table=table.schema.name,
+                access_path=f"index:{index.name}",
+                estimated_candidates=len(rowids),
+            )
+            return plan, rowids
+    plan = SelectPlan(
+        table=table.schema.name, access_path="scan", estimated_candidates=len(table)
+    )
+    return plan, [rowid for rowid, _ in table.items()]
+
+
+def execute_select(
+    table: Table,
+    where: Expr | None = None,
+    order_by: str | Sequence[str] | None = None,
+    descending: bool = False,
+    limit: int | None = None,
+    offset: int = 0,
+    columns: Sequence[str] | None = None,
+    distinct: bool = False,
+) -> list[dict[str, Any]]:
+    """Run a select and return copied row dicts (projected if requested).
+
+    ``distinct`` removes duplicate result rows after projection (first
+    occurrence wins, before LIMIT/OFFSET are applied), matching SQL's
+    SELECT DISTINCT over the projected columns.
+    """
+    if columns is not None:
+        for name in columns:
+            if not table.schema.has_column(name):
+                raise UnknownColumnError(table.schema.name, name)
+    _plan, rowids = plan_select(table, where)
+    rows: list[dict[str, Any]] = []
+    for rowid in rowids:
+        row = table.get(rowid)
+        if row is None:  # pragma: no cover - rowids come from live structures
+            continue
+        if where is None or where.eval(row):
+            rows.append(row)
+    if order_by is not None:
+        keys = (order_by,) if isinstance(order_by, str) else tuple(order_by)
+        for name in keys:
+            if not table.schema.has_column(name):
+                raise UnknownColumnError(table.schema.name, name)
+        # None sorts first (ascending) via the (is-not-none, value) trick.
+        rows.sort(
+            key=lambda r: tuple((r[k] is not None, r[k]) for k in keys),
+            reverse=descending,
+        )
+    elif descending:
+        rows.reverse()
+    if columns is None:
+        out = [dict(row) for row in rows]
+    else:
+        out = [{name: row[name] for name in columns} for row in rows]
+    if distinct:
+        seen: set[tuple] = set()
+        deduped = []
+        for row in out:
+            key = tuple(_hashable(row[name]) for name in sorted(row))
+            if key not in seen:
+                seen.add(key)
+                deduped.append(row)
+        out = deduped
+    if offset:
+        out = out[offset:]
+    if limit is not None:
+        out = out[:limit]
+    return out
+
+
+def _hashable(value: Any) -> Any:
+    """Stable hashable form of a stored value (JSON columns hold lists
+    and dicts, which must participate in DISTINCT)."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+def range_scan(
+    table: Table,
+    column: str,
+    low: Any = None,
+    high: Any = None,
+    *,
+    include_low: bool = True,
+    include_high: bool = True,
+) -> list[dict[str, Any]]:
+    """Range query using a sorted index when available, else a scan."""
+    if not table.schema.has_column(column):
+        raise UnknownColumnError(table.schema.name, column)
+    index = table.indexes.sorted_index_on(column)
+    if index is not None:
+        return [
+            dict(table.get(rowid))  # type: ignore[arg-type]
+            for rowid in index.range(
+                low, high, include_low=include_low, include_high=include_high
+            )
+        ]
+    out: list[dict[str, Any]] = []
+    for row in table.rows():
+        value = row[column]
+        if value is None:
+            continue
+        if low is not None and (value < low or (value == low and not include_low)):
+            continue
+        if high is not None and (value > high or (value == high and not include_high)):
+            continue
+        out.append(dict(row))
+    return out
+
+
+def join_rows(
+    left_rows: Iterable[dict[str, Any]],
+    right_rows: Iterable[dict[str, Any]],
+    on: Sequence[tuple[str, str]],
+    *,
+    left_prefix: str = "l",
+    right_prefix: str = "r",
+    kind: str = "inner",
+) -> list[dict[str, Any]]:
+    """Hash join of two row iterables on (left_col, right_col) pairs.
+
+    Output rows carry prefixed keys (``"<prefix>.<column>"``) so name
+    collisions between the inputs are harmless.  ``kind`` is ``"inner"``
+    or ``"left"`` (left-outer: unmatched left rows appear with ``None``
+    right columns).
+    """
+    if kind not in ("inner", "left"):
+        raise ValueError(f"join kind must be 'inner' or 'left', got {kind!r}")
+    right_list = list(right_rows)
+    buckets: dict[tuple, list[dict[str, Any]]] = {}
+    for row in right_list:
+        key = tuple(row[rc] for _lc, rc in on)
+        buckets.setdefault(key, []).append(row)
+    right_columns: set[str] = set()
+    for row in right_list:
+        right_columns.update(row)
+    out: list[dict[str, Any]] = []
+    for left in left_rows:
+        key = tuple(left[lc] for lc, _rc in on)
+        matches = buckets.get(key, []) if None not in key else []
+        if matches:
+            for right in matches:
+                merged = {f"{left_prefix}.{k}": v for k, v in left.items()}
+                merged.update({f"{right_prefix}.{k}": v for k, v in right.items()})
+                out.append(merged)
+        elif kind == "left":
+            merged = {f"{left_prefix}.{k}": v for k, v in left.items()}
+            merged.update({f"{right_prefix}.{k}": None for k in right_columns})
+            out.append(merged)
+    return out
+
+
+_AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": len,
+    "sum": lambda values: sum(values) if values else 0,
+    "avg": lambda values: (sum(values) / len(values)) if values else None,
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+}
+
+
+def aggregate(
+    rows: Iterable[dict[str, Any]],
+    spec: dict[str, tuple[str, str | None]],
+    group_by: Sequence[str] | None = None,
+) -> list[dict[str, Any]]:
+    """Grouped aggregation.
+
+    ``spec`` maps output names to ``(function, column)`` where function is
+    one of count/sum/avg/min/max and column is ``None`` for ``count(*)``.
+    Null column values are excluded from every aggregate except
+    ``count(*)``, matching SQL.
+
+    >>> aggregate([{"a": 1}, {"a": 3}], {"n": ("count", None), "m": ("max", "a")})
+    [{'n': 2, 'm': 3}]
+    """
+    for out_name, (fn_name, _column) in spec.items():
+        if fn_name not in _AGGREGATES:
+            raise ValueError(f"unknown aggregate {fn_name!r} for {out_name!r}")
+    groups: dict[tuple, list[dict[str, Any]]] = {}
+    group_cols = tuple(group_by) if group_by else ()
+    for row in rows:
+        key = tuple(row[c] for c in group_cols)
+        groups.setdefault(key, []).append(row)
+    if not groups and not group_cols:
+        groups[()] = []
+    out: list[dict[str, Any]] = []
+    for key in sorted(groups, key=lambda k: tuple((v is not None, v) for v in k)):
+        bucket = groups[key]
+        result: dict[str, Any] = dict(zip(group_cols, key))
+        for out_name, (fn_name, column) in spec.items():
+            if column is None:
+                values: list[Any] = bucket
+            else:
+                values = [row[column] for row in bucket if row[column] is not None]
+            result[out_name] = _AGGREGATES[fn_name](values)
+        out.append(result)
+    return out

@@ -1,0 +1,106 @@
+"""Heap table storage with automatic key indexes.
+
+A :class:`Table` stores normalized rows in a dict keyed by a
+monotonically increasing row id, and maintains an :class:`IndexSet`
+containing (at minimum) a hash index on the primary key, one per unique
+set, and one per foreign key's child columns (so referential-action
+lookups are O(1)).  The table applies mutations mechanically; constraint
+checking and trigger firing belong to the engine layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.rdb.index import HashIndex, IndexSet, SortedIndex
+from repro.rdb.types import Schema
+
+__all__ = ["Table"]
+
+PK_INDEX_NAME = "__pk__"
+
+
+class Table:
+    """One relational table: schema + heap rows + indexes."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_rowid = 1
+        self.indexes = IndexSet()
+        self.indexes.add_hash(HashIndex(PK_INDEX_NAME, schema.primary_key))
+        for pos, columns in enumerate(schema.unique):
+            if self.indexes.hash_index_on(columns) is None:
+                self.indexes.add_hash(HashIndex(f"__unique_{pos}__", columns))
+        for pos, fk in enumerate(schema.foreign_keys):
+            if self.indexes.hash_index_on(fk.columns) is None:
+                self.indexes.add_hash(HashIndex(f"__fk_{pos}__", fk.columns))
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate row dicts (live references; callers must not mutate)."""
+        return iter(self._rows.values())
+
+    def items(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        return iter(self._rows.items())
+
+    def get(self, rowid: int) -> dict[str, Any] | None:
+        return self._rows.get(rowid)
+
+    def rowid_for_pk(self, key: tuple) -> int | None:
+        """Row id holding primary key ``key``, or None."""
+        index = self.indexes.hash_index_on(self.schema.primary_key)
+        assert index is not None
+        holders = index.lookup(key)
+        if not holders:
+            return None
+        # PK uniqueness is enforced before rows land, so at most one.
+        return next(iter(holders))
+
+    def row_for_pk(self, key: tuple) -> dict[str, Any] | None:
+        rowid = self.rowid_for_pk(key)
+        return None if rowid is None else self._rows[rowid]
+
+    # -- secondary index management ---------------------------------------
+    def create_hash_index(self, name: str, columns: tuple[str, ...]) -> None:
+        """Create (and backfill) a named hash index."""
+        for column in columns:
+            self.schema.column(column)  # raises on unknown column
+        index = HashIndex(name, columns)
+        for rowid, row in self._rows.items():
+            index.insert(tuple(row[c] for c in columns), rowid)
+        self.indexes.add_hash(index)
+
+    def create_sorted_index(self, name: str, column: str) -> None:
+        """Create (and backfill) a named sorted index on one column."""
+        self.schema.column(column)
+        index = SortedIndex(name, column)
+        for rowid, row in self._rows.items():
+            index.insert(row[column], rowid)
+        self.indexes.add_sorted(index)
+
+    # -- raw mutations (no constraint checks) -------------------------------
+    def apply_insert(self, row: dict[str, Any]) -> int:
+        """Store a normalized row; returns the new row id."""
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        self.indexes.insert_row(row, rowid)
+        return rowid
+
+    def apply_update(self, rowid: int, new_row: dict[str, Any]) -> dict[str, Any]:
+        """Replace the row at ``rowid``; returns the old row."""
+        old_row = self._rows[rowid]
+        self.indexes.remove_row(old_row, rowid)
+        self._rows[rowid] = new_row
+        self.indexes.insert_row(new_row, rowid)
+        return old_row
+
+    def apply_delete(self, rowid: int) -> dict[str, Any]:
+        """Remove the row at ``rowid``; returns it."""
+        row = self._rows.pop(rowid)
+        self.indexes.remove_row(row, rowid)
+        return row

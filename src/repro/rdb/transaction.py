@@ -1,0 +1,140 @@
+"""Undo-log transactions with savepoints.
+
+The engine records the inverse of every applied mutation in the active
+transaction's undo log; ``rollback`` replays the log backwards.  Without
+an explicit ``begin`` the engine autocommits each statement, but still
+routes it through a one-statement transaction so a multi-row statement
+(e.g. a CASCADE delete) is atomic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.rdb.errors import TransactionError
+
+if TYPE_CHECKING:
+    from repro.rdb.table import Table
+
+__all__ = ["UndoRecord", "Transaction", "TransactionManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class UndoRecord:
+    """One inverse operation.
+
+    ``kind`` is the *forward* operation; undo applies its inverse:
+    ``insert`` -> delete the rowid, ``update`` -> restore ``old_row``,
+    ``delete`` -> reinsert ``old_row`` under the same rowid.
+    """
+
+    kind: str  # "insert" | "update" | "delete"
+    table: "Table"
+    rowid: int
+    old_row: dict[str, Any] | None
+
+    def undo(self) -> None:
+        if self.kind == "insert":
+            self.table.apply_delete(self.rowid)
+        elif self.kind == "update":
+            assert self.old_row is not None
+            self.table.apply_update(self.rowid, self.old_row)
+        elif self.kind == "delete":
+            assert self.old_row is not None
+            # Reinsert at the original rowid to keep later undo records
+            # (which reference rowids) coherent.
+            self.table._rows[self.rowid] = self.old_row
+            self.table.indexes.insert_row(self.old_row, self.rowid)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown undo kind {self.kind!r}")
+
+
+@dataclass
+class Transaction:
+    """An open transaction: its undo log and named savepoints."""
+
+    txn_id: int
+    undo_log: list[UndoRecord] = field(default_factory=list)
+    savepoints: dict[str, int] = field(default_factory=dict)
+
+    def record(self, record: UndoRecord) -> None:
+        self.undo_log.append(record)
+
+    def savepoint(self, name: str) -> None:
+        self.savepoints[name] = len(self.undo_log)
+
+    def rollback_to(self, name: str) -> None:
+        try:
+            mark = self.savepoints[name]
+        except KeyError:
+            raise TransactionError(f"unknown savepoint {name!r}") from None
+        while len(self.undo_log) > mark:
+            self.undo_log.pop().undo()
+        # Later savepoints are invalidated by rolling back past them.
+        self.savepoints = {
+            sp_name: pos
+            for sp_name, pos in self.savepoints.items()
+            if pos <= mark
+        }
+
+    def rollback_all(self) -> None:
+        while self.undo_log:
+            self.undo_log.pop().undo()
+        self.savepoints.clear()
+
+
+class TransactionManager:
+    """Owns the (single) active transaction of a Database.
+
+    The engine is single-threaded by design — concurrency in the paper's
+    system is handled at the object level by :mod:`repro.core.locking`,
+    not by the storage engine — so one active transaction suffices.
+    """
+
+    def __init__(self, on_commit: Callable[[Transaction], None] | None = None) -> None:
+        self._active: Transaction | None = None
+        self._next_id = 1
+        self._on_commit = on_commit
+        self.commits = 0
+        self.rollbacks = 0
+
+    @property
+    def active(self) -> Transaction | None:
+        return self._active
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._active is not None
+
+    def begin(self) -> Transaction:
+        if self._active is not None:
+            raise TransactionError(
+                "a transaction is already active (use savepoints for nesting)"
+            )
+        self._active = Transaction(self._next_id)
+        self._next_id += 1
+        return self._active
+
+    def commit(self) -> None:
+        if self._active is None:
+            raise TransactionError("commit without begin")
+        txn = self._active
+        self._active = None
+        self.commits += 1
+        if self._on_commit is not None:
+            self._on_commit(txn)
+
+    def rollback(self) -> None:
+        if self._active is None:
+            raise TransactionError("rollback without begin")
+        txn = self._active
+        txn.rollback_all()
+        self._active = None
+        self.rollbacks += 1
+
+    def record(self, record: UndoRecord) -> None:
+        """Record an undo entry if a transaction is open (no-op otherwise:
+        autocommitted statements manage their own scratch transaction)."""
+        if self._active is not None:
+            self._active.record(record)

@@ -1,0 +1,233 @@
+"""Column types, columns and table schemas.
+
+A :class:`Schema` is a declarative description of one table: named typed
+columns, a primary key, optional unique constraints and foreign keys.
+Values are plain Python objects; :func:`ColumnType.validate` performs
+type checking and the mild coercions (int -> float) a SQL engine would.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.rdb.errors import SchemaError
+from repro.util.validation import check_identifier
+
+if TYPE_CHECKING:
+    from repro.rdb.constraints import ForeignKey
+
+__all__ = ["ColumnType", "Column", "Schema"]
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    ``JSON`` stores lists/dicts of JSON-safe values and is used for the
+    multi-valued attributes the paper's tables carry (e.g. the list of
+    "bad URLs" in a bug report).  ``BYTES`` stores raw blobs — the engine
+    keeps only small ones; large multimedia lives in the BLOB store.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    DATETIME = "datetime"
+    JSON = "json"
+    BYTES = "bytes"
+
+    def validate(self, value: Any, *, column: str) -> Any:
+        """Check (and mildly coerce) ``value`` for this type.
+
+        Returns the stored representation.  Raises :class:`TypeError` on
+        mismatch.  ``None`` is handled by the caller (nullability is a
+        column property, not a type property).
+        """
+        if self is ColumnType.INT:
+            # bool is an int subclass; reject it to avoid silent surprises.
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(f"column {column!r} expects int, got {value!r}")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(f"column {column!r} expects float, got {value!r}")
+            return float(value)
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise TypeError(f"column {column!r} expects str, got {value!r}")
+            return value
+        if self is ColumnType.BOOL:
+            if not isinstance(value, bool):
+                raise TypeError(f"column {column!r} expects bool, got {value!r}")
+            return value
+        if self is ColumnType.DATETIME:
+            if not isinstance(value, _dt.datetime):
+                raise TypeError(
+                    f"column {column!r} expects datetime, got {value!r}"
+                )
+            return value
+        if self is ColumnType.JSON:
+            _check_json(value, column)
+            return value
+        if self is ColumnType.BYTES:
+            if not isinstance(value, (bytes, bytearray)):
+                raise TypeError(f"column {column!r} expects bytes, got {value!r}")
+            return bytes(value)
+        raise AssertionError(f"unhandled column type {self!r}")
+
+
+def _check_json(value: Any, column: str, _depth: int = 0) -> None:
+    """Recursively validate that ``value`` is JSON-representable."""
+    if _depth > 32:
+        raise TypeError(f"column {column!r}: JSON value nested too deeply")
+    if value is None or isinstance(value, (str, bool)):
+        return
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _check_json(item, column, _depth + 1)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"column {column!r}: JSON object keys must be str, got {key!r}"
+                )
+            _check_json(item, column, _depth + 1)
+        return
+    raise TypeError(f"column {column!r} expects a JSON value, got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One column of a table schema.
+
+    ``check`` is an optional CHECK constraint: a predicate over the
+    (non-null) column value; rows violating it are rejected with
+    :class:`~repro.rdb.errors.CheckError`.  ``check_label`` names the
+    constraint in error messages (defaults to ``check_<column>``).
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    default: Any = None
+    check: Callable[[Any], bool] | None = None
+    check_label: str | None = None
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "column name")
+        if self.default is not None:
+            # Validate the default eagerly so schema errors surface at
+            # CREATE TABLE time rather than on the first insert.
+            self.type.validate(self.default, column=self.name)
+            if self.check is not None and not self.check(self.default):
+                raise SchemaError(
+                    f"column {self.name!r}: default {self.default!r} "
+                    "violates its own CHECK constraint"
+                )
+
+    @property
+    def constraint_name(self) -> str:
+        return self.check_label or f"check_{self.name}"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A table schema: columns, primary key, unique sets, foreign keys."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...]
+    unique: tuple[tuple[str, ...], ...] = ()
+    foreign_keys: tuple["ForeignKey", ...] = ()
+    _by_name: dict[str, Column] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "table name")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        by_name: dict[str, Column] = {}
+        for column in self.columns:
+            if column.name in by_name:
+                raise SchemaError(
+                    f"table {self.name!r} defines column {column.name!r} twice"
+                )
+            by_name[column.name] = column
+        object.__setattr__(self, "_by_name", by_name)
+        if not self.primary_key:
+            raise SchemaError(f"table {self.name!r} must declare a primary key")
+        for group in (self.primary_key, *self.unique):
+            for column_name in group:
+                if column_name not in by_name:
+                    raise SchemaError(
+                        f"table {self.name!r}: key column {column_name!r} "
+                        "is not a column of the table"
+                    )
+        for pk_col in self.primary_key:
+            if by_name[pk_col].nullable:
+                raise SchemaError(
+                    f"table {self.name!r}: primary-key column {pk_col!r} "
+                    "must be declared nullable=False"
+                )
+        for fk in self.foreign_keys:
+            for column_name in fk.columns:
+                if column_name not in by_name:
+                    raise SchemaError(
+                        f"table {self.name!r}: foreign-key column "
+                        f"{column_name!r} is not a column of the table"
+                    )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name; raises :class:`SchemaError` if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def normalize_row(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Validate ``values`` against the schema and fill defaults.
+
+        Returns a fresh dict with exactly one entry per schema column.
+        Unknown keys raise; missing keys take the column default (which
+        may be ``None``).  NOT NULL enforcement happens later in the
+        constraint checker so it participates in the error hierarchy.
+        """
+        for key in values:
+            if key not in self._by_name:
+                raise SchemaError(
+                    f"table {self.name!r} has no column {key!r}"
+                )
+        row: dict[str, Any] = {}
+        for column in self.columns:
+            if column.name in values:
+                value = values[column.name]
+            else:
+                value = column.default
+            if value is not None:
+                value = column.type.validate(value, column=column.name)
+            row[column.name] = value
+        return row
+
+    def key_of(self, row: dict[str, Any], columns: tuple[str, ...]) -> tuple:
+        """Extract the tuple key for ``columns`` from a normalized row."""
+        return tuple(row[name] for name in columns)
+
+    def primary_key_of(self, row: dict[str, Any]) -> tuple:
+        """Extract the primary-key tuple from a normalized row."""
+        return self.key_of(row, self.primary_key)

@@ -1,0 +1,137 @@
+"""Write-ahead journal and snapshot recovery.
+
+Durability model: the engine buffers the logical operations of the
+active transaction and, at commit, appends them to the journal as one
+JSON line (``{"txn": id, "ops": [...]}``).  A crash therefore loses at
+most the uncommitted transaction.  A snapshot dumps every table's rows
+to a JSON file and truncates the journal; recovery loads the snapshot
+(if any) and replays committed journal lines in order.
+
+Values are encoded JSON-safe: ``datetime`` as ``{"$dt": iso}``,
+``bytes`` as ``{"$b64": ...}``; everything else the engine stores is
+already JSON-representable.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime as _dt
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["encode_value", "decode_value", "Journal", "write_snapshot", "read_snapshot"]
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one stored value into a JSON-safe form."""
+    if isinstance(value, _dt.datetime):
+        return {"$dt": value.isoformat()}
+    if isinstance(value, (bytes, bytearray)):
+        return {"$b64": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: encode_value(v) for k, v in value.items()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"$dt"}:
+            return _dt.datetime.fromisoformat(value["$dt"])
+        if set(value) == {"$b64"}:
+            return base64.b64decode(value["$b64"])
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+def encode_row(row: dict[str, Any]) -> dict[str, Any]:
+    return {k: encode_value(v) for k, v in row.items()}
+
+
+def decode_row(row: dict[str, Any]) -> dict[str, Any]:
+    return {k: decode_value(v) for k, v in row.items()}
+
+
+class Journal:
+    """An append-only file of committed transactions.
+
+    Each line is a JSON object ``{"txn": int, "ops": [op, ...]}`` where an
+    op is ``["insert", table, row]``, ``["update", table, pk, changes]``
+    or ``["delete", table, pk]`` with pk as a list.  Lines are written
+    with an ``fsync``-less flush — adequate for a simulation substrate,
+    and the recovery path tolerates a truncated trailing line.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self.records_written = 0
+
+    def append(self, txn_id: int, ops: list[list[Any]]) -> None:
+        """Append one committed transaction's ops."""
+        line = json.dumps({"txn": txn_id, "ops": ops}, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def truncate(self) -> None:
+        """Discard all journal contents (used after a snapshot)."""
+        self._fh.close()
+        self._fh = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @staticmethod
+    def read(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
+        """Yield committed transaction records; a torn final line (crash
+        mid-append) is skipped silently."""
+        path = Path(path)
+        if not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    return  # torn tail — everything before it is intact
+
+
+def write_snapshot(
+    path: str | os.PathLike[str], tables: dict[str, list[dict[str, Any]]]
+) -> None:
+    """Atomically dump ``{table: [row, ...]}`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        name: [encode_row(row) for row in rows] for name, rows in tables.items()
+    }
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def read_snapshot(path: str | os.PathLike[str]) -> dict[str, list[dict[str, Any]]]:
+    """Load a snapshot written by :func:`write_snapshot`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {
+        name: [decode_row(row) for row in rows] for name, rows in payload.items()
+    }

@@ -1,0 +1,36 @@
+"""The three-tier architecture (paper §1 and abstract).
+
+"The system is implemented as a three-tier architecture": Web-browser
+clients, the **class administrator** middle tier ("performs book
+keeping of course registration and network information, which serves as
+the front end of the virtual course DBMS"), and the DBMS reached
+"using JDBC (or ODBC) as the open database connection".
+
+* :mod:`repro.tiers.protocol` — the request/response wire objects.
+* :mod:`repro.tiers.connection` — the ODBC-style connection adapter
+  over :mod:`repro.rdb`.
+* :mod:`repro.tiers.server` — the class administrator: sessions, roles,
+  admission records, registrations, transcripts, network bookkeeping,
+  and routing into the Web document DB and the virtual library.
+* :mod:`repro.tiers.client` — typed student / instructor /
+  administrator clients.
+"""
+
+from repro.tiers.protocol import Request, Response, Role
+from repro.tiers.connection import OpenDatabaseConnection
+from repro.tiers.server import ClassAdministrator
+from repro.tiers.client import AdministratorClient, InstructorClient, StudentClient
+from repro.tiers.remote import RemoteTierClient, RemoteTierServer
+
+__all__ = [
+    "RemoteTierClient",
+    "RemoteTierServer",
+    "Request",
+    "Response",
+    "Role",
+    "OpenDatabaseConnection",
+    "ClassAdministrator",
+    "AdministratorClient",
+    "InstructorClient",
+    "StudentClient",
+]

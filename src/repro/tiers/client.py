@@ -1,0 +1,176 @@
+"""Typed clients for the three user perspectives.
+
+"Types of users include students, instructors, and administrators."
+Each client wraps the request/response protocol with methods for the
+operations its role may perform; a standard Web browser is the paper's
+only client requirement, and these classes model what its forms/applets
+would send.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.tiers.protocol import Request, Response, Role
+from repro.tiers.server import ClassAdministrator
+
+__all__ = ["BaseClient", "StudentClient", "InstructorClient", "AdministratorClient"]
+
+
+class BaseClient:
+    """Session management shared by all roles."""
+
+    role: Role = Role.STUDENT
+
+    def __init__(self, server: ClassAdministrator, user: str) -> None:
+        self.server = server
+        self.user = user
+        self.session_id: str | None = None
+
+    # -- plumbing ----------------------------------------------------------
+    def _call(self, op: str, **params: Any) -> Any:
+        response = self.server.handle(
+            Request(op=op, session_id=self.session_id, params=params)
+        )
+        return response.unwrap()
+
+    def login(self) -> str:
+        response: Response = self.server.handle(
+            Request(
+                op="login",
+                session_id=None,
+                params={"user": self.user, "role": self.role.value},
+            )
+        )
+        data = response.unwrap()
+        self.session_id = data["session_id"]
+        return self.session_id
+
+    def logout(self) -> None:
+        if self.session_id is not None:
+            self._call("logout")
+            self.session_id = None
+
+    def register_station(self, station: str, address: str = "") -> dict:
+        """Report which workstation this user sits at (network info)."""
+        return self._call("register_station", station=station, address=address)
+
+    def search_library(
+        self,
+        keywords: str | None = None,
+        instructor: str | None = None,
+        course: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        return self._call(
+            "search_library",
+            keywords=keywords,
+            instructor=instructor,
+            course=course,
+            limit=limit,
+        )
+
+
+class StudentClient(BaseClient):
+    """A student at a Web browser."""
+
+    role = Role.STUDENT
+
+    def enroll(self, course_number: str) -> dict:
+        return self._call("enroll", course_number=course_number)
+
+    def transcript(self) -> list[dict]:
+        return self._call("transcript")
+
+    def check_out(self, doc_id: str, time: float | None = None) -> dict:
+        params: dict[str, Any] = {"doc_id": doc_id}
+        if time is not None:
+            params["time"] = time
+        return self._call("check_out", **params)
+
+    def check_in(self, doc_id: str, time: float | None = None) -> dict:
+        params: dict[str, Any] = {"doc_id": doc_id}
+        if time is not None:
+            params["time"] = time
+        return self._call("check_in", **params)
+
+
+class InstructorClient(BaseClient):
+    """An instructor authoring and publishing virtual courses."""
+
+    role = Role.INSTRUCTOR
+
+    def register_course(self, course_number: str, title: str) -> dict:
+        return self._call(
+            "register_course", course_number=course_number, title=title
+        )
+
+    def publish(
+        self,
+        doc_id: str,
+        title: str,
+        course_number: str,
+        keywords: tuple[str, ...] = (),
+        starting_url: str | None = None,
+        size_bytes: int = 0,
+    ) -> dict:
+        return self._call(
+            "publish_course_document",
+            doc_id=doc_id,
+            title=title,
+            course_number=course_number,
+            keywords=list(keywords),
+            starting_url=starting_url,
+            size_bytes=size_bytes,
+        )
+
+    def withdraw(self, doc_id: str) -> bool:
+        return self._call("withdraw_course_document", doc_id=doc_id)
+
+    def record_grade(
+        self, student_id: str, course_number: str, grade: float
+    ) -> bool:
+        return self._call(
+            "record_grade",
+            student_id=student_id,
+            course_number=course_number,
+            grade=grade,
+        )
+
+    def roster(self, course_number: str) -> list[str]:
+        return self._call("roster", course_number=course_number)
+
+    def assessment_report(self) -> list[dict]:
+        return self._call("assessment_report")
+
+
+class AdministratorClient(BaseClient):
+    """A university administrator."""
+
+    role = Role.ADMINISTRATOR
+
+    def admit_student(self, student_id: str, name: str | None = None) -> dict:
+        return self._call(
+            "admit_student", student_id=student_id, name=name or student_id
+        )
+
+    def register_course(
+        self, course_number: str, title: str, instructor: str
+    ) -> dict:
+        return self._call(
+            "register_course",
+            course_number=course_number,
+            title=title,
+            instructor=instructor,
+        )
+
+    def enroll(self, student_id: str, course_number: str) -> dict:
+        return self._call(
+            "enroll", student_id=student_id, course_number=course_number
+        )
+
+    def transcript_of(self, student_id: str) -> list[dict]:
+        return self._call("transcript", student_id=student_id)
+
+    def assessment_report(self) -> list[dict]:
+        return self._call("assessment_report")

@@ -1,0 +1,134 @@
+"""The JDBC/ODBC-style open database connection.
+
+"The implementation of the virtual course DBMS uses JDBC (or ODBC) as
+the open database connection to some commercially available database
+systems."  :class:`OpenDatabaseConnection` is that seam: a DB-API-ish
+cursor facade over :class:`repro.rdb.Database`, so the middle tier
+depends only on the connection contract — swapping in a different
+engine means re-implementing this one adapter, exactly the paper's
+"adaptive to open architecture / database standard" goal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.rdb import Database, Expr
+
+__all__ = ["OpenDatabaseConnection", "Cursor"]
+
+
+class Cursor:
+    """A DB-API-flavoured cursor: execute, fetchone/fetchall, rowcount."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._results: list[dict[str, Any]] = []
+        self._pos = 0
+        self.rowcount = -1
+
+    # -- statements ----------------------------------------------------------
+    def select(
+        self,
+        table: str,
+        where: Expr | None = None,
+        order_by: str | Sequence[str] | None = None,
+        limit: int | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> "Cursor":
+        self._results = self._db.select(
+            table, where=where, order_by=order_by, limit=limit, columns=columns
+        )
+        self._pos = 0
+        self.rowcount = len(self._results)
+        return self
+
+    def insert(self, table: str, values: dict[str, Any]) -> "Cursor":
+        self._db.insert(table, values)
+        self._results = []
+        self._pos = 0
+        self.rowcount = 1
+        return self
+
+    def update(
+        self, table: str, changes: dict[str, Any], where: Expr | None = None
+    ) -> "Cursor":
+        self.rowcount = self._db.update(table, changes, where=where)
+        self._results = []
+        self._pos = 0
+        return self
+
+    def delete(self, table: str, where: Expr | None = None) -> "Cursor":
+        self.rowcount = self._db.delete(table, where=where)
+        self._results = []
+        self._pos = 0
+        return self
+
+    # -- fetching ----------------------------------------------------------
+    def fetchone(self) -> dict[str, Any] | None:
+        if self._pos >= len(self._results):
+            return None
+        row = self._results[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchall(self) -> list[dict[str, Any]]:
+        rows = self._results[self._pos:]
+        self._pos = len(self._results)
+        return rows
+
+    def fetchmany(self, size: int) -> list[dict[str, Any]]:
+        rows = self._results[self._pos : self._pos + size]
+        self._pos += len(rows)
+        return rows
+
+
+class OpenDatabaseConnection:
+    """A connection to one engine, with transaction demarcation."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._closed = False
+        self.cursors_opened = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def cursor(self) -> Cursor:
+        self._check_open()
+        self.cursors_opened += 1
+        return Cursor(self._db)
+
+    def begin(self) -> None:
+        self._check_open()
+        self._db.begin()
+
+    def commit(self) -> None:
+        self._check_open()
+        if self._db.in_transaction:
+            self._db.commit()
+
+    def rollback(self) -> None:
+        self._check_open()
+        if self._db.in_transaction:
+            self._db.rollback()
+
+    def close(self) -> None:
+        if not self._closed and self._db.in_transaction:
+            self._db.rollback()
+        self._closed = True
+
+    def __enter__(self) -> "OpenDatabaseConnection":
+        return self
+
+    def __exit__(self, exc_type: object, *_: object) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("connection is closed")

@@ -1,0 +1,92 @@
+"""Request/response wire objects of the three-tier protocol.
+
+Clients speak to the class administrator exclusively through
+:class:`Request` / :class:`Response` — never by touching the DBMS —
+which is what makes the middle tier a real tier.  ``Request.op`` names
+an operation from :data:`OPERATIONS`; the server validates the op, the
+session and the caller's role before dispatch.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Role", "Request", "Response", "OPERATIONS"]
+
+
+class Role(enum.Enum):
+    """The paper's three user perspectives."""
+
+    STUDENT = "student"
+    INSTRUCTOR = "instructor"
+    ADMINISTRATOR = "administrator"
+
+
+#: op name -> roles allowed to invoke it
+OPERATIONS: dict[str, frozenset[Role]] = {
+    # session
+    "login": frozenset(Role),
+    "logout": frozenset(Role),
+    # administration ("admission records, transcripts, and so on")
+    "admit_student": frozenset({Role.ADMINISTRATOR}),
+    "register_course": frozenset({Role.ADMINISTRATOR, Role.INSTRUCTOR}),
+    "enroll": frozenset({Role.ADMINISTRATOR, Role.STUDENT}),
+    "record_grade": frozenset({Role.INSTRUCTOR, Role.ADMINISTRATOR}),
+    "transcript": frozenset(Role),  # students may check their own
+    "register_station": frozenset(Role),
+    "roster": frozenset({Role.INSTRUCTOR, Role.ADMINISTRATOR}),
+    # course authoring (instructor tools)
+    "publish_course_document": frozenset({Role.INSTRUCTOR}),
+    "withdraw_course_document": frozenset({Role.INSTRUCTOR}),
+    # virtual library (student tools)
+    "search_library": frozenset(Role),
+    "check_out": frozenset({Role.STUDENT}),
+    "check_in": frozenset({Role.STUDENT}),
+    "assessment_report": frozenset({Role.INSTRUCTOR, Role.ADMINISTRATOR}),
+}
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One client -> middle-tier call."""
+
+    op: str
+    session_id: str | None
+    params: dict[str, Any] = field(default_factory=dict)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate bytes on the wire (for network-mode simulations)."""
+        return 64 + sum(
+            len(str(k)) + len(str(v)) for k, v in self.params.items()
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One middle-tier -> client reply."""
+
+    request_id: int
+    ok: bool
+    data: Any = None
+    error: str | None = None
+
+    @classmethod
+    def success(cls, request: Request, data: Any = None) -> "Response":
+        return cls(request_id=request.request_id, ok=True, data=data)
+
+    @classmethod
+    def failure(cls, request: Request, error: str) -> "Response":
+        return cls(request_id=request.request_id, ok=False, error=error)
+
+    def unwrap(self) -> Any:
+        """Data on success; raises on failure (client convenience)."""
+        if not self.ok:
+            raise RuntimeError(f"request failed: {self.error}")
+        return self.data

@@ -1,0 +1,151 @@
+"""The three-tier protocol over the simulated network.
+
+The in-process :class:`~repro.tiers.server.ClassAdministrator` models
+the middle tier's logic; this module puts the tier boundary on the
+wire, as the deployed system would: clients at student workstations send
+:class:`~repro.tiers.protocol.Request` messages to the server station,
+which dispatches to the class administrator and sends the
+:class:`~repro.tiers.protocol.Response` back.  Request/response sizes
+are charged to the link model, so tier traffic competes with lecture
+distribution for bandwidth — the contention the paper's pre-broadcast
+design is careful about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.messages import Message
+from repro.net.station import Station
+from repro.net.transport import Network
+from repro.tiers.protocol import Request, Response
+from repro.tiers.server import ClassAdministrator
+
+__all__ = ["RemoteTierServer", "RemoteTierClient"]
+
+REQUEST_KIND = "tier.request"
+RESPONSE_KIND = "tier.response"
+RESPONSE_BYTES = 512
+
+
+class RemoteTierServer:
+    """Hosts a class administrator behind a network station."""
+
+    def __init__(
+        self,
+        network: Network,
+        station_name: str,
+        administrator: ClassAdministrator | None = None,
+    ) -> None:
+        self.network = network
+        self.station_name = station_name
+        self.administrator = (
+            administrator if administrator is not None else ClassAdministrator()
+        )
+        self.requests_received = 0
+        network.station(station_name).on(REQUEST_KIND, self._on_request)
+
+    def _on_request(self, _station: Station, message: Message) -> None:
+        request: Request = message.payload
+        self.requests_received += 1
+        response = self.administrator.handle(request)
+        self.network.send(
+            self.station_name,
+            message.src,
+            RESPONSE_KIND,
+            response,
+            RESPONSE_BYTES + _payload_size(response.data),
+        )
+
+
+def _payload_size(data: Any) -> int:
+    """Rough wire size of a response payload."""
+    if data is None:
+        return 0
+    if isinstance(data, (list, tuple)):
+        return sum(_payload_size(item) for item in data)
+    if isinstance(data, dict):
+        return sum(
+            len(str(k)) + _payload_size(v) for k, v in data.items()
+        )
+    return len(str(data))
+
+
+class RemoteTierClient:
+    """A client stub at one workstation.
+
+    ``call`` is asynchronous: it sends the request and invokes the
+    callback with the response when it arrives.  ``call_sync`` drives
+    the simulator until the response lands — convenient in scripts where
+    the client is the only actor.
+    """
+
+    def __init__(
+        self, network: Network, station_name: str, server_station: str
+    ) -> None:
+        self.network = network
+        self.station_name = station_name
+        self.server_station = server_station
+        self.session_id: str | None = None
+        self._pending: dict[int, Callable[[Response], None]] = {}
+        self.responses_received = 0
+        station = network.station(station_name)
+        if not station.handles(RESPONSE_KIND):
+            station.on(RESPONSE_KIND, self._on_response)
+        #: response dispatchers share the station; register ours
+        station.state.setdefault("tier_clients", {})[station_name] = self
+
+    def _on_response(self, station: Station, message: Message) -> None:
+        response: Response = message.payload
+        # Route to whichever client on this station issued the request.
+        for client in station.state.get("tier_clients", {}).values():
+            callback = client._pending.pop(response.request_id, None)
+            if callback is not None:
+                client.responses_received += 1
+                callback(response)
+                return
+
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        op: str,
+        params: dict[str, Any] | None = None,
+        on_response: Callable[[Response], None] | None = None,
+    ) -> Request:
+        """Send a request; ``on_response`` fires at arrival."""
+        request = Request(
+            op=op, session_id=self.session_id, params=params or {}
+        )
+        if on_response is not None:
+            self._pending[request.request_id] = on_response
+        else:
+            self._pending[request.request_id] = lambda _response: None
+        self.network.send(
+            self.station_name,
+            self.server_station,
+            REQUEST_KIND,
+            request,
+            request.wire_size,
+        )
+        return request
+
+    def call_sync(self, op: str, **params: Any) -> Response:
+        """Send and run the simulator until the response arrives."""
+        box: list[Response] = []
+        self.call(op, params, on_response=box.append)
+        # Drive the clock forward until our response lands (bounded so a
+        # lost response cannot hang the caller).
+        deadline = self.network.sim.now + 3600.0
+        while not box and self.network.sim.now < deadline:
+            if not self.network.sim.step():
+                break
+        if not box:
+            raise TimeoutError(
+                f"no response to {op!r} from {self.server_station!r}"
+            )
+        return box[0]
+
+    def login(self, user: str, role: str) -> str:
+        response = self.call_sync("login", user=user, role=role)
+        self.session_id = response.unwrap()["session_id"]
+        return self.session_id

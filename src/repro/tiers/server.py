@@ -1,0 +1,378 @@
+"""The class administrator — the middle tier.
+
+"A class administrator performs book keeping of course registration and
+network information, which serves as the front end of the virtual
+course DBMS."  The server owns:
+
+* the administration tables (students/admissions, courses, enrollments,
+  transcripts, station registrations) in its own relational database,
+  reached through the ODBC-style connection;
+* a reference to the Web document database (course content);
+* the virtual library and its circulation desk;
+* sessions with role-based authorization per
+  :data:`repro.tiers.protocol.OPERATIONS`.
+
+Every client call is a :class:`~repro.tiers.protocol.Request`; the
+server never leaks engine objects to clients.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.core.wddb import WebDocumentDatabase
+from repro.library.assessment import assess
+from repro.library.catalog import CatalogEntry, VirtualLibrary
+from repro.library.circulation import CirculationDesk
+from repro.rdb import (
+    Action,
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    RdbError,
+    Schema,
+    col,
+)
+from repro.tiers.connection import OpenDatabaseConnection
+from repro.tiers.protocol import OPERATIONS, Request, Response, Role
+
+__all__ = ["ClassAdministrator"]
+
+T = ColumnType
+
+STUDENTS = Schema(
+    name="students",
+    columns=(
+        Column("student_id", T.TEXT, nullable=False),
+        Column("name", T.TEXT, nullable=False),
+        Column("admitted", T.BOOL, nullable=False, default=True),
+    ),
+    primary_key=("student_id",),
+)
+
+COURSES = Schema(
+    name="courses",
+    columns=(
+        Column("course_number", T.TEXT, nullable=False),
+        Column("title", T.TEXT, nullable=False),
+        Column("instructor", T.TEXT, nullable=False),
+    ),
+    primary_key=("course_number",),
+)
+
+ENROLLMENTS = Schema(
+    name="enrollments",
+    columns=(
+        Column("student_id", T.TEXT, nullable=False),
+        Column("course_number", T.TEXT, nullable=False),
+    ),
+    primary_key=("student_id", "course_number"),
+    foreign_keys=(
+        ForeignKey(("student_id",), "students", ("student_id",),
+                   on_delete=Action.CASCADE),
+        ForeignKey(("course_number",), "courses", ("course_number",),
+                   on_delete=Action.CASCADE),
+    ),
+)
+
+TRANSCRIPTS = Schema(
+    name="transcripts",
+    columns=(
+        Column("student_id", T.TEXT, nullable=False),
+        Column("course_number", T.TEXT, nullable=False),
+        Column("grade", T.FLOAT, nullable=False,
+               check=lambda v: 0.0 <= v <= 4.0,
+               check_label="grade_in_scale"),
+    ),
+    primary_key=("student_id", "course_number"),
+    foreign_keys=(
+        ForeignKey(("student_id",), "students", ("student_id",),
+                   on_delete=Action.CASCADE),
+        ForeignKey(("course_number",), "courses", ("course_number",),
+                   on_delete=Action.CASCADE),
+    ),
+)
+
+#: "book keeping of ... network information"
+STATIONS = Schema(
+    name="stations",
+    columns=(
+        Column("user_id", T.TEXT, nullable=False),
+        Column("station", T.TEXT, nullable=False),
+        Column("address", T.TEXT, nullable=False, default=""),
+    ),
+    primary_key=("user_id",),
+)
+
+ADMIN_SCHEMAS = (STUDENTS, COURSES, ENROLLMENTS, TRANSCRIPTS, STATIONS)
+
+
+class ClassAdministrator:
+    """The middle tier: sessions, administration, routing."""
+
+    def __init__(
+        self,
+        wddb: WebDocumentDatabase | None = None,
+        library: VirtualLibrary | None = None,
+    ) -> None:
+        admin_db = Database("class_admin")
+        for schema in ADMIN_SCHEMAS:
+            admin_db.create_table(schema)
+        self.connection = OpenDatabaseConnection(admin_db)
+        self.wddb = wddb if wddb is not None else WebDocumentDatabase("server")
+        self.library = library if library is not None else VirtualLibrary()
+        self.desk = CirculationDesk(self.library)
+        self._sessions: dict[str, tuple[str, Role]] = {}
+        self._session_counter = itertools.count(1)
+        self.requests_served = 0
+        self.clock = 0.0  # advanced by callers that care about loan times
+        self._handlers: dict[str, Callable[[Request, str, Role], Any]] = {
+            "admit_student": self._op_admit_student,
+            "register_course": self._op_register_course,
+            "enroll": self._op_enroll,
+            "record_grade": self._op_record_grade,
+            "transcript": self._op_transcript,
+            "register_station": self._op_register_station,
+            "roster": self._op_roster,
+            "publish_course_document": self._op_publish,
+            "withdraw_course_document": self._op_withdraw,
+            "search_library": self._op_search,
+            "check_out": self._op_check_out,
+            "check_in": self._op_check_in,
+            "assessment_report": self._op_assessment,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Authorize and execute one request."""
+        self.requests_served += 1
+        allowed = OPERATIONS.get(request.op)
+        if allowed is None:
+            return Response.failure(request, f"unknown operation {request.op!r}")
+        if request.op == "login":
+            return self._op_login(request)
+        session = (
+            self._sessions.get(request.session_id)
+            if request.session_id
+            else None
+        )
+        if session is None:
+            return Response.failure(request, "not logged in")
+        user, role = session
+        if role not in allowed:
+            return Response.failure(
+                request, f"role {role.value} may not call {request.op!r}"
+            )
+        if request.op == "logout":
+            del self._sessions[request.session_id]  # type: ignore[arg-type]
+            return Response.success(request, True)
+        try:
+            data = self._handlers[request.op](request, user, role)
+        except (RdbError, LookupError, ValueError, RuntimeError) as exc:
+            return Response.failure(request, f"{type(exc).__name__}: {exc}")
+        return Response.success(request, data)
+
+    # ------------------------------------------------------------------
+    # Session ops
+    # ------------------------------------------------------------------
+    def _op_login(self, request: Request) -> Response:
+        user = request.params.get("user")
+        role_name = request.params.get("role")
+        if not user or not role_name:
+            return Response.failure(request, "login needs user and role")
+        try:
+            role = Role(role_name)
+        except ValueError:
+            return Response.failure(request, f"unknown role {role_name!r}")
+        if role is Role.STUDENT:
+            cursor = self.connection.cursor().select(
+                "students", where=col("student_id") == user
+            )
+            row = cursor.fetchone()
+            if row is None or not row["admitted"]:
+                return Response.failure(
+                    request, f"student {user!r} is not admitted"
+                )
+        if role is Role.INSTRUCTOR:
+            self.library.grant_instructor(user)
+        session_id = f"sess-{next(self._session_counter)}"
+        self._sessions[session_id] = (user, role)
+        return Response.success(request, {"session_id": session_id})
+
+    # ------------------------------------------------------------------
+    # Administration ops
+    # ------------------------------------------------------------------
+    def _op_admit_student(self, request: Request, _user: str, _role: Role) -> Any:
+        params = request.params
+        self.connection.cursor().insert(
+            "students",
+            {
+                "student_id": params["student_id"],
+                "name": params.get("name", params["student_id"]),
+                "admitted": True,
+            },
+        )
+        return {"student_id": params["student_id"]}
+
+    def _op_register_course(self, request: Request, user: str, role: Role) -> Any:
+        params = request.params
+        instructor = params.get("instructor", user)
+        if role is Role.INSTRUCTOR and instructor != user:
+            raise ValueError("instructors may only register their own courses")
+        self.connection.cursor().insert(
+            "courses",
+            {
+                "course_number": params["course_number"],
+                "title": params["title"],
+                "instructor": instructor,
+            },
+        )
+        return {"course_number": params["course_number"]}
+
+    def _op_enroll(self, request: Request, user: str, role: Role) -> Any:
+        params = request.params
+        student = params.get("student_id", user)
+        if role is Role.STUDENT and student != user:
+            raise ValueError("students may only enroll themselves")
+        self.connection.cursor().insert(
+            "enrollments",
+            {"student_id": student, "course_number": params["course_number"]},
+        )
+        return {"student_id": student, "course_number": params["course_number"]}
+
+    def _op_record_grade(self, request: Request, user: str, role: Role) -> Any:
+        params = request.params
+        course = params["course_number"]
+        if role is Role.INSTRUCTOR:
+            cursor = self.connection.cursor().select(
+                "courses", where=col("course_number") == course
+            )
+            row = cursor.fetchone()
+            if row is None or row["instructor"] != user:
+                raise ValueError(
+                    f"{user} does not teach {course}; grade denied"
+                )
+        enrolled = self.connection.cursor().select(
+            "enrollments",
+            where=(col("student_id") == params["student_id"])
+            & (col("course_number") == course),
+        )
+        if enrolled.fetchone() is None:
+            raise ValueError(
+                f"student {params['student_id']!r} is not enrolled in {course}"
+            )
+        self.connection.cursor().insert(
+            "transcripts",
+            {
+                "student_id": params["student_id"],
+                "course_number": course,
+                "grade": float(params["grade"]),
+            },
+        )
+        return True
+
+    def _op_transcript(self, request: Request, user: str, role: Role) -> Any:
+        student = request.params.get("student_id", user)
+        if role is Role.STUDENT and student != user:
+            raise ValueError("students may only view their own transcript")
+        cursor = self.connection.cursor().select(
+            "transcripts",
+            where=col("student_id") == student,
+            order_by="course_number",
+        )
+        return cursor.fetchall()
+
+    def _op_register_station(self, request: Request, user: str, _role: Role) -> Any:
+        params = request.params
+        cursor = self.connection.cursor()
+        existing = cursor.select(
+            "stations", where=col("user_id") == user
+        ).fetchone()
+        if existing is None:
+            cursor.insert(
+                "stations",
+                {
+                    "user_id": user,
+                    "station": params["station"],
+                    "address": params.get("address", ""),
+                },
+            )
+        else:
+            cursor.update(
+                "stations",
+                {
+                    "station": params["station"],
+                    "address": params.get("address", ""),
+                },
+                where=col("user_id") == user,
+            )
+        return {"station": params["station"]}
+
+    def _op_roster(self, request: Request, _user: str, _role: Role) -> Any:
+        course = request.params["course_number"]
+        cursor = self.connection.cursor().select(
+            "enrollments",
+            where=col("course_number") == course,
+            order_by="student_id",
+        )
+        return [row["student_id"] for row in cursor.fetchall()]
+
+    # ------------------------------------------------------------------
+    # Library ops
+    # ------------------------------------------------------------------
+    def _op_publish(self, request: Request, user: str, _role: Role) -> Any:
+        params = request.params
+        entry = CatalogEntry(
+            doc_id=params["doc_id"],
+            title=params["title"],
+            course_number=params["course_number"],
+            instructor=user,
+            keywords=tuple(params.get("keywords", ())),
+            starting_url=params.get("starting_url"),
+            size_bytes=int(params.get("size_bytes", 0)),
+        )
+        self.library.add_document(user, entry)
+        return {"doc_id": entry.doc_id}
+
+    def _op_withdraw(self, request: Request, user: str, _role: Role) -> Any:
+        return self.library.remove_document(user, request.params["doc_id"])
+
+    def _op_search(self, request: Request, _user: str, _role: Role) -> Any:
+        params = request.params
+        results = self.library.search(
+            keywords=params.get("keywords"),
+            instructor=params.get("instructor"),
+            course=params.get("course"),
+            limit=params.get("limit"),
+        )
+        return [
+            {"doc_id": r.doc_id, "score": r.score}
+            for r in results
+        ]
+
+    def _op_check_out(self, request: Request, user: str, _role: Role) -> Any:
+        time = float(request.params.get("time", self.clock))
+        loan = self.desk.check_out(user, request.params["doc_id"], time)
+        return {"doc_id": loan.doc_id, "checked_out_at": loan.checked_out_at}
+
+    def _op_check_in(self, request: Request, user: str, _role: Role) -> Any:
+        time = float(request.params.get("time", self.clock))
+        held = self.desk.check_in(user, request.params["doc_id"], time)
+        return {"held_seconds": held}
+
+    def _op_assessment(self, request: Request, _user: str, _role: Role) -> Any:
+        report = assess(self.desk, self.library)
+        return [
+            {
+                "student": a.student,
+                "checkouts": a.checkouts,
+                "checkins": a.checkins,
+                "distinct_documents": a.distinct_documents,
+                "activity_score": a.activity_score,
+            }
+            for a in report.ranking()
+        ]

@@ -1,0 +1,122 @@
+"""Byte, bandwidth and time unit helpers.
+
+The network simulator and the storage accounting measure everything in
+bytes and seconds.  The helpers here keep unit conversions explicit at
+call sites (``mbps(10)`` rather than a bare ``1_250_000``), which the
+paper's bandwidth-driven distribution policies make pervasive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "mbps",
+    "Bandwidth",
+    "transfer_time",
+    "format_bytes",
+    "format_duration",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return float(n_bytes) * 8.0
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return float(n_bits) / 8.0
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bytes/second.
+
+    >>> mbps(8)
+    1000000.0
+    """
+    return float(value) * 1_000_000.0 / 8.0
+
+
+@dataclass(frozen=True, slots=True)
+class Bandwidth:
+    """A link bandwidth in bytes per second.
+
+    A tiny value type so that signatures can say ``Bandwidth`` instead of
+    a bare float whose unit the reader must guess.
+    """
+
+    bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_second <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bytes_per_second!r}"
+            )
+
+    @classmethod
+    def from_mbps(cls, value: float) -> "Bandwidth":
+        """Build from megabits per second."""
+        return cls(mbps(value))
+
+    @property
+    def mbps(self) -> float:
+        """The bandwidth expressed in megabits per second."""
+        return bytes_to_bits(self.bytes_per_second) / 1_000_000.0
+
+    def seconds_for(self, n_bytes: float) -> float:
+        """Time to push ``n_bytes`` through this bandwidth (no latency)."""
+        if n_bytes < 0:
+            raise ValueError(f"byte count must be >= 0, got {n_bytes!r}")
+        return float(n_bytes) / self.bytes_per_second
+
+
+def transfer_time(n_bytes: float, bandwidth: Bandwidth, latency_s: float = 0.0) -> float:
+    """Latency + serialization time for one message of ``n_bytes``."""
+    if latency_s < 0:
+        raise ValueError(f"latency must be >= 0, got {latency_s!r}")
+    return latency_s + bandwidth.seconds_for(n_bytes)
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count (binary prefixes).
+
+    >>> format_bytes(1536)
+    '1.5 KiB'
+    """
+    n = float(n_bytes)
+    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration.
+
+    >>> format_duration(90)
+    '1m30.0s'
+    """
+    s = float(seconds)
+    if s < 0:
+        return "-" + format_duration(-s)
+    if s < 1e-3:
+        return f"{s * 1e6:.0f}us"
+    if s < 1:
+        return f"{s * 1e3:.1f}ms"
+    if s < 60:
+        return f"{s:.2f}s"
+    minutes, rem = divmod(s, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m{rem:04.1f}s"

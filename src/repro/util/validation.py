@@ -1,0 +1,70 @@
+"""Argument-validation helpers used across the public API.
+
+Raising early with a precise message is cheaper than debugging a corrupted
+simulation two layers down, so public entry points validate eagerly with
+these helpers and internal hot loops stay unchecked.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, TypeVar
+
+__all__ = [
+    "check_type",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_identifier",
+]
+
+T = TypeVar("T")
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_./\- ]*$")
+
+
+def check_type(value: Any, expected: type[T] | tuple[type, ...], name: str) -> T:
+    """Raise :class:`TypeError` unless ``value`` is an ``expected`` instance."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = " | ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise TypeError(f"{name} must be {names}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is >= 0."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_identifier(value: str, name: str) -> str:
+    """Validate a user-supplied object name.
+
+    Names identify databases, scripts, stations and tables; they must be
+    non-empty, start with a letter or underscore, and use a conservative
+    character set so they can double as file names and URL components.
+    """
+    check_type(value, str, name)
+    if not _IDENTIFIER_RE.match(value):
+        raise ValueError(
+            f"{name} must match {_IDENTIFIER_RE.pattern!r}, got {value!r}"
+        )
+    return value

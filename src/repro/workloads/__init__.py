@@ -1,0 +1,34 @@
+"""Synthetic workloads standing in for the MMU project's real courses.
+
+The paper's evaluation substrate — FrontPage-authored HTML courses,
+multimedia lecture files, and students on the 1999 Internet — is not
+available, so this package generates the closest synthetic equivalents:
+
+* :mod:`repro.workloads.media` — multimedia size/playback-rate models
+  per :class:`~repro.storage.blob.BlobKind` (video / audio / image /
+  animation / MIDI), log-normal sizes around 1999-era figures.
+* :mod:`repro.workloads.courses` — whole course documents: scripts,
+  page graphs with links, control programs and media, with a tunable
+  cross-course resource-reuse probability (drives the sharing
+  experiments).
+* :mod:`repro.workloads.traces` — student access traces with Zipf
+  document popularity and exponential interarrivals (drives the
+  watermark and library experiments).
+
+Everything is seeded and deterministic.
+"""
+
+from repro.workloads.media import MediaModel, MediaProfile, PLAYBACK_RATES
+from repro.workloads.courses import CourseGenerator, GeneratedCourse, GeneratedPage
+from repro.workloads.traces import AccessTraceGenerator, zipf_weights
+
+__all__ = [
+    "MediaModel",
+    "MediaProfile",
+    "PLAYBACK_RATES",
+    "CourseGenerator",
+    "GeneratedCourse",
+    "GeneratedPage",
+    "AccessTraceGenerator",
+    "zipf_weights",
+]

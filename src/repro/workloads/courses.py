@@ -1,0 +1,246 @@
+"""Synthetic course/document generation.
+
+Generates whole virtual courses in the shape the paper's tools produce:
+a script SCI, one implementation with a linked page graph (every page
+reachable from the start page), optional control programs, and
+multimedia resources drawn from :class:`~repro.workloads.media.MediaModel`.
+
+``reuse_probability`` controls cross-course resource sharing: with
+probability p a course reuses a media resource some earlier course
+already registered (same label and size → same digest → shared BLOB),
+which is precisely the in-station sharing E4 measures.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.core.objects import ImplementationSCI, ScriptSCI
+from repro.core.wddb import WebDocumentDatabase
+from repro.storage.blob import BlobKind
+from repro.storage.files import DocumentFile, FileKind
+from repro.util.rng import make_rng
+from repro.workloads.media import MediaModel
+
+__all__ = ["GeneratedPage", "GeneratedCourse", "CourseGenerator"]
+
+_TOPICS = (
+    "computer engineering", "multimedia computing", "engineering drawing",
+    "operating systems", "data structures", "networking", "databases",
+    "software engineering", "graphics", "distance learning",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedPage:
+    """One generated HTML page with outbound links already inlined."""
+
+    path: str
+    content: str
+
+    def as_document_file(self) -> DocumentFile:
+        return DocumentFile(self.path, FileKind.HTML, self.content)
+
+
+@dataclass
+class GeneratedCourse:
+    """Everything the generator produced for one course."""
+
+    script: ScriptSCI
+    implementation: ImplementationSCI
+    pages: list[GeneratedPage] = field(default_factory=list)
+    programs: list[DocumentFile] = field(default_factory=list)
+    #: (label, size, kind) media the course references
+    media: list[tuple[str, int, BlobKind]] = field(default_factory=list)
+
+    @property
+    def media_bytes(self) -> int:
+        return sum(size for _label, size, _kind in self.media)
+
+
+class CourseGenerator:
+    """Seeded generator of course documents into a WebDocumentDatabase."""
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        pages_per_course: int = 8,
+        media_per_course: int = 5,
+        programs_per_course: int = 1,
+        reuse_probability: float = 0.0,
+    ) -> None:
+        self._rng = make_rng(seed, "courses")
+        self._media_model = MediaModel(seed)
+        self.pages_per_course = pages_per_course
+        self.media_per_course = media_per_course
+        self.programs_per_course = programs_per_course
+        self.reuse_probability = reuse_probability
+        #: media already handed out, available for reuse
+        self._media_pool: list[tuple[str, int, BlobKind]] = []
+        self._course_counter = 0
+
+    # ------------------------------------------------------------------
+    def generate_course(
+        self,
+        db: WebDocumentDatabase,
+        db_name: str,
+        *,
+        author: str = "instructor",
+        broken_link_rate: float = 0.0,
+        orphan_page_rate: float = 0.0,
+    ) -> GeneratedCourse:
+        """Generate one course and insert it into ``db``.
+
+        ``broken_link_rate`` / ``orphan_page_rate`` inject the defects
+        the QA subsystem detects (bad URLs, redundant objects).
+        """
+        self._course_counter += 1
+        index = self._course_counter
+        topic = _TOPICS[int(self._rng.integers(len(_TOPICS)))]
+        script_name = f"course-{index:04d}"
+        prefix = f"{script_name}"
+        script = ScriptSCI(
+            script_name=script_name,
+            db_name=db_name,
+            author=author,
+            description=f"Introduction to {topic}",
+            keywords=["course", *topic.split()],
+            created_at=_dt.datetime(1999, 1, 1)
+            + _dt.timedelta(days=int(self._rng.integers(0, 300))),
+        )
+        media = self._pick_media(prefix)
+        pages = self._build_pages(
+            prefix,
+            media,
+            broken_link_rate=broken_link_rate,
+            orphan_page_rate=orphan_page_rate,
+        )
+        programs = [
+            DocumentFile(
+                f"{prefix}/ctl{i}.class", FileKind.PROGRAM,
+                f"bytecode for {topic} control {i}",
+            )
+            for i in range(self.programs_per_course)
+        ]
+        db.add_script(script)
+        digests = [
+            db.register_blob(label, size, kind)
+            for label, size, kind in media
+        ]
+        implementation = db.add_implementation(
+            ImplementationSCI(
+                starting_url=f"http://mmu/{prefix}/index.html",
+                script_name=script_name,
+                author=author,
+                multimedia=digests,
+                created_at=script.created_at,
+            ),
+            html_files=[page.as_document_file() for page in pages],
+            program_files=programs,
+        )
+        return GeneratedCourse(
+            script=script,
+            implementation=implementation,
+            pages=pages,
+            programs=programs,
+            media=media,
+        )
+
+    def generate_corpus(
+        self,
+        db: WebDocumentDatabase,
+        db_name: str,
+        n_courses: int,
+        **kwargs,
+    ) -> list[GeneratedCourse]:
+        """Generate ``n_courses`` into one document database."""
+        return [
+            self.generate_course(db, db_name, **kwargs)
+            for _ in range(n_courses)
+        ]
+
+    # ------------------------------------------------------------------
+    def _pick_media(self, prefix: str) -> list[tuple[str, int, BlobKind]]:
+        chosen: list[tuple[str, int, BlobKind]] = []
+        fresh = self._media_model.sample_mixed(self.media_per_course)
+        for position, (kind, size) in enumerate(fresh):
+            if (
+                self._media_pool
+                and self._rng.random() < self.reuse_probability
+            ):
+                pick = int(self._rng.integers(len(self._media_pool)))
+                chosen.append(self._media_pool[pick])
+            else:
+                resource = (
+                    f"{prefix}/media{position}.{kind.value}",
+                    int(size),
+                    kind,
+                )
+                chosen.append(resource)
+                self._media_pool.append(resource)
+        return chosen
+
+    def _build_pages(
+        self,
+        prefix: str,
+        media: list[tuple[str, int, BlobKind]],
+        *,
+        broken_link_rate: float,
+        orphan_page_rate: float,
+    ) -> list[GeneratedPage]:
+        """A connected page graph: index links a spine; pages cross-link.
+
+        Orphan pages (never linked) and broken links are injected at the
+        requested rates for QA workloads.
+        """
+        n = max(self.pages_per_course, 1)
+        paths = [f"{prefix}/index.html"] + [
+            f"{prefix}/p{i}.html" for i in range(1, n)
+        ]
+        orphans = {
+            paths[i]
+            for i in range(1, n)
+            if self._rng.random() < orphan_page_rate
+        }
+        links: dict[str, list[str]] = {path: [] for path in paths}
+        reachable = [paths[0]]
+        for path in paths[1:]:
+            if path in orphans:
+                continue
+            source = reachable[int(self._rng.integers(len(reachable)))]
+            links[source].append(path)
+            reachable.append(path)
+        # A few extra cross links among reachable pages.
+        for _ in range(n // 2):
+            if len(reachable) < 2:
+                break
+            a, b = self._rng.choice(len(reachable), size=2, replace=False)
+            target = reachable[int(b)]
+            if target not in links[reachable[int(a)]]:
+                links[reachable[int(a)]].append(target)
+        # Broken links.
+        for path in paths:
+            if self._rng.random() < broken_link_rate:
+                links[path].append(f"{prefix}/missing{int(self._rng.integers(99))}.html")
+        pages: list[GeneratedPage] = []
+        media_labels = [label for label, _size, _kind in media]
+        for position, path in enumerate(paths):
+            hrefs = "".join(
+                f'<a href="{target}">link</a>\n' for target in links[path]
+            )
+            # Sprinkle media references across the first pages.
+            srcs = ""
+            if media_labels and position < len(media_labels):
+                srcs = f'<img src="{media_labels[position]}">\n'
+            pages.append(
+                GeneratedPage(
+                    path=path,
+                    content=(
+                        f"<html><head><title>{path}</title></head>"
+                        f"<body>\n{hrefs}{srcs}</body></html>"
+                    ),
+                )
+            )
+        return pages

@@ -1,0 +1,103 @@
+"""Multimedia size and playback-rate models.
+
+Sizes are log-normal per media kind, calibrated to late-1990s course
+material (MPEG-1 lecture video, 8-bit WAV narration, GIF/JPEG stills,
+small animations, tiny MIDI scores).  Playback rates feed the
+real-time-demonstration experiment (E3): a medium is demonstrable in
+real time only if delivery sustains its playback rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.blob import BlobKind
+from repro.util.rng import make_rng
+from repro.util.units import KIB, MIB, mbps
+
+__all__ = ["MediaProfile", "PLAYBACK_RATES", "MediaModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class MediaProfile:
+    """Log-normal size model for one media kind."""
+
+    kind: BlobKind
+    median_bytes: float
+    sigma: float  # log-space spread
+
+    def sample_sizes(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` sizes (integer bytes, >= 1 KiB)."""
+        sizes = rng.lognormal(mean=np.log(self.median_bytes), sigma=self.sigma,
+                              size=n)
+        return np.maximum(sizes, KIB).astype(np.int64)
+
+
+#: Default 1999-era profiles.
+DEFAULT_PROFILES: dict[BlobKind, MediaProfile] = {
+    BlobKind.VIDEO: MediaProfile(BlobKind.VIDEO, 25 * MIB, 0.7),
+    BlobKind.AUDIO: MediaProfile(BlobKind.AUDIO, 3 * MIB, 0.6),
+    BlobKind.IMAGE: MediaProfile(BlobKind.IMAGE, 80 * KIB, 0.8),
+    BlobKind.ANIMATION: MediaProfile(BlobKind.ANIMATION, 600 * KIB, 0.7),
+    BlobKind.MIDI: MediaProfile(BlobKind.MIDI, 20 * KIB, 0.5),
+}
+
+#: Sustained playback rates in bytes/second (for real-time delivery).
+PLAYBACK_RATES: dict[BlobKind, float] = {
+    BlobKind.VIDEO: mbps(1.5),  # MPEG-1
+    BlobKind.AUDIO: mbps(0.128),
+    BlobKind.IMAGE: 0.0,  # static; no sustained rate
+    BlobKind.ANIMATION: mbps(0.5),
+    BlobKind.MIDI: mbps(0.004),
+    BlobKind.OTHER: 0.0,
+}
+
+
+class MediaModel:
+    """Seeded sampler over the per-kind profiles."""
+
+    def __init__(
+        self,
+        seed: int,
+        profiles: dict[BlobKind, MediaProfile] | None = None,
+    ) -> None:
+        self.profiles = dict(profiles or DEFAULT_PROFILES)
+        self._rng = make_rng(seed, "media")
+
+    def sample(self, kind: BlobKind, n: int = 1) -> list[int]:
+        """Sample ``n`` sizes for ``kind``."""
+        profile = self.profiles.get(kind)
+        if profile is None:
+            raise LookupError(f"no media profile for {kind!r}")
+        return [int(s) for s in profile.sample_sizes(self._rng, n)]
+
+    def sample_mixed(self, n: int, weights: dict[BlobKind, float] | None = None
+                     ) -> list[tuple[BlobKind, int]]:
+        """Sample ``n`` (kind, size) pairs with the given kind weights.
+
+        Default mix is image-heavy with occasional video — a typical
+        lecture page set.
+        """
+        if weights is None:
+            weights = {
+                BlobKind.IMAGE: 0.55,
+                BlobKind.AUDIO: 0.15,
+                BlobKind.VIDEO: 0.12,
+                BlobKind.ANIMATION: 0.12,
+                BlobKind.MIDI: 0.06,
+            }
+        kinds = list(weights)
+        probabilities = np.array([weights[k] for k in kinds], dtype=float)
+        probabilities = probabilities / probabilities.sum()
+        chosen = self._rng.choice(len(kinds), size=n, p=probabilities)
+        out: list[tuple[BlobKind, int]] = []
+        for index in chosen:
+            kind = kinds[int(index)]
+            out.append((kind, self.sample(kind, 1)[0]))
+        return out
+
+    def playback_rate(self, kind: BlobKind) -> float:
+        """Sustained playback bytes/second (0 for static media)."""
+        return PLAYBACK_RATES.get(kind, 0.0)

@@ -1,0 +1,132 @@
+"""Student access traces: Zipf popularity, exponential interarrivals.
+
+Drives the watermark (E5) and migration (E6) experiments and the
+virtual-library sessions (E9).  Document popularity follows a Zipf law
+— a few hot lectures dominate, matching course-material access — and
+request times follow a Poisson process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["zipf_weights", "AccessTraceGenerator"]
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights for ranks 1..n.
+
+    >>> w = zipf_weights(4, 1.0)
+    >>> bool((w[0] > w[1] > w[2] > w[3]) and abs(w.sum() - 1) < 1e-12)
+    True
+    """
+    check_positive(n, "n")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Parameters of one generated trace."""
+
+    n_accesses: int
+    mean_interarrival_s: float
+    zipf_alpha: float
+
+
+class AccessTraceGenerator:
+    """Generates time-sorted (time, station, doc_id) access traces."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+
+    def generate(
+        self,
+        stations: list[str],
+        doc_ids: list[str],
+        n_accesses: int,
+        *,
+        mean_interarrival_s: float = 1.0,
+        zipf_alpha: float = 1.0,
+        station_zipf_alpha: float = 0.0,
+        start_time: float = 0.0,
+        label: str = "trace",
+    ) -> list[tuple[float, str, str]]:
+        """One Poisson/Zipf trace.
+
+        ``zipf_alpha`` skews document popularity; ``station_zipf_alpha``
+        optionally skews which stations are active (0 = uniform).
+        """
+        if not stations or not doc_ids:
+            raise ValueError("stations and doc_ids must be non-empty")
+        check_positive(n_accesses, "n_accesses")
+        check_positive(mean_interarrival_s, "mean_interarrival_s")
+        rng = make_rng(self._seed, "trace", label)
+        gaps = rng.exponential(mean_interarrival_s, size=n_accesses)
+        times = start_time + np.cumsum(gaps)
+        doc_probabilities = zipf_weights(len(doc_ids), zipf_alpha)
+        doc_picks = rng.choice(len(doc_ids), size=n_accesses, p=doc_probabilities)
+        if station_zipf_alpha > 0:
+            station_probabilities = zipf_weights(
+                len(stations), station_zipf_alpha
+            )
+            station_picks = rng.choice(
+                len(stations), size=n_accesses, p=station_probabilities
+            )
+        else:
+            station_picks = rng.integers(0, len(stations), size=n_accesses)
+        return [
+            (float(times[i]), stations[int(station_picks[i])],
+             doc_ids[int(doc_picks[i])])
+            for i in range(n_accesses)
+        ]
+
+    def generate_sessions(
+        self,
+        students: list[str],
+        doc_ids: list[str],
+        n_sessions: int,
+        *,
+        docs_per_session_mean: float = 3.0,
+        hold_time_mean_s: float = 600.0,
+        zipf_alpha: float = 1.0,
+        label: str = "sessions",
+    ) -> list[tuple[float, str, str, str]]:
+        """Library sessions: (time, student, doc_id, action) events.
+
+        Each session checks out a Poisson-sized set of documents and
+        checks each back in after an exponential hold time.  Events are
+        returned time-sorted; a session never double-checks-out a doc.
+        """
+        check_positive(n_sessions, "n_sessions")
+        rng = make_rng(self._seed, "sessions", label)
+        doc_probabilities = zipf_weights(len(doc_ids), zipf_alpha)
+        events: list[tuple[float, str, str, str]] = []
+        #: (student, doc) -> time its open loan will be checked back in
+        open_until: dict[tuple[str, str], float] = {}
+        time = 0.0
+        for _ in range(n_sessions):
+            time += float(rng.exponential(120.0))
+            student = students[int(rng.integers(len(students)))]
+            n_docs = max(1, int(rng.poisson(docs_per_session_mean)))
+            picks = rng.choice(
+                len(doc_ids), size=min(n_docs, len(doc_ids)),
+                replace=False, p=doc_probabilities,
+            )
+            for pick in picks:
+                doc_id = doc_ids[int(pick)]
+                key = (student, doc_id)
+                if time < open_until.get(key, -1.0):
+                    continue  # still out from an earlier session
+                events.append((time, student, doc_id, "check_out"))
+                hold = float(rng.exponential(hold_time_mean_s))
+                events.append((time + hold, student, doc_id, "check_in"))
+                open_until[key] = time + hold
+        events.sort(key=lambda e: e[0])
+        return events

@@ -1,0 +1,97 @@
+"""Property tests for annotation serialization and playback."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.annotations import (
+    AnnotationDocument,
+    AnnotationEvent,
+    AnnotationPlayer,
+    Line,
+    Point,
+    Shape,
+    ShapeKind,
+    TextNote,
+)
+
+coordinates = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coordinates, coordinates)
+colors = st.sampled_from(["#ff0000", "#00ff00", "#123abc"])
+
+primitives = st.one_of(
+    st.builds(Line, points, points, colors,
+              st.floats(min_value=0.1, max_value=20)),
+    st.builds(TextNote, points, st.text(max_size=40), colors,
+              st.floats(min_value=6, max_value=48)),
+    st.builds(Shape, st.sampled_from(list(ShapeKind)), points, points,
+              colors, st.booleans()),
+)
+
+# Times are either exactly zero or >= 1 ms: sub-millisecond (and
+# especially subnormal) times underflow the wall-step arithmetic the
+# playback tests do, which is a float artifact, not player behaviour.
+event_times = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-3, max_value=600, allow_nan=False),
+    ),
+    min_size=0, max_size=25,
+)
+
+
+def _document(times, primitive_list) -> AnnotationDocument:
+    events = [
+        AnnotationEvent(time=t, primitive=p)
+        for t, p in zip(sorted(times), primitive_list)
+    ]
+    return AnnotationDocument("doc", "author", "http://page", events=events)
+
+
+@given(event_times, st.lists(primitives, min_size=25, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_json_roundtrip_preserves_everything(times, primitive_list):
+    doc = _document(times, primitive_list)
+    restored = AnnotationDocument.from_json(doc.to_json())
+    assert restored.events == doc.events
+    assert restored.name == doc.name and restored.author == doc.author
+
+
+@given(event_times, st.lists(primitives, min_size=25, max_size=25),
+       st.floats(min_value=0.25, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_playback_reveals_monotonically(times, primitive_list, rate):
+    doc = _document(times, primitive_list)
+    player = AnnotationPlayer(doc, rate=rate)
+    # 20 wall-time steps covering 2x the document duration at this rate.
+    wall_step = (doc.duration or 1.0) / (10.0 * rate)
+    visible_counts = []
+    for _ in range(20):
+        player.advance(wall_step)
+        visible_counts.append(len(player.frame()))
+    assert visible_counts == sorted(visible_counts)
+    assert player.finished
+    assert visible_counts[-1] == len(doc)
+
+
+@given(event_times, st.lists(primitives, min_size=25, max_size=25),
+       st.floats(min_value=0, max_value=700))
+@settings(max_examples=60, deadline=None)
+def test_seek_equals_incremental_advance(times, primitive_list, target):
+    from hypothesis import assume
+
+    doc = _document(times, primitive_list)
+    # Exclude targets landing (near) exactly on an event time: summed
+    # float steps may stop an ulp short of the boundary, which is
+    # correct playback behaviour but not equal to the exact seek.
+    assume(all(abs(target - event.time) > 1e-6 for event in doc.events))
+    seek_frame = AnnotationPlayer(doc).seek(target)
+    stepper = AnnotationPlayer(doc)
+    steps = 7
+    for _ in range(steps):
+        stepper.advance(target / steps if steps else 0)
+    # guard against float accumulation: positions agree to tolerance
+    assert abs(stepper.position - target) < 1e-6 * max(1.0, target)
+    assert len(stepper.frame()) == len(seek_frame)

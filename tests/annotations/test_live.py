@@ -1,0 +1,102 @@
+"""Tests for live annotation streaming."""
+
+import pytest
+
+from repro.annotations import (
+    AnnotationPlayer,
+    Line,
+    LiveAnnotationSession,
+    Point,
+    TextNote,
+)
+from repro.distribution import MAryTree
+
+from tests.conftest import build_network
+
+
+def _session(n=7, m=2):
+    net = build_network(n)
+    names = [f"s{k}" for k in range(1, n + 1)]
+    tree = MAryTree(n, m, names=names)
+    session = LiveAnnotationSession(
+        net, tree, session_id="live1", author="shih",
+        page_url="http://mmu/cs101/",
+    )
+    return net, session
+
+
+class TestStreaming:
+    def test_strokes_reach_every_student(self):
+        net, session = _session()
+        session.draw(Line(Point(0, 0), Point(5, 5)))
+        session.draw(TextNote(Point(2, 2), "note"))
+        net.quiesce()
+        assert session.replicas_consistent()
+        assert len(session.replica_at("s7").events) == 2
+
+    def test_document_times_relative_to_session_start(self):
+        net, session = _session()
+        net.sim.run(until=10.0)
+        event = session.draw(Line(Point(0, 0), Point(1, 1)))
+        assert event.time == pytest.approx(10.0 - session.started_at)
+
+    def test_lag_grows_with_tree_depth(self):
+        net, session = _session(n=7, m=2)
+        session.draw(Line(Point(0, 0), Point(1, 1)))
+        net.quiesce()
+        lags = {d.station: d.lag for d in session.deliveries}
+        assert lags["s4"] > lags["s2"]  # depth 2 vs depth 1
+
+    def test_interleaved_strokes_stay_ordered(self):
+        net, session = _session()
+        for index in range(5):
+            session.draw(TextNote(Point(index, 0), f"stroke{index}"))
+            net.sim.run(until=net.sim.now + 1.0)
+        net.quiesce()
+        replica = session.replica_at("s7")
+        texts = [event.primitive.text for event in replica.events]
+        assert texts == [f"stroke{i}" for i in range(5)]
+
+    def test_replica_plays_back_identically(self):
+        net, session = _session()
+        session.draw(Line(Point(0, 0), Point(1, 1)))
+        net.sim.run(until=net.sim.now + 3.0)
+        session.draw(TextNote(Point(1, 1), "x"))
+        net.quiesce()
+        original = AnnotationPlayer(session.close()).frames(step_s=1.0)
+        replayed = AnnotationPlayer(session.replica_at("s5")).frames(step_s=1.0)
+        assert [len(f) for f in replayed] == [len(f) for f in original]
+
+    def test_closed_session_rejects_draws(self):
+        _net, session = _session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.draw(Line(Point(0, 0), Point(1, 1)))
+
+    def test_mean_and_max_lag(self):
+        net, session = _session()
+        session.draw(Line(Point(0, 0), Point(1, 1)))
+        net.quiesce()
+        assert 0 < session.mean_lag() <= session.max_lag()
+
+    def test_two_sessions_coexist(self):
+        net = build_network(3)
+        names = ["s1", "s2", "s3"]
+        tree = MAryTree(3, 2, names=names)
+        first = LiveAnnotationSession(
+            net, tree, session_id="a", author="shih", page_url="u1",
+        )
+        second = LiveAnnotationSession(
+            net, tree, session_id="b", author="ma", page_url="u2",
+        )
+        first.draw(TextNote(Point(0, 0), "from-a"))
+        second.draw(TextNote(Point(0, 0), "from-b"))
+        net.quiesce()
+        assert first.replica_at("s2").events[0].primitive.text == "from-a"
+        assert second.replica_at("s2").events[0].primitive.text == "from-b"
+        assert len(first.replica_at("s2").events) == 1
+
+    def test_unknown_replica_station(self):
+        net, session = _session()
+        with pytest.raises(LookupError):
+            session.replica_at("s1")  # instructor has the original

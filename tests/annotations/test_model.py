@@ -1,0 +1,95 @@
+"""Tests for annotation primitives and documents."""
+
+import pytest
+
+from repro.annotations import (
+    AnnotationDocument,
+    AnnotationEvent,
+    Line,
+    Point,
+    Shape,
+    ShapeKind,
+    TextNote,
+)
+
+
+class TestPrimitives:
+    def test_point_roundtrip(self):
+        point = Point(1.5, -2.0)
+        assert Point.from_json(point.as_json()) == point
+
+    def test_line_roundtrip(self):
+        line = Line(Point(0, 0), Point(10, 5), color="#00ff00", width=3.0)
+        assert Line.from_json(line.as_json()) == line
+
+    def test_text_roundtrip(self):
+        note = TextNote(Point(4, 4), "remember this", font_size=14.0)
+        assert TextNote.from_json(note.as_json()) == note
+
+    def test_shape_roundtrip(self):
+        shape = Shape(ShapeKind.ELLIPSE, Point(0, 0), Point(5, 5), filled=True)
+        assert Shape.from_json(shape.as_json()) == shape
+
+    def test_defaults_fill_in(self):
+        line = Line.from_json({"start": [0, 0], "end": [1, 1]})
+        assert line.color == "#ff0000" and line.width == 2.0
+
+
+class TestEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationEvent(time=-1.0, primitive=Line(Point(0, 0), Point(1, 1)))
+
+    def test_event_roundtrip_dispatches_by_type(self):
+        for primitive in (
+            Line(Point(0, 0), Point(1, 1)),
+            TextNote(Point(0, 0), "x"),
+            Shape(ShapeKind.ARROW, Point(0, 0), Point(1, 1)),
+        ):
+            event = AnnotationEvent(time=1.0, primitive=primitive)
+            restored = AnnotationEvent.from_json(event.as_json())
+            assert restored == event
+
+
+class TestDocument:
+    def _doc(self) -> AnnotationDocument:
+        doc = AnnotationDocument("ann1", "huang", "http://mmu/p1")
+        doc.record(0.0, Line(Point(0, 0), Point(1, 1)))
+        doc.record(2.0, TextNote(Point(1, 1), "note"))
+        doc.record(5.0, Shape(ShapeKind.RECTANGLE, Point(0, 0), Point(2, 2)))
+        return doc
+
+    def test_record_in_order(self):
+        doc = self._doc()
+        assert len(doc) == 3 and doc.duration == 5.0
+
+    def test_record_out_of_order_rejected(self):
+        doc = self._doc()
+        with pytest.raises(ValueError, match="time order"):
+            doc.record(1.0, TextNote(Point(0, 0), "late"))
+
+    def test_record_at_same_time_allowed(self):
+        doc = self._doc()
+        doc.record(5.0, TextNote(Point(0, 0), "simultaneous"))
+        assert len(doc) == 4
+
+    def test_constructor_sorts_events(self):
+        events = [
+            AnnotationEvent(3.0, TextNote(Point(0, 0), "b")),
+            AnnotationEvent(1.0, TextNote(Point(0, 0), "a")),
+        ]
+        doc = AnnotationDocument("a", "x", "url", events=events)
+        assert [e.time for e in doc.events] == [1.0, 3.0]
+
+    def test_json_roundtrip(self):
+        doc = self._doc()
+        restored = AnnotationDocument.from_json(doc.to_json())
+        assert restored.name == doc.name
+        assert restored.author == doc.author
+        assert restored.page_url == doc.page_url
+        assert restored.events == doc.events
+
+    def test_empty_document(self):
+        doc = AnnotationDocument("a", "x", "url")
+        assert doc.duration == 0.0 and len(doc) == 0
+        assert AnnotationDocument.from_json(doc.to_json()).events == []

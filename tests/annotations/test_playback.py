@@ -1,0 +1,87 @@
+"""Tests for annotation playback."""
+
+import pytest
+
+from repro.annotations import AnnotationDocument, AnnotationPlayer, Line, Point, TextNote
+
+
+@pytest.fixture
+def doc() -> AnnotationDocument:
+    d = AnnotationDocument("ann", "huang", "url")
+    d.record(0.0, Line(Point(0, 0), Point(1, 1)))
+    d.record(2.0, TextNote(Point(0, 0), "a"))
+    d.record(4.0, TextNote(Point(0, 0), "b"))
+    d.record(6.0, TextNote(Point(0, 0), "c"))
+    return d
+
+
+class TestAdvance:
+    def test_reveals_events_as_time_passes(self, doc):
+        player = AnnotationPlayer(doc)
+        revealed = player.advance(0.0)
+        assert len(revealed) == 1  # the t=0 line
+        revealed = player.advance(2.0)
+        assert len(revealed) == 1
+        assert len(player.frame()) == 2
+
+    def test_finishes(self, doc):
+        player = AnnotationPlayer(doc)
+        player.advance(10.0)
+        assert player.finished
+        assert len(player.frame()) == 4
+
+    def test_rate_scaling(self, doc):
+        player = AnnotationPlayer(doc, rate=2.0)
+        player.advance(2.0)  # 4 document seconds
+        assert len(player.frame()) == 3
+
+    def test_wall_duration(self, doc):
+        assert AnnotationPlayer(doc, rate=2.0).wall_duration == 3.0
+        assert AnnotationPlayer(doc, rate=0.5).wall_duration == 12.0
+
+    def test_negative_advance_rejected(self, doc):
+        with pytest.raises(ValueError):
+            AnnotationPlayer(doc).advance(-1)
+
+    def test_invalid_rate(self, doc):
+        with pytest.raises(ValueError):
+            AnnotationPlayer(doc, rate=0)
+
+
+class TestSeek:
+    def test_seek_forward_and_back(self, doc):
+        player = AnnotationPlayer(doc)
+        frame = player.seek(4.0)
+        assert len(frame) == 3
+        frame = player.seek(1.0)
+        assert len(frame) == 1
+        frame = player.seek(0.0)
+        assert len(frame) == 1  # t=0 event included at its own time
+
+    def test_seek_past_end(self, doc):
+        player = AnnotationPlayer(doc)
+        assert len(player.seek(100.0)) == 4
+
+    def test_seek_clamps_negative(self, doc):
+        player = AnnotationPlayer(doc)
+        player.seek(-5.0)
+        assert player.position == 0.0
+
+
+class TestFrames:
+    def test_samples_whole_timeline(self, doc):
+        player = AnnotationPlayer(doc)
+        frames = player.frames(step_s=2.0)
+        assert [len(f) for f in frames] == [1, 2, 3, 4]
+        assert [f.time for f in frames] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_frames_do_not_disturb_position(self, doc):
+        player = AnnotationPlayer(doc)
+        player.seek(2.0)
+        player.frames(step_s=1.0)
+        assert player.position == 2.0
+        assert len(player.frame()) == 2
+
+    def test_invalid_step(self, doc):
+        with pytest.raises(ValueError):
+            AnnotationPlayer(doc).frames(step_s=0)

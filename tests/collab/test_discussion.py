@@ -1,0 +1,96 @@
+"""Tests for the discussion board with presence-driven fan-out."""
+
+import pytest
+
+from repro.collab import DiscussionBoard, PresenceDaemon
+
+from tests.conftest import build_network
+
+
+@pytest.fixture
+def world():
+    net = build_network(6)
+    presence = PresenceDaemon(net, "s1", heartbeat_interval_s=30.0,
+                              timeout_s=90.0)
+    board = DiscussionBoard(net, presence)
+    presence.join("alice", "s2", "CS101")
+    presence.join("bob", "s3", "CS101")
+    presence.join("cyd", "s4", "MM201")
+    net.sim.run(until=1.0)
+    return net, presence, board
+
+
+class TestThreads:
+    def test_create_and_list(self, world):
+        _net, _presence, board = world
+        thread = board.create_thread("CS101", "Homework 1")
+        board.create_thread("MM201", "Project ideas")
+        assert [t.title for t in board.threads_in("CS101")] == ["Homework 1"]
+        assert board.thread(thread.thread_id).course == "CS101"
+
+    def test_unknown_thread(self, world):
+        _net, _presence, board = world
+        with pytest.raises(LookupError):
+            board.thread(999)
+        with pytest.raises(LookupError):
+            board.post("alice", "s2", 999, "hi")
+
+
+class TestPosting:
+    def test_post_stored_in_thread(self, world):
+        net, _presence, board = world
+        thread = board.create_thread("CS101", "HW")
+        board.post("alice", "s2", thread.thread_id, "question about q3")
+        net.sim.run(until=net.sim.now + 5.0)
+        assert len(board.thread(thread.thread_id)) == 1
+        post = board.thread(thread.thread_id).posts[0]
+        assert post.author == "alice" and "q3" in post.body
+
+    def test_fanout_to_present_course_members_only(self, world):
+        net, _presence, board = world
+        thread = board.create_thread("CS101", "HW")
+        board.post("alice", "s2", thread.thread_id, "hello")
+        net.sim.run(until=net.sim.now + 5.0)
+        # bob (CS101, s3) hears it; cyd (MM201, s4) does not; alice's own
+        # station is skipped.
+        assert len(board.delivered_to("s3")) == 1
+        assert board.delivered_to("s4") == []
+        assert board.delivered_to("s2") == []
+
+    def test_absent_member_misses_live_fanout(self, world):
+        net, presence, board = world
+        presence.leave("bob", "s3")
+        net.sim.run(until=2.0)
+        thread = board.create_thread("CS101", "HW")
+        board.post("alice", "s2", thread.thread_id, "hello again")
+        net.sim.run(until=net.sim.now + 5.0)
+        assert board.delivered_to("s3") == []
+        # ...but the post is on the board for later reading.
+        assert len(board.thread(thread.thread_id)) == 1
+
+    def test_thread_ordering_and_activity(self, world):
+        net, _presence, board = world
+        thread = board.create_thread("CS101", "HW")
+        board.post("alice", "s2", thread.thread_id, "first")
+        net.sim.run(until=net.sim.now + 5.0)
+        board.post("bob", "s3", thread.thread_id, "second")
+        net.sim.run(until=net.sim.now + 5.0)
+        posts = board.thread(thread.thread_id).posts
+        assert [p.author for p in posts] == ["alice", "bob"]
+        assert board.thread(thread.thread_id).last_activity == posts[-1].posted_at
+
+    def test_posts_counted(self, world):
+        net, _presence, board = world
+        thread = board.create_thread("CS101", "HW")
+        for author, station in (("alice", "s2"), ("bob", "s3")):
+            board.post(author, station, thread.thread_id, "msg")
+        net.sim.run(until=net.sim.now + 5.0)
+        assert board.posts_stored == 2
+
+    def test_wire_bytes_grow_with_body(self, world):
+        net, _presence, board = world
+        thread = board.create_thread("CS101", "HW")
+        board.post("alice", "s2", thread.thread_id, "x" * 1000)
+        net.sim.run(until=net.sim.now + 5.0)
+        delivered = board.delivered_to("s3")[0]
+        assert delivered.wire_bytes > 1000

@@ -1,0 +1,94 @@
+"""Tests for the awareness/presence daemon."""
+
+import pytest
+
+from repro.collab import PresenceDaemon
+
+from tests.conftest import build_network
+
+
+@pytest.fixture
+def world():
+    net = build_network(6)
+    daemon = PresenceDaemon(
+        net, "s1", heartbeat_interval_s=30.0, timeout_s=90.0
+    )
+    return net, daemon
+
+
+class TestJoining:
+    def test_member_appears_after_first_heartbeat(self, world):
+        net, daemon = world
+        daemon.join("alice", "s2", "CS101")
+        net.sim.run(until=1.0)
+        assert daemon.is_present("alice")
+        assert daemon.station_of("alice") == "s2"
+
+    def test_roster_filters_by_course(self, world):
+        net, daemon = world
+        daemon.join("alice", "s2", "CS101")
+        daemon.join("bob", "s3", "MM201")
+        net.sim.run(until=1.0)
+        assert [i.user for i in daemon.present("CS101")] == ["alice"]
+        assert [i.user for i in daemon.present()] == ["alice", "bob"]
+
+    def test_double_join_rejected(self, world):
+        _net, daemon = world
+        daemon.join("alice", "s2", "CS101")
+        with pytest.raises(ValueError):
+            daemon.join("alice", "s3", "CS101")
+
+    def test_heartbeats_keep_member_alive(self, world):
+        net, daemon = world
+        daemon.join("alice", "s2", "CS101")
+        net.sim.run(until=300.0)  # several heartbeat periods
+        assert daemon.is_present("alice")
+        assert daemon.heartbeats_received >= 10
+
+
+class TestLeaving:
+    def test_explicit_leave_removes_member(self, world):
+        net, daemon = world
+        daemon.join("alice", "s2", "CS101")
+        net.sim.run(until=1.0)
+        daemon.leave("alice", "s2")
+        net.sim.run(until=2.0)
+        assert not daemon.is_present("alice")
+
+    def test_leave_stops_heartbeats(self, world):
+        net, daemon = world
+        daemon.join("alice", "s2", "CS101")
+        net.sim.run(until=1.0)
+        daemon.leave("alice", "s2")
+        count = daemon.heartbeats_received
+        net.sim.run(until=500.0)
+        assert daemon.heartbeats_received == count
+
+    def test_silent_member_ages_out(self, world):
+        """A crashed station (heartbeat loop cancelled without a leave
+        message) disappears after the timeout."""
+        net, daemon = world
+        daemon.join("alice", "s2", "CS101")
+        net.sim.run(until=1.0)
+        # Simulate the crash: stop the loop without notifying.
+        daemon._active.discard("alice")
+        net.sim.run(until=200.0)
+        assert not daemon.is_present("alice")
+
+    def test_leave_unknown_is_noop(self, world):
+        _net, daemon = world
+        daemon.leave("ghost", "s2")  # no raise
+
+
+class TestConfiguration:
+    def test_timeout_must_exceed_interval(self, world):
+        net, _daemon2 = world
+        with pytest.raises(ValueError, match="exceed"):
+            PresenceDaemon(
+                build_network(2), "s1",
+                heartbeat_interval_s=60.0, timeout_s=30.0,
+            )
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            PresenceDaemon(build_network(2), "s1", heartbeat_interval_s=0)

@@ -1,0 +1,154 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.core import ImplementationSCI, ScriptSCI, WebDocumentDatabase
+from repro.net import Network, Simulator, Station
+from repro.net.link import DuplexLink
+from repro.rdb import Action, Column, ColumnType, Database, ForeignKey, Schema
+from repro.storage.blob import BlobKind
+from repro.storage.files import DocumentFile, FileKind
+
+T = ColumnType
+
+
+# ---------------------------------------------------------------------------
+# Relational-engine fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def people_schema() -> Schema:
+    """A simple standalone table."""
+    return Schema(
+        name="people",
+        columns=(
+            Column("person_id", T.INT, nullable=False),
+            Column("name", T.TEXT, nullable=False),
+            Column("age", T.INT),
+            Column("email", T.TEXT),
+            Column("tags", T.JSON, default=[]),
+        ),
+        primary_key=("person_id",),
+        unique=(("email",),),
+    )
+
+
+@pytest.fixture
+def orders_schema() -> Schema:
+    """A child table with a CASCADE foreign key into people."""
+    return Schema(
+        name="orders",
+        columns=(
+            Column("order_id", T.INT, nullable=False),
+            Column("person_id", T.INT),
+            Column("amount", T.FLOAT, nullable=False, default=0.0),
+        ),
+        primary_key=("order_id",),
+        foreign_keys=(
+            ForeignKey(
+                ("person_id",), "people", ("person_id",),
+                on_delete=Action.CASCADE, on_update=Action.CASCADE,
+            ),
+        ),
+    )
+
+
+@pytest.fixture
+def db(people_schema: Schema, orders_schema: Schema) -> Database:
+    """An engine with the people/orders pair created."""
+    database = Database("testdb")
+    database.create_table(people_schema)
+    database.create_table(orders_schema)
+    return database
+
+
+@pytest.fixture
+def populated_db(db: Database) -> Database:
+    """people: ada/bob/cyd; orders: two for ada, one for bob."""
+    db.insert("people", {"person_id": 1, "name": "ada", "age": 36,
+                         "email": "ada@mmu.edu", "tags": ["fac"]})
+    db.insert("people", {"person_id": 2, "name": "bob", "age": 20,
+                         "email": "bob@mmu.edu", "tags": ["stu"]})
+    db.insert("people", {"person_id": 3, "name": "cyd", "age": None,
+                         "email": None, "tags": ["stu", "ta"]})
+    db.insert("orders", {"order_id": 10, "person_id": 1, "amount": 5.0})
+    db.insert("orders", {"order_id": 11, "person_id": 1, "amount": 7.5})
+    db.insert("orders", {"order_id": 12, "person_id": 2, "amount": 2.0})
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Network fixtures
+# ---------------------------------------------------------------------------
+def build_network(
+    n: int, mbit: float = 10.0, latency: float = 0.02
+) -> Network:
+    """N stations named s1..sN with symmetric links."""
+    sim = Simulator()
+    network = Network(sim, default_latency_s=latency)
+    for position in range(1, n + 1):
+        network.add(
+            Station(f"s{position}", DuplexLink.symmetric_mbps(mbit))
+        )
+    return network
+
+
+@pytest.fixture
+def net8() -> Network:
+    return build_network(8)
+
+
+@pytest.fixture
+def net16() -> Network:
+    return build_network(16)
+
+
+# ---------------------------------------------------------------------------
+# Web document database fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def wddb() -> WebDocumentDatabase:
+    """A document database with one course database created."""
+    database = WebDocumentDatabase("teststation")
+    database.create_document_database(
+        "mmu", author="shih", keywords=["test"],
+        created_at=dt.datetime(1999, 6, 1),
+    )
+    return database
+
+
+@pytest.fixture
+def course(wddb: WebDocumentDatabase) -> ImplementationSCI:
+    """One small course: script + 2-page implementation + video blob."""
+    wddb.add_script(
+        ScriptSCI(
+            script_name="cs101",
+            db_name="mmu",
+            author="shih",
+            description="intro course",
+            keywords=["intro"],
+        )
+    )
+    video = wddb.register_blob("cs101/lec.mpg", 1_000_000, BlobKind.VIDEO)
+    return wddb.add_implementation(
+        ImplementationSCI(
+            starting_url="http://mmu/cs101/",
+            script_name="cs101",
+            author="shih",
+            multimedia=[video],
+        ),
+        html_files=[
+            DocumentFile(
+                "cs101/index.html", FileKind.HTML,
+                '<a href="cs101/p1.html">next</a>'
+                '<img src="cs101/lec.mpg">',
+            ),
+            DocumentFile("cs101/p1.html", FileKind.HTML, "<html>end</html>"),
+        ],
+        program_files=[
+            DocumentFile("cs101/quiz.class", FileKind.PROGRAM, "code")
+        ],
+    )

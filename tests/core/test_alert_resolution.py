@@ -1,0 +1,92 @@
+"""Tests for integrity-alert acknowledgement and auto-resolution."""
+
+import pytest
+
+from repro.core import TestRecordSCI
+
+
+class TestAutoResolution:
+    def test_updating_destination_clears_its_alerts(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        pending = wddb.alerts.pending_for("implementations")
+        assert len(pending) == 1
+        # the implementation author does the requested update
+        wddb.engine.update_pk(
+            "implementations", course.starting_url, {"author": "revised"}
+        )
+        assert wddb.alerts.pending_for("implementations") == []
+        assert wddb.alerts.resolved >= 1
+
+    def test_resolution_does_not_clear_other_alerts(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        html_alerts_before = len(wddb.alerts.pending_for("html_files"))
+        wddb.engine.update_pk(
+            "implementations", course.starting_url, {"author": "revised"}
+        )
+        # the impl's own update raises a fresh cascade for its files
+        assert len(wddb.alerts.pending_for("html_files")) >= html_alerts_before
+
+    def test_update_raises_fresh_cascade_after_resolving(self, wddb, course):
+        wddb.add_test_record(TestRecordSCI("tr1", "cs101", course.starting_url))
+        wddb.update_script("cs101", {"description": "x"})
+        wddb.alerts.drain()
+        wddb.engine.update_pk(
+            "implementations", course.starting_url, {"author": "revised"}
+        )
+        # implementation's dependents got alerted by ITS update
+        assert any(
+            a.dst_table == "test_records" for a in wddb.alerts.alerts
+        )
+
+
+class TestAcknowledge:
+    def test_acknowledge_removes_one(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        alert = wddb.alerts.alerts[0]
+        count_before = len(wddb.alerts.alerts)
+        assert wddb.alerts.acknowledge(alert) is True
+        assert len(wddb.alerts.alerts) == count_before - 1
+
+    def test_double_acknowledge_returns_false(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        alert = wddb.alerts.alerts[0]
+        wddb.alerts.acknowledge(alert)
+        assert wddb.alerts.acknowledge(alert) is False
+
+    def test_resolve_counts(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        resolved = wddb.alerts.resolve(
+            "implementations", (course.starting_url,)
+        )
+        assert resolved == 1
+        assert wddb.alerts.resolve("implementations",
+                                   (course.starting_url,)) == 0
+
+
+class TestWhiteBoxQARun:
+    def test_plan_run_files_record(self, wddb, course):
+        from repro.qa import QARunner
+
+        outcome = QARunner(wddb, "ma").run_plan(course.starting_url)
+        assert outcome.passed
+        records = wddb.test_records_of(course.starting_url)
+        assert any("wb" in r.test_record_name for r in records)
+        assert any(m.startswith("PLAN coverage=") for m in
+                   outcome.test_record.traversal_messages)
+
+    def test_plan_run_detects_regression(self, wddb, course):
+        from repro.qa import QARunner
+
+        runner = QARunner(wddb, "ma")
+        # break a link after the plan would have been built: delete p1
+        wddb.files.delete("cs101/p1.html")
+        outcome = runner.run_plan(course.starting_url)
+        assert not outcome.passed
+        assert outcome.bug_report is not None
+        assert outcome.bug_report.bad_urls
+
+    def test_plan_run_unknown_impl(self, wddb):
+        from repro.qa import QARunner
+
+        with pytest.raises(LookupError):
+            QARunner(wddb, "ma").run_plan("http://ghost/")

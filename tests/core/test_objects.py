@@ -1,0 +1,96 @@
+"""Tests for SCI object <-> row conversions."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import (
+    AnnotationSCI,
+    BugReportSCI,
+    DocumentDatabaseInfo,
+    ImplementationSCI,
+    ScriptSCI,
+    TestRecordSCI,
+    TestScope,
+)
+from repro.storage.files import FileDescriptor
+
+
+class TestRoundTrips:
+    def test_database_info(self):
+        info = DocumentDatabaseInfo(
+            db_name="mmu", author="shih", keywords=["a", "b"], version=3,
+            created_at=dt.datetime(1999, 2, 3),
+        )
+        assert DocumentDatabaseInfo.from_row(info.to_row()) == info
+
+    def test_script(self):
+        script = ScriptSCI(
+            script_name="cs101", db_name="mmu", author="shih",
+            description="desc", keywords=["intro"], version=2,
+            created_at=dt.datetime(1999, 5, 1),
+            verbal_description="digest123",
+            expected_completion=dt.datetime(1999, 9, 1),
+            percent_complete=55.5, multimedia=["d1", "d2"],
+        )
+        assert ScriptSCI.from_row(script.to_row()) == script
+
+    def test_implementation_with_descriptors(self):
+        impl = ImplementationSCI(
+            starting_url="http://x/", script_name="cs101", author="shih",
+            html_files=[FileDescriptor("st", "a.html")],
+            program_files=[FileDescriptor("st", "b.class")],
+            multimedia=["d1"],
+        )
+        restored = ImplementationSCI.from_row(impl.to_row())
+        assert restored == impl
+        assert restored.html_files[0].station == "st"
+
+    def test_test_record_scope_enum(self):
+        record = TestRecordSCI(
+            test_record_name="tr", script_name="cs101",
+            starting_url="http://x/", scope=TestScope.GLOBAL,
+            traversal_messages=["OPEN a", "FOLLOW b"], passed=False,
+        )
+        restored = TestRecordSCI.from_row(record.to_row())
+        assert restored == record
+        assert restored.scope is TestScope.GLOBAL
+
+    def test_bug_report(self):
+        report = BugReportSCI(
+            bug_report_name="bug", test_record_name="tr",
+            qa_engineer="ma", bad_urls=["u1"], missing_objects=["m1"],
+            inconsistency="mismatch", redundant_objects=["r1"],
+        )
+        assert BugReportSCI.from_row(report.to_row()) == report
+
+    def test_annotation(self):
+        annotation = AnnotationSCI(
+            annotation_name="ann", author="huang", script_name="cs101",
+            starting_url="http://x/",
+            annotation_file=FileDescriptor("st", "a.json"), version=4,
+        )
+        assert AnnotationSCI.from_row(annotation.to_row()) == annotation
+
+
+class TestSemantics:
+    def test_bug_report_is_clean(self):
+        clean = BugReportSCI("b", "tr", qa_engineer="ma")
+        assert clean.is_clean
+        dirty = BugReportSCI("b", "tr", qa_engineer="ma", bad_urls=["x"])
+        assert not dirty.is_clean
+        described = BugReportSCI("b", "tr", qa_engineer="ma",
+                                 bug_description="broken")
+        assert not described.is_clean
+
+    def test_row_lists_are_copies(self):
+        script = ScriptSCI("s", "db", author="a", keywords=["k"])
+        row = script.to_row()
+        row["keywords"].append("mutated")
+        assert script.keywords == ["k"]
+
+    def test_defaults(self):
+        script = ScriptSCI("s", "db", author="a")
+        assert script.version == 1
+        assert script.percent_complete == 0.0
+        assert script.multimedia == []

@@ -1,0 +1,158 @@
+"""Tests for document classes, instances and references."""
+
+import pytest
+
+from repro.core import ReuseManager
+from repro.storage.blob import BlobKind, BlobStore
+from repro.storage.files import DocumentFile, FileKind, FileStore
+
+
+@pytest.fixture
+def manager() -> ReuseManager:
+    return ReuseManager(BlobStore("st"), FileStore("st"))
+
+
+def _files():
+    return [
+        DocumentFile("index.html", FileKind.HTML, "<html>root</html>"),
+        DocumentFile("p1.html", FileKind.HTML, "<html>page</html>"),
+    ]
+
+
+MEDIA = [("video.mpg", 1000, BlobKind.VIDEO), ("au.wav", 200, BlobKind.AUDIO)]
+
+
+class TestCreateInstance:
+    def test_new_instance_owns_blobs(self, manager):
+        instance = manager.create_instance("i1", _files(), MEDIA)
+        assert instance.owns_physical_blobs
+        assert len(instance.blob_digests) == 2
+        assert manager.blobs.physical_bytes == 1200
+
+    def test_files_written(self, manager):
+        manager.create_instance("i1", _files(), [])
+        assert manager.files.exists("index.html")
+
+    def test_duplicate_id_rejected(self, manager):
+        manager.create_instance("i1", _files(), [])
+        with pytest.raises(ValueError):
+            manager.create_instance("i1", _files(), [])
+
+
+class TestDeclareClass:
+    def test_class_takes_blob_ownership(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        cls = manager.declare_class("i1", "c1")
+        assert cls.blob_digests == manager.instance("i1").blob_digests
+        for digest in cls.blob_digests:
+            owners = manager.blobs.owners_of(digest)
+            assert cls.owner_tag in owners
+        # the instance now points into the class
+        assert manager.instance("i1").from_class == "c1"
+        assert not manager.instance("i1").owns_physical_blobs
+
+    def test_no_extra_physical_bytes(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        before = manager.blobs.physical_bytes
+        manager.declare_class("i1", "c1")
+        assert manager.blobs.physical_bytes == before
+
+    def test_duplicate_class_rejected(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        manager.declare_class("i1", "c1")
+        with pytest.raises(ValueError):
+            manager.declare_class("i1", "c1")
+
+    def test_unknown_instance(self, manager):
+        with pytest.raises(LookupError):
+            manager.declare_class("ghost", "c1")
+
+
+class TestInstantiate:
+    def _class(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        return manager.declare_class("i1", "c1")
+
+    def test_structure_copied_blobs_shared(self, manager):
+        self._class(manager)
+        instance = manager.instantiate("c1", "i2")
+        # structure files duplicated under the new prefix
+        assert manager.files.exists("i2/index.html")
+        assert manager.files.read("i2/index.html").content == "<html>root</html>"
+        # BLOBs shared, not copied
+        assert manager.blobs.physical_bytes == 1200
+        assert instance.from_class == "c1"
+        for digest in instance.blob_digests:
+            assert instance.owner_tag in manager.blobs.owners_of(digest)
+
+    def test_many_instances_share_one_copy(self, manager):
+        self._class(manager)
+        for index in range(5):
+            manager.instantiate("c1", f"copy{index}")
+        assert manager.blobs.physical_bytes == 1200
+        assert manager.blobs.sharing_factor >= 6  # class + i1 + 5 copies... >= 6
+
+    def test_instantiation_counter(self, manager):
+        cls = self._class(manager)
+        manager.instantiate("c1", "i2")
+        manager.instantiate("c1", "i3")
+        assert cls.instantiations == 2
+
+    def test_custom_path_prefix(self, manager):
+        self._class(manager)
+        manager.instantiate("c1", "i2", path_prefix="mirror/")
+        assert manager.files.exists("mirror/index.html")
+
+    def test_duplicate_instance_id(self, manager):
+        self._class(manager)
+        with pytest.raises(ValueError):
+            manager.instantiate("c1", "i1")
+
+
+class TestReferencesAndDrop:
+    def test_make_reference(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        reference = manager.make_reference("i1")
+        assert reference.instance_id == "i1"
+        assert reference.instance_station == "st"
+
+    def test_drop_instance_reclaims_when_sole_owner(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        reclaimed = manager.drop_instance("i1")
+        assert reclaimed == 1200
+        assert manager.blobs.physical_bytes == 0
+        assert not manager.files.exists("index.html")
+
+    def test_drop_instance_keeps_shared_blobs(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        manager.declare_class("i1", "c1")
+        manager.instantiate("c1", "i2")
+        reclaimed = manager.drop_instance("i2")
+        assert reclaimed == 0  # class and i1 still share them
+        assert manager.blobs.physical_bytes == 1200
+
+    def test_drop_class_refused_while_instances_point(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        manager.declare_class("i1", "c1")
+        with pytest.raises(ValueError, match="still has instances"):
+            manager.drop_class("c1")
+
+    def test_drop_class_after_instances_gone(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        manager.declare_class("i1", "c1")
+        manager.drop_instance("i1")
+        reclaimed = manager.drop_class("c1")
+        assert reclaimed == 1200
+        assert manager.blobs.physical_bytes == 0
+
+
+class TestSharingReport:
+    def test_report_fields(self, manager):
+        manager.create_instance("i1", _files(), MEDIA)
+        manager.declare_class("i1", "c1")
+        manager.instantiate("c1", "i2")
+        report = manager.sharing_report()
+        assert report["classes"] == 1
+        assert report["instances"] == 2
+        assert report["physical_bytes"] == 1200
+        assert report["sharing_factor"] > 1

@@ -1,0 +1,64 @@
+"""Tests for the three-layer schema definitions."""
+
+import pytest
+
+from repro.core import schema as S
+from repro.rdb import Action, Database
+
+
+class TestSchemaShape:
+    def test_all_schemas_create_in_order(self):
+        db = Database("x")
+        for table_schema in S.ALL_SCHEMAS:
+            db.create_table(table_schema)
+        assert len(db.table_names()) == len(S.ALL_SCHEMAS)
+
+    def test_paper_tables_present(self):
+        names = {schema.name for schema in S.ALL_SCHEMAS}
+        assert {
+            "doc_databases", "scripts", "implementations", "test_records",
+            "bug_reports", "annotations", "blobs", "html_files",
+            "program_files", "annotation_files",
+        } <= names
+
+    def test_script_attributes_match_paper(self):
+        """The paper's script table fields are all represented."""
+        columns = set(S.SCRIPTS.column_names)
+        assert {
+            "script_name", "keywords", "author", "version", "created_at",
+            "description", "verbal_description", "expected_completion",
+            "percent_complete", "multimedia",
+        } <= columns
+
+    def test_bug_report_defect_fields(self):
+        columns = set(S.BUG_REPORTS.column_names)
+        assert {
+            "qa_engineer", "test_procedure", "bug_description", "bad_urls",
+            "missing_objects", "inconsistency", "redundant_objects",
+        } <= columns
+
+    def test_deleting_database_cascades_to_scripts(self):
+        assert any(
+            fk.parent_table == "doc_databases"
+            and fk.on_delete is Action.CASCADE
+            for fk in S.SCRIPTS.foreign_keys
+        )
+
+    def test_implementation_cascade_from_script(self):
+        fk = next(
+            fk for fk in S.IMPLEMENTATIONS.foreign_keys
+            if fk.parent_table == "scripts"
+        )
+        assert fk.on_delete is Action.CASCADE
+        assert fk.on_update is Action.CASCADE
+
+    def test_annotation_references_script_and_implementation(self):
+        parents = {fk.parent_table for fk in S.ANNOTATIONS.foreign_keys}
+        assert parents == {"scripts", "implementations"}
+
+    def test_verbal_description_points_at_blob_layer(self):
+        fk = next(
+            fk for fk in S.SCRIPTS.foreign_keys
+            if fk.parent_table == "blobs"
+        )
+        assert fk.on_delete is Action.SET_NULL

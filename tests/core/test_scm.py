@@ -1,0 +1,122 @@
+"""Tests for the configuration manager (check-in/out, versions)."""
+
+import pytest
+
+from repro.core import (
+    CheckoutError,
+    ConfigurationManager,
+    LockConflictError,
+    LockManager,
+    LockMode,
+    ObjectTree,
+)
+
+
+@pytest.fixture
+def scm() -> ConfigurationManager:
+    tree = ObjectTree("root")
+    tree.add("course", "root")
+    manager = ConfigurationManager(LockManager(tree))
+    manager.add_component("page", "course", "v1 content", "shih")
+    return manager
+
+
+class TestVersioning:
+    def test_initial_version(self, scm):
+        record = scm.latest("page")
+        assert record.version == 1 and record.content == "v1 content"
+
+    def test_check_in_appends_version(self, scm):
+        scm.check_out("shih", "page")
+        record = scm.check_in("shih", "page", "v2 content", "edit")
+        assert record.version == 2
+        assert scm.latest("page").content == "v2 content"
+
+    def test_history_preserved(self, scm):
+        scm.check_out("shih", "page")
+        scm.check_in("shih", "page", "v2", "second")
+        scm.check_out("ma", "page")
+        scm.check_in("ma", "page", "v3", "third")
+        history = scm.history("page")
+        assert [(r.version, r.author) for r in history] == [
+            (1, "shih"), (2, "shih"), (3, "ma"),
+        ]
+
+    def test_fetch_specific_version(self, scm):
+        scm.check_out("shih", "page")
+        scm.check_in("shih", "page", "v2")
+        assert scm.version("page", 1).content == "v1 content"
+        with pytest.raises(LookupError):
+            scm.version("page", 9)
+
+    def test_duplicate_component_rejected(self, scm):
+        with pytest.raises(ValueError):
+            scm.add_component("page", "course", "x", "shih")
+
+    def test_unknown_component(self, scm):
+        with pytest.raises(LookupError):
+            scm.latest("ghost")
+
+
+class TestCheckoutProtocol:
+    def test_check_out_returns_working_copy(self, scm):
+        assert scm.check_out("shih", "page") == "v1 content"
+        assert scm.is_checked_out("page")
+        assert scm.checked_out_by("page") == "shih"
+
+    def test_double_checkout_rejected(self, scm):
+        scm.check_out("shih", "page")
+        with pytest.raises(CheckoutError, match="already checked out"):
+            scm.check_out("ma", "page")
+
+    def test_checkin_by_wrong_user_rejected(self, scm):
+        scm.check_out("shih", "page")
+        with pytest.raises(CheckoutError, match="not checked out by ma"):
+            scm.check_in("ma", "page", "x")
+
+    def test_checkin_without_checkout_rejected(self, scm):
+        with pytest.raises(CheckoutError):
+            scm.check_in("shih", "page", "x")
+
+    def test_checkout_takes_write_lock(self, scm):
+        scm.check_out("shih", "page")
+        with pytest.raises(LockConflictError):
+            scm.locks.acquire("ma", "page", LockMode.READ)
+
+    def test_checkin_releases_lock(self, scm):
+        scm.check_out("shih", "page")
+        scm.check_in("shih", "page", "v2")
+        scm.locks.acquire("ma", "page", LockMode.WRITE)  # now free
+
+    def test_cancel_checkout(self, scm):
+        scm.check_out("shih", "page")
+        scm.cancel_checkout("shih", "page")
+        assert not scm.is_checked_out("page")
+        assert scm.latest("page").version == 1  # no version created
+        scm.check_out("ma", "page")  # lock released
+
+    def test_cancel_by_wrong_user(self, scm):
+        scm.check_out("shih", "page")
+        with pytest.raises(CheckoutError):
+            scm.cancel_checkout("ma", "page")
+
+    def test_counters(self, scm):
+        scm.check_out("shih", "page")
+        scm.check_in("shih", "page", "v2")
+        assert scm.checkouts == 1 and scm.checkins == 1
+
+
+class TestLockTreeIntegration:
+    def test_container_lock_blocks_component_checkout(self, scm):
+        """A write lock on the course blocks checking out its page."""
+        scm.locks.acquire("admin", "course", LockMode.WRITE)
+        with pytest.raises(LockConflictError):
+            scm.check_out("shih", "page")
+
+    def test_component_registered_in_tree(self, scm):
+        assert "page" in scm.locks.tree
+        assert scm.locks.tree.parent("page") == "course"
+
+    def test_components_listing(self, scm):
+        scm.add_component("page2", "course", "x", "ma")
+        assert scm.components() == ["page", "page2"]

@@ -1,0 +1,120 @@
+"""Tests for compound duplication and WDDB save/load."""
+
+import pytest
+
+from repro.core import LockMode, ScriptSCI, TestRecordSCI, WebDocumentDatabase
+from repro.qa import QARunner
+
+
+class TestDuplicateCourse:
+    def test_duplicate_creates_new_compound(self, wddb, course):
+        copy = wddb.duplicate_course("cs101", "cs101-spring")
+        assert copy.script_name == "cs101-spring"
+        impls = wddb.implementations_of("cs101-spring")
+        assert len(impls) == 1
+        # original untouched
+        assert len(wddb.implementations_of("cs101")) == 1
+
+    def test_small_files_copied_links_rewritten(self, wddb, course):
+        wddb.duplicate_course("cs101", "copy")
+        duplicated = wddb.implementations_of("copy")[0]
+        paths = [fd.path for fd in duplicated.html_files]
+        assert all(path.startswith("copy/") for path in paths)
+        index = wddb.files.read("copy/cs101/index.html")
+        # internal link rewritten to the copied page
+        assert "copy/cs101/p1.html" in index.content
+
+    def test_blobs_shared_not_copied(self, wddb, course):
+        physical_before = wddb.blobs.physical_bytes
+        wddb.duplicate_course("cs101", "copy")
+        assert wddb.blobs.physical_bytes == physical_before
+        duplicated = wddb.implementations_of("copy")[0]
+        assert duplicated.multimedia == course.multimedia
+        # the copy took its own reference
+        owners = wddb.blobs.owners_of(course.multimedia[0])
+        assert any(owner.startswith("impl:") and "copy" in owner
+                   for owner in owners)
+
+    def test_modifications_applied(self, wddb, course):
+        copy = wddb.duplicate_course(
+            "cs101", "copy",
+            author="huang",
+            modifications={"description": "spring edition"},
+        )
+        assert copy.author == "huang"
+        assert wddb.script("copy").description == "spring edition"
+        assert wddb.script("copy").version == 1
+
+    def test_duplicate_passes_qa(self, wddb, course):
+        wddb.duplicate_course("cs101", "copy")
+        outcome = QARunner(wddb, "qa").run(
+            wddb.implementations_of("copy")[0].starting_url
+        )
+        assert outcome.passed, [f.detail for f in outcome.findings]
+
+    def test_unknown_source_rejected(self, wddb):
+        with pytest.raises(LookupError):
+            wddb.duplicate_course("ghost", "copy")
+
+    def test_existing_target_rejected(self, wddb, course):
+        with pytest.raises(ValueError, match="already exists"):
+            wddb.duplicate_course("cs101", "cs101")
+
+
+class TestSaveLoad:
+    def _populate(self, wddb, course):
+        wddb.add_test_record(
+            TestRecordSCI("tr1", "cs101", course.starting_url)
+        )
+        wddb.add_script(ScriptSCI("other", "mmu", author="ma"))
+        return wddb
+
+    def test_roundtrip_preserves_rows(self, wddb, course, tmp_path):
+        self._populate(wddb, course)
+        wddb.save(tmp_path / "state")
+        loaded = WebDocumentDatabase.load(tmp_path / "state", "restored")
+        assert loaded.script("cs101").author == "shih"
+        assert loaded.script("other") is not None
+        assert len(loaded.implementations_of("cs101")) == 1
+        assert len(loaded.test_records_of(course.starting_url)) == 1
+
+    def test_roundtrip_preserves_files(self, wddb, course, tmp_path):
+        wddb.save(tmp_path / "state")
+        loaded = WebDocumentDatabase.load(tmp_path / "state")
+        original = wddb.files.read("cs101/index.html")
+        restored = loaded.files.read("cs101/index.html")
+        assert restored.content == original.content
+        assert restored.checksum == original.checksum
+
+    def test_roundtrip_rebuilds_blob_store(self, wddb, course, tmp_path):
+        wddb.save(tmp_path / "state")
+        loaded = WebDocumentDatabase.load(tmp_path / "state")
+        digest = course.multimedia[0]
+        assert digest in loaded.blobs
+        assert f"impl:{course.starting_url}" in loaded.blobs.owners_of(digest)
+        assert loaded.blobs.physical_bytes == wddb.blobs.physical_bytes
+
+    def test_roundtrip_rebuilds_lock_tree(self, wddb, course, tmp_path):
+        self._populate(wddb, course)
+        wddb.save(tmp_path / "state")
+        loaded = WebDocumentDatabase.load(tmp_path / "state")
+        assert f"impl:{course.starting_url}" in loaded.tree
+        assert "test:tr1" in loaded.tree
+        # locking still works on the restored hierarchy
+        loaded.locks.acquire("shih", "script:cs101", LockMode.WRITE)
+
+    def test_loaded_db_is_fully_operational(self, wddb, course, tmp_path):
+        wddb.save(tmp_path / "state")
+        loaded = WebDocumentDatabase.load(tmp_path / "state")
+        loaded.update_script("cs101", {"percent_complete": 99.0})
+        alerts = loaded.alerts.drain()
+        assert alerts  # integrity engine reattached and firing
+        outcome = QARunner(loaded, "qa").run(course.starting_url)
+        assert outcome.passed
+
+    def test_load_without_integrity(self, wddb, course, tmp_path):
+        wddb.save(tmp_path / "state")
+        loaded = WebDocumentDatabase.load(
+            tmp_path / "state", with_integrity=False
+        )
+        assert loaded.alerts is None

@@ -1,0 +1,107 @@
+"""Tests for the adaptive arity selector and its analytic model."""
+
+import pytest
+
+from repro.distribution import AdaptiveMSelector, MAryTree, PreBroadcaster, predict_makespan
+from repro.distribution.adaptive import tree_depth
+from repro.storage.blob import BlobKind
+from repro.util.units import MIB, Bandwidth
+
+from tests.conftest import build_network
+
+
+class TestTreeDepth:
+    @pytest.mark.parametrize(
+        "n,m,expected",
+        [
+            (1, 2, 0),
+            (3, 2, 1),
+            (7, 2, 2),
+            (8, 2, 3),
+            (64, 2, 6),
+            (5, 1, 4),
+            (13, 3, 2),
+            (14, 3, 3),
+        ],
+    )
+    def test_depths(self, n, m, expected):
+        assert tree_depth(n, m) == expected
+
+    def test_matches_mary_tree_height(self):
+        for n in (1, 5, 17, 64, 100):
+            for m in (1, 2, 3, 5):
+                assert tree_depth(n, m) == MAryTree(n, m).height
+
+
+class TestPredictMakespan:
+    def test_single_station_zero(self):
+        assert predict_makespan(1, 2, MIB, Bandwidth.from_mbps(10)) == 0.0
+
+    def test_matches_simulation_exactly(self):
+        """The analytic recurrence must equal the simulated makespan for
+        whole-file forwarding on homogeneous links."""
+        bandwidth = Bandwidth.from_mbps(10)
+        for m in (1, 2, 3, 4, 8):
+            net = build_network(20, mbit=10.0, latency=0.02)
+            tree = MAryTree(20, m, names=[f"s{k}" for k in range(1, 21)])
+            report = PreBroadcaster(net).broadcast("lec", 5 * MIB, tree)
+            net.quiesce()
+            predicted = predict_makespan(20, m, 5 * MIB, bandwidth, 0.02)
+            assert predicted == pytest.approx(report.makespan, rel=1e-9)
+
+    def test_chain_is_linear(self):
+        bandwidth = Bandwidth.from_mbps(8)  # 1 MB/s
+        t = predict_makespan(5, 1, 1_000_000, bandwidth, 0.0)
+        assert t == pytest.approx(4.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            predict_makespan(4, 2, 0, Bandwidth.from_mbps(1))
+
+
+class TestSelector:
+    def test_small_groups_use_chain(self):
+        selector = AdaptiveMSelector(Bandwidth.from_mbps(10))
+        assert selector.select_m(2, MIB) == 1
+
+    def test_selection_optimal_among_candidates(self):
+        """The chosen m's simulated makespan is the candidate minimum."""
+        selector = AdaptiveMSelector(Bandwidth.from_mbps(10), latency_s=0.02)
+        n, size = 64, 10 * MIB
+        chosen = selector.select_m(n, size)
+        makespans = {}
+        for m in selector.candidates:
+            if m >= n:
+                continue
+            makespans[m] = predict_makespan(
+                n, m, size, Bandwidth.from_mbps(10), 0.02
+            )
+        assert makespans[chosen] == min(makespans.values())
+
+    def test_big_latency_favors_wider_trees(self):
+        """With huge per-hop latency, depth dominates: larger m wins."""
+        low_latency = AdaptiveMSelector(Bandwidth.from_mbps(10), latency_s=0.0)
+        high_latency = AdaptiveMSelector(Bandwidth.from_mbps(10), latency_s=500.0)
+        size = 1 * MIB
+        assert high_latency.select_m(64, size) > low_latency.select_m(64, size)
+
+    def test_media_table_cached(self):
+        selector = AdaptiveMSelector(Bandwidth.from_mbps(10))
+        m1 = selector.m_for(BlobKind.VIDEO, 64, 50 * MIB)
+        m2 = selector.m_for(BlobKind.VIDEO, 64, 50 * MIB)
+        assert m1 == m2
+        assert (BlobKind.VIDEO, 64) in selector.table()
+
+    def test_update_conditions_clears_table(self):
+        selector = AdaptiveMSelector(Bandwidth.from_mbps(10))
+        selector.m_for(BlobKind.VIDEO, 64, 50 * MIB)
+        selector.update_conditions(Bandwidth.from_mbps(1), latency_s=1.0)
+        assert selector.table() == {}
+        assert selector.latency_s == 1.0
+
+    def test_invalid_inputs(self):
+        selector = AdaptiveMSelector(Bandwidth.from_mbps(10))
+        with pytest.raises(ValueError):
+            selector.select_m(0, MIB)
+        with pytest.raises(ValueError):
+            selector.select_m(10, 0)

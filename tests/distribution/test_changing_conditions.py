@@ -1,0 +1,83 @@
+"""Tests for adapting to changing network conditions (paper goal #1).
+
+"The system adapts to QoS requirements and network conditions to
+deliver different levels of service" — the selector recomputes its
+per-media arity table when told conditions changed, and the link model
+lets bandwidth change between transfers.
+"""
+
+import pytest
+
+from repro.distribution import AdaptiveMSelector, MAryTree, PreBroadcaster
+from repro.storage.blob import BlobKind
+from repro.util.units import MIB, Bandwidth
+
+from tests.conftest import build_network
+
+
+class TestDynamicLinkRates:
+    def test_new_transfers_use_new_rate(self):
+        net = build_network(2, mbit=8.0, latency=0.0)  # 1 MB/s
+        arrivals = []
+        net.station("s2").on("d", lambda st, m: arrivals.append(net.sim.now))
+        net.send("s1", "s2", "d", None, 1_000_000)
+        net.quiesce()
+        assert arrivals[-1] == pytest.approx(1.0)
+        net.station("s1").link.set_rate_mbps(80.0)
+        net.station("s2").link.set_rate_mbps(80.0)
+        start = net.sim.now
+        net.send("s1", "s2", "d", None, 1_000_000)
+        net.quiesce()
+        assert arrivals[-1] - start == pytest.approx(0.1)
+
+    def test_inflight_transfers_keep_committed_rate(self):
+        net = build_network(2, mbit=8.0, latency=0.0)
+        arrivals = []
+        net.station("s2").on("d", lambda st, m: arrivals.append(net.sim.now))
+        net.send("s1", "s2", "d", None, 1_000_000)  # committed at 1 MB/s
+        net.station("s1").link.set_rate_mbps(1000.0)
+        net.quiesce()
+        assert arrivals[-1] == pytest.approx(1.0)
+
+    def test_asymmetric_rate_change(self):
+        from repro.net.link import DuplexLink
+
+        link = DuplexLink.symmetric_mbps(10)
+        link.set_rate(Bandwidth.from_mbps(2), Bandwidth.from_mbps(20))
+        assert link.up.mbps == pytest.approx(2)
+        assert link.down.mbps == pytest.approx(20)
+
+
+class TestAdaptationLoop:
+    def test_degraded_network_changes_broadcast_plan(self):
+        """The full adaptation loop: measure, update, re-select, verify
+        the new plan beats the stale one under the new conditions."""
+        n = 64
+        size = 200 * 1024  # small animation: latency-sensitive
+        good = Bandwidth.from_mbps(100)
+        bad = Bandwidth.from_mbps(100)
+        selector = AdaptiveMSelector(good, latency_s=0.005)
+        m_before = selector.m_for(BlobKind.ANIMATION, n, size)
+        # conditions change: same bandwidth, satellite-like latency
+        selector.update_conditions(bad, latency_s=2.0)
+        m_after = selector.m_for(BlobKind.ANIMATION, n, size)
+        assert m_after > m_before  # latency now dominates: go wider
+
+        def simulate(m, latency):
+            net = build_network(n, mbit=100.0, latency=latency)
+            tree = MAryTree(n, m, names=[f"s{k}" for k in range(1, n + 1)])
+            report = PreBroadcaster(net).broadcast("lec", size, tree)
+            net.quiesce()
+            return report.makespan
+
+        stale_plan = simulate(m_before, latency=2.0)
+        adapted_plan = simulate(m_after, latency=2.0)
+        assert adapted_plan < stale_plan
+
+    def test_bandwidth_recovery_restores_choice(self):
+        selector = AdaptiveMSelector(Bandwidth.from_mbps(10), latency_s=0.05)
+        original = selector.m_for(BlobKind.VIDEO, 64, 50 * MIB)
+        selector.update_conditions(Bandwidth.from_mbps(0.5))
+        selector.m_for(BlobKind.VIDEO, 64, 50 * MIB)
+        selector.update_conditions(Bandwidth.from_mbps(10))
+        assert selector.m_for(BlobKind.VIDEO, 64, 50 * MIB) == original

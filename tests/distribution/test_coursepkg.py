@@ -1,0 +1,157 @@
+"""Tests for course packages and station-to-station shipping."""
+
+import pytest
+
+from repro.core import WebDocumentDatabase
+from repro.distribution import (
+    CourseShipper,
+    install_package,
+    package_course,
+)
+from repro.qa import QARunner
+from repro.workloads import CourseGenerator
+
+from tests.conftest import build_network
+
+
+@pytest.fixture
+def source():
+    db = WebDocumentDatabase("instructor")
+    db.create_document_database("mmu", author="shih")
+    course = CourseGenerator(seed=31, pages_per_course=4).generate_course(
+        db, "mmu", author="shih"
+    )
+    return db, course
+
+
+class TestPackaging:
+    def test_package_contents(self, source):
+        db, course = source
+        package = package_course(db, course.script.script_name)
+        assert package.script_row["script_name"] == course.script.script_name
+        assert len(package.implementation_rows) == 1
+        assert len(package.files) == 4 + 1  # pages + control program
+        assert len(package.blob_rows) == len(set(
+            d for d in course.implementation.multimedia
+        ))
+
+    def test_metadata_package_excludes_blob_bytes(self, source):
+        db, course = source
+        notes = package_course(db, course.script.script_name)
+        full = package_course(db, course.script.script_name,
+                              include_blobs=True)
+        assert notes.blob_bytes == full.blob_bytes  # same registry info
+        assert full.wire_bytes - notes.wire_bytes == full.blob_bytes
+        assert notes.wire_bytes < full.wire_bytes
+
+    def test_unknown_script(self, source):
+        db, _course = source
+        with pytest.raises(LookupError):
+            package_course(db, "ghost")
+
+
+class TestInstall:
+    def test_roundtrip_metadata_only(self, source):
+        db, course = source
+        package = package_course(db, course.script.script_name)
+        student = WebDocumentDatabase("student")
+        script = install_package(student, package)
+        assert student.script(script.script_name) is not None
+        impl = student.implementations_of(script.script_name)[0]
+        # references preserved, bytes not local
+        assert impl.multimedia == course.implementation.multimedia
+        assert student.blobs.physical_bytes == 0
+        assert student.engine.count("blobs") == len(package.blob_rows)
+
+    def test_roundtrip_full_copy(self, source):
+        db, course = source
+        package = package_course(db, course.script.script_name,
+                                 include_blobs=True)
+        student = WebDocumentDatabase("student")
+        install_package(student, package)
+        assert student.blobs.physical_bytes == package.blob_bytes
+
+    def test_installed_course_passes_qa(self, source):
+        db, course = source
+        package = package_course(db, course.script.script_name,
+                                 include_blobs=True)
+        student = WebDocumentDatabase("student")
+        install_package(student, package)
+        outcome = QARunner(student, "qa").run(
+            course.implementation.starting_url
+        )
+        assert outcome.passed, [f.detail for f in outcome.findings]
+
+    def test_double_install_rejected(self, source):
+        db, course = source
+        package = package_course(db, course.script.script_name)
+        student = WebDocumentDatabase("student")
+        install_package(student, package)
+        with pytest.raises(ValueError, match="already installed"):
+            install_package(student, package)
+
+    def test_install_creates_parent_database(self, source):
+        db, course = source
+        package = package_course(db, course.script.script_name)
+        student = WebDocumentDatabase("student")
+        install_package(student, package)
+        assert student.engine.get("doc_databases", "mmu") is not None
+
+
+class TestShipping:
+    def test_checkout_over_the_network(self, source):
+        db, course = source
+        net = build_network(3)
+        shipper = CourseShipper(net)
+        shipper.attach("s1", db)
+        student_db = WebDocumentDatabase("s2db")
+        shipper.attach("s2", student_db)
+        shipper.request_course("s2", "s1", course.script.script_name)
+        net.quiesce()
+        assert shipper.packages_installed == [
+            ("s2", course.script.script_name)
+        ]
+        assert student_db.script(course.script.script_name) is not None
+
+    def test_full_copy_costs_more_bandwidth(self, source):
+        db, course = source
+
+        def shipped_bytes(include_blobs):
+            net = build_network(2)
+            shipper = CourseShipper(net)
+            shipper.attach("s1", db)
+            shipper.attach("s2", WebDocumentDatabase(f"dst{include_blobs}"))
+            shipper.request_course(
+                "s2", "s1", course.script.script_name,
+                include_blobs=include_blobs,
+            )
+            net.quiesce()
+            return net.total_bytes
+
+        assert shipped_bytes(True) > shipped_bytes(False) * 2
+
+    def test_unattached_requester_rejected(self, source):
+        db, _course = source
+        net = build_network(2)
+        shipper = CourseShipper(net)
+        shipper.attach("s1", db)
+        with pytest.raises(LookupError, match="no database"):
+            shipper.request_course("s2", "s1", "anything")
+
+    def test_offline_learning_flow(self, source):
+        """Paper §5: check out notes, review off-line, media by reference."""
+        db, course = source
+        net = build_network(2)
+        shipper = CourseShipper(net)
+        shipper.attach("s1", db)
+        student_db = WebDocumentDatabase("laptop")
+        shipper.attach("s2", student_db)
+        shipper.request_course(
+            "s2", "s1", course.script.script_name, include_blobs=False
+        )
+        net.quiesce()
+        # pages readable off-line
+        impl = student_db.implementations_of(course.script.script_name)[0]
+        assert student_db.files.read(impl.html_files[0].path).content
+        # multimedia still only a reference — no local bytes
+        assert student_db.blobs.physical_bytes == 0

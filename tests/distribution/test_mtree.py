@@ -1,0 +1,118 @@
+"""Tests for the paper's m-ary tree placement formulas."""
+
+import pytest
+
+from repro.distribution.mtree import MAryTree, child_position, parent_position
+
+
+class TestFormulas:
+    def test_paper_binary_example(self):
+        """m=2: children of node 1 are 2,3; of node 2 are 4,5; etc."""
+        assert child_position(1, 1, 2) == 2
+        assert child_position(1, 2, 2) == 3
+        assert child_position(2, 1, 2) == 4
+        assert child_position(2, 2, 2) == 5
+
+    def test_parent_formula_mod_zero_case(self):
+        """The i = m branch: position 5 with m=2 has (5-1) mod 2 == 0."""
+        assert parent_position(5, 2) == 2
+        assert parent_position(3, 2) == 1
+
+    def test_m_equals_one_is_a_chain(self):
+        assert child_position(4, 1, 1) == 5
+        assert parent_position(5, 1) == 4
+
+    def test_invalid_child_ordinal(self):
+        with pytest.raises(ValueError):
+            child_position(1, 0, 2)
+        with pytest.raises(ValueError):
+            child_position(1, 3, 2)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            parent_position(1, 2)
+
+    def test_invalid_station_position(self):
+        with pytest.raises(ValueError):
+            child_position(0, 1, 2)
+
+
+class TestTreeStructure:
+    def test_children_truncated_at_n(self):
+        tree = MAryTree(5, 3)
+        assert tree.children(1) == [2, 3, 4]
+        assert tree.children(2) == [5]
+        assert tree.children(3) == []
+
+    def test_parent_of_root_is_none(self):
+        assert MAryTree(5, 2).parent(1) is None
+
+    def test_depths_bfs(self):
+        tree = MAryTree(7, 2)
+        assert [tree.depth_of(k) for k in range(1, 8)] == [0, 1, 1, 2, 2, 2, 2]
+
+    def test_height(self):
+        assert MAryTree(1, 2).height == 0
+        assert MAryTree(7, 2).height == 2
+        assert MAryTree(8, 2).height == 3
+        assert MAryTree(5, 1).height == 4
+
+    def test_levels_partition_all_positions(self):
+        tree = MAryTree(13, 3)
+        levels = tree.levels()
+        flat = [k for level in levels for k in level]
+        assert sorted(flat) == list(range(1, 14))
+        assert levels[0] == [1]
+
+    def test_subtree_preorder(self):
+        tree = MAryTree(7, 2)
+        assert list(tree.subtree(2)) == [2, 4, 5]
+        assert list(tree.subtree(1)) == [1, 2, 4, 5, 3, 6, 7]
+
+    def test_path_to_root(self):
+        tree = MAryTree(15, 2)
+        assert tree.path_to_root(11) == [11, 5, 2, 1]
+        assert tree.path_to_root(1) == [1]
+
+    def test_is_leaf(self):
+        tree = MAryTree(7, 2)
+        assert tree.is_leaf(7) and not tree.is_leaf(3)
+
+    def test_position_bounds_checked(self):
+        tree = MAryTree(5, 2)
+        with pytest.raises(ValueError):
+            tree.children(6)
+        with pytest.raises(ValueError):
+            tree.depth_of(0)
+
+
+class TestNames:
+    def test_default_names(self):
+        tree = MAryTree(3, 2)
+        assert tree.names == ["s1", "s2", "s3"]
+
+    def test_custom_names(self):
+        tree = MAryTree(3, 2, names=["root", "kid1", "kid2"])
+        assert tree.name_of(1) == "root"
+        assert tree.position_of("kid2") == 3
+        assert tree.parent_name("kid1") == "root"
+        assert tree.children_names("root") == ["kid1", "kid2"]
+        assert tree.parent_name("root") is None
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MAryTree(3, 2, names=["a", "b"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MAryTree(2, 2, names=["a", "a"])
+
+    def test_unknown_name(self):
+        with pytest.raises(LookupError):
+            MAryTree(2, 2).position_of("ghost")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MAryTree(0, 2)
+        with pytest.raises(ValueError):
+            MAryTree(5, 0)

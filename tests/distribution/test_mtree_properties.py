@@ -1,0 +1,85 @@
+"""Property tests for the m-ary tree formulas.
+
+The paper says its two placement equations "are proved by mathematical
+induction and double induction techniques"; these properties check the
+same claims mechanically for all small (N, m).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution.mtree import MAryTree, child_position, parent_position
+
+ms = st.integers(min_value=1, max_value=12)
+ns = st.integers(min_value=1, max_value=400)
+
+
+@given(ns, ms)
+@settings(max_examples=120, deadline=None)
+def test_parent_inverts_child(n, m):
+    """parent(child(n, i)) == n for every child ordinal."""
+    for i in range(1, m + 1):
+        assert parent_position(child_position(n, i, m), m) == n
+
+
+@given(st.integers(min_value=2, max_value=5000), ms)
+@settings(max_examples=120, deadline=None)
+def test_child_inverts_parent(k, m):
+    """Every non-root position is one of its parent's children."""
+    parent = parent_position(k, m)
+    children = [child_position(parent, i, m) for i in range(1, m + 1)]
+    assert k in children
+
+
+@given(st.integers(min_value=1, max_value=200), ms)
+@settings(max_examples=80, deadline=None)
+def test_every_node_has_at_most_m_children_and_one_parent(n, m):
+    tree = MAryTree(n, m)
+    seen_as_child: dict[int, int] = {}
+    for node in range(1, n + 1):
+        kids = tree.children(node)
+        assert len(kids) <= m
+        for kid in kids:
+            assert kid not in seen_as_child, "two parents for one node"
+            seen_as_child[kid] = node
+    # every node except the root is someone's child
+    assert sorted(seen_as_child) == list(range(2, n + 1))
+
+
+@given(st.integers(min_value=1, max_value=200), ms)
+@settings(max_examples=80, deadline=None)
+def test_bfs_layout_depths_monotone(n, m):
+    """Breadth-first placement: depth never decreases with position."""
+    tree = MAryTree(n, m)
+    depths = [tree.depth_of(k) for k in range(1, n + 1)]
+    assert depths == sorted(depths)
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=2, max_value=12))
+@settings(max_examples=80, deadline=None)
+def test_internal_levels_are_full(n, m):
+    """All levels except the last hold exactly m^depth nodes."""
+    tree = MAryTree(n, m)
+    levels = tree.levels()
+    for depth, level in enumerate(levels[:-1]):
+        assert len(level) == m**depth
+
+
+@given(st.integers(min_value=1, max_value=150), ms)
+@settings(max_examples=60, deadline=None)
+def test_subtrees_partition_under_root(n, m):
+    """Root's children's subtrees + root partition all positions."""
+    tree = MAryTree(n, m)
+    nodes = {1}
+    for child in tree.children(1):
+        subtree = set(tree.subtree(child))
+        assert not (nodes & subtree)
+        nodes |= subtree
+    assert nodes == set(range(1, n + 1))
+
+
+@given(st.integers(min_value=1, max_value=150), ms)
+@settings(max_examples=60, deadline=None)
+def test_path_to_root_length_is_depth(n, m):
+    tree = MAryTree(n, m)
+    for k in (1, n, max(1, n // 2)):
+        assert len(tree.path_to_root(k)) == tree.depth_of(k) + 1

@@ -1,0 +1,124 @@
+"""Tests for on-demand retrieval along the parent chain."""
+
+import pytest
+
+from repro.distribution import MAryTree, OnDemandFetcher
+from repro.util.units import MIB
+
+from tests.conftest import build_network
+
+
+def _setup(n=16, m=2, cache=True):
+    net = build_network(n)
+    tree = MAryTree(n, m, names=[f"s{k}" for k in range(1, n + 1)])
+    fetcher = OnDemandFetcher(net, tree, cache_intermediate=cache)
+    fetcher.seed_instance("s1", "doc", MIB)
+    return net, tree, fetcher
+
+
+class TestBasicFetch:
+    def test_local_hit_is_instant(self):
+        net, _tree, fetcher = _setup()
+        fetcher.request("s1", "doc")
+        assert fetcher.reports[0].local_hit
+        assert fetcher.reports[0].latency == 0.0
+
+    def test_remote_fetch_completes(self):
+        net, _tree, fetcher = _setup()
+        fetcher.request("s16", "doc")
+        net.quiesce()
+        report = fetcher.reports[0]
+        assert not report.local_hit and report.latency > 0
+        assert report.station == "s16"
+
+    def test_hops_equal_distance_to_holder(self):
+        net, tree, fetcher = _setup()
+        fetcher.request("s16", "doc")
+        net.quiesce()
+        assert fetcher.reports[0].hops_up == tree.depth_of(16)
+
+    def test_deeper_station_has_higher_latency(self):
+        net, tree, fetcher = _setup()
+        fetcher.request("s2", "doc")   # depth 1
+        net.quiesce()
+        fetcher.request("s16", "doc")  # depth 4
+        net.quiesce()
+        shallow, deep = fetcher.reports
+        assert deep.latency > shallow.latency
+
+    def test_unknown_document_rejected(self):
+        _net, _tree, fetcher = _setup()
+        with pytest.raises(LookupError):
+            fetcher.request("s2", "ghost")
+
+
+class TestCaching:
+    def test_requester_caches_instance(self):
+        net, _tree, fetcher = _setup()
+        fetcher.request("s16", "doc")
+        net.quiesce()
+        assert fetcher.holds("s16", "doc")
+        fetcher.request("s16", "doc")
+        assert fetcher.reports[1].local_hit
+
+    def test_intermediate_caching_on(self):
+        """Ancestors on the path cache the instance as it flows down."""
+        net, tree, fetcher = _setup(cache=True)
+        fetcher.request("s16", "doc")
+        net.quiesce()
+        path = tree.path_to_root(16)
+        intermediate = [tree.name_of(k) for k in path[1:-1]]
+        assert all(fetcher.holds(name, "doc") for name in intermediate)
+
+    def test_intermediate_caching_off(self):
+        net, tree, fetcher = _setup(cache=False)
+        fetcher.request("s16", "doc")
+        net.quiesce()
+        path = tree.path_to_root(16)
+        intermediate = [tree.name_of(k) for k in path[1:-1]]
+        assert not any(fetcher.holds(name, "doc") for name in intermediate)
+        assert fetcher.holds("s16", "doc")  # requester still keeps it
+
+    def test_sibling_benefits_from_cached_parent(self):
+        net, tree, fetcher = _setup(cache=True)
+        fetcher.request("s16", "doc")
+        net.quiesce()
+        first = fetcher.reports[0]
+        # s17 does not exist in n=16; use the sibling of 16 (position 17
+        # overflows) — use another deep node sharing an ancestor: 15.
+        fetcher.request("s15", "doc")
+        net.quiesce()
+        second = fetcher.reports[1]
+        assert second.hops_up < first.hops_up
+
+    def test_cached_instance_charges_buffer_disk(self):
+        net, _tree, fetcher = _setup()
+        fetcher.request("s16", "doc")
+        net.quiesce()
+        assert net.station("s16").disk.used_in("buffer") == MIB
+
+    def test_seed_charges_persistent_disk(self):
+        net, _tree, fetcher = _setup()
+        assert net.station("s1").disk.used_in("persistent") == MIB
+
+
+class TestRequestCoalescing:
+    def test_concurrent_requests_coalesce_upward(self):
+        """Two children asking the same parent produce one upward climb."""
+        net, tree, fetcher = _setup(n=7, m=2)
+        # 6 and 7 are children of 3; 3's parent is 1 (the holder).
+        fetcher.request("s6", "doc")
+        fetcher.request("s7", "doc")
+        net.quiesce()
+        assert len(fetcher.reports) == 2
+        assert all(not r.local_hit for r in fetcher.reports)
+        # Station 3 forwarded one request up, served both children.
+        assert net.station("s3").messages_sent <= 3
+
+    def test_both_waiters_complete(self):
+        net, _tree, fetcher = _setup(n=7, m=2)
+        fetcher.request("s6", "doc")
+        fetcher.request("s7", "doc")
+        net.quiesce()
+        stations = {r.station for r in fetcher.reports}
+        assert stations == {"s6", "s7"}

@@ -1,0 +1,165 @@
+"""Tests for the class/instance/reference replica manager."""
+
+import pytest
+
+from repro.distribution import HoldingForm, PreBroadcaster, ReplicaManager
+from repro.distribution.mtree import MAryTree
+from repro.net import Simulator, Station
+from repro.util.units import MIB
+
+from tests.conftest import build_network
+
+
+@pytest.fixture
+def manager():
+    sim = Simulator()
+    return ReplicaManager(Station("st"), sim), sim
+
+
+class TestPersistentHoldings:
+    def test_hold_persistent_instance(self, manager):
+        mgr, _sim = manager
+        holding = mgr.hold_persistent("doc", MIB)
+        assert holding.form is HoldingForm.INSTANCE
+        assert mgr.persistent_bytes == MIB
+        assert mgr.buffer_bytes == 0
+
+    def test_hold_persistent_class(self, manager):
+        mgr, _sim = manager
+        holding = mgr.hold_persistent("cls", MIB, form=HoldingForm.CLASS)
+        assert holding.form is HoldingForm.CLASS
+
+    def test_reference_cannot_be_persistent(self, manager):
+        mgr, _sim = manager
+        with pytest.raises(ValueError):
+            mgr.hold_persistent("doc", MIB, form=HoldingForm.REFERENCE)
+
+    def test_persistent_never_migrates(self, manager):
+        mgr, sim = manager
+        mgr.hold_persistent("doc", MIB)
+        sim.run()
+        assert mgr.form_of("doc") is HoldingForm.INSTANCE
+        with pytest.raises(ValueError):
+            mgr.migrate_to_reference("doc")
+
+    def test_double_hold_rejected(self, manager):
+        mgr, _sim = manager
+        mgr.hold_persistent("doc", MIB)
+        with pytest.raises(ValueError, match="already holds"):
+            mgr.hold_persistent("doc", MIB)
+
+
+class TestBufferedLifecycle:
+    def test_migration_after_lifetime(self, manager):
+        mgr, sim = manager
+        mgr.hold_buffered("doc", MIB, lifetime_s=60.0, instance_station="s1")
+        assert mgr.form_of("doc") is HoldingForm.INSTANCE
+        assert mgr.buffer_bytes == MIB
+        sim.run()
+        assert sim.now == 60.0
+        assert mgr.form_of("doc") is HoldingForm.REFERENCE
+        assert mgr.buffer_bytes == 0
+        assert mgr.migrations == 1
+
+    def test_reference_remembers_instance_station(self, manager):
+        mgr, sim = manager
+        mgr.hold_buffered("doc", MIB, lifetime_s=1.0, instance_station="s9")
+        sim.run()
+        assert mgr.holding("doc").instance_station == "s9"
+
+    def test_touch_extends_lifetime(self, manager):
+        mgr, sim = manager
+        mgr.hold_buffered("doc", MIB, lifetime_s=10.0, instance_station="s1")
+        sim.run(until=5.0)
+        mgr.touch("doc", extend_s=20.0)
+        sim.run(until=12.0)  # original expiry passed
+        assert mgr.form_of("doc") is HoldingForm.INSTANCE
+        sim.run()
+        assert mgr.form_of("doc") is HoldingForm.REFERENCE
+        assert mgr.migrations == 1  # stale timer did not double-migrate
+
+    def test_blob_reclaimed_on_migration(self, manager):
+        mgr, sim = manager
+        mgr.hold_buffered("doc", MIB, lifetime_s=1.0, instance_station="s1")
+        assert mgr.station.blobs.physical_bytes == MIB
+        sim.run()
+        assert mgr.station.blobs.physical_bytes == 0
+
+    def test_resident_bytes_excludes_references(self, manager):
+        mgr, sim = manager
+        mgr.hold_buffered("doc", MIB, lifetime_s=1.0, instance_station="s1")
+        mgr.hold_reference("other", "s2")
+        assert mgr.resident_bytes == MIB
+        sim.run()
+        assert mgr.resident_bytes == 0
+
+    def test_migrate_reference_is_noop(self, manager):
+        mgr, _sim = manager
+        mgr.hold_reference("doc", "s1")
+        holding = mgr.migrate_to_reference("doc")
+        assert holding.form is HoldingForm.REFERENCE
+        assert mgr.migrations == 0
+
+
+class TestReferences:
+    def test_reference_costs_nothing(self, manager):
+        mgr, _sim = manager
+        holding = mgr.hold_reference("doc", "s1")
+        assert holding.resident_bytes == 0
+        assert mgr.station.disk.used_bytes == 0
+
+    def test_holdings_listing(self, manager):
+        mgr, _sim = manager
+        mgr.hold_persistent("a", MIB)
+        mgr.hold_reference("b", "s2")
+        forms = {h.doc_id: h.form for h in mgr.holdings()}
+        assert forms == {
+            "a": HoldingForm.INSTANCE,
+            "b": HoldingForm.REFERENCE,
+        }
+
+    def test_unknown_doc_is_none(self, manager):
+        mgr, _sim = manager
+        assert mgr.holding("ghost") is None
+        assert mgr.form_of("ghost") is None
+
+
+class TestAdoptBroadcast:
+    def _broadcast(self, n=4):
+        net = build_network(n)
+        names = [f"s{k}" for k in range(1, n + 1)]
+        tree = MAryTree(n, 2, names=names)
+        PreBroadcaster(net).broadcast("lec", MIB, tree)
+        net.quiesce()
+        return net, names
+
+    def test_adopt_does_not_double_charge_disk(self):
+        net, names = self._broadcast()
+        station = net.station("s2")
+        mgr = ReplicaManager(station, net.sim)
+        mgr.adopt_broadcast("lec", MIB, instance_station="s1", lifetime_s=10.0)
+        assert station.disk.used_bytes == MIB  # not 2 MiB
+
+    def test_adopted_instance_migrates_and_frees_broadcast_bytes(self):
+        net, _names = self._broadcast()
+        station = net.station("s2")
+        mgr = ReplicaManager(station, net.sim)
+        mgr.adopt_broadcast("lec", MIB, instance_station="s1", lifetime_s=5.0)
+        net.sim.run()
+        assert mgr.form_of("lec") is HoldingForm.REFERENCE
+        assert station.disk.used_bytes == 0
+        assert station.blobs.physical_bytes == 0
+
+    def test_adopt_persistent_moves_to_persistent_category(self):
+        net, _names = self._broadcast()
+        station = net.station("s1")
+        mgr = ReplicaManager(station, net.sim)
+        mgr.adopt_broadcast("lec", MIB, instance_station="s1", persistent=True)
+        assert station.disk.used_in("persistent") == MIB
+        assert station.disk.used_in("buffer") == 0
+
+    def test_adopt_requires_lifetime_when_buffered(self):
+        net, _names = self._broadcast()
+        mgr = ReplicaManager(net.station("s2"), net.sim)
+        with pytest.raises(ValueError, match="lifetime"):
+            mgr.adopt_broadcast("lec", MIB, instance_station="s1")

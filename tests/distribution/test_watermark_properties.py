@@ -1,0 +1,89 @@
+"""Property tests for the watermark duplication policy."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution import WatermarkPolicy, WatermarkSimulator
+from repro.net import Network, Simulator, Station
+from repro.net.link import DuplexLink
+
+stations = st.sampled_from(["s2", "s3", "s4"])
+docs = st.sampled_from(["d0", "d1", "d2"])
+traces = st.lists(st.tuples(stations, docs), max_size=60)
+
+
+def _run(trace_pairs, threshold):
+    sim = Simulator()
+    net = Network(sim, default_latency_s=0.001)
+    for name in ("s1", "s2", "s3", "s4"):
+        net.add(Station(name, DuplexLink.symmetric_mbps(100)))
+    simulator = WatermarkSimulator(
+        net, "s1", {f"d{i}": 10_000 for i in range(3)}
+    )
+    trace = [
+        (float(i), station, doc)
+        for i, (station, doc) in enumerate(trace_pairs)
+    ]
+    return simulator.replay(trace, threshold)
+
+
+@given(traces, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_duplication_happens_exactly_at_threshold(trace_pairs, threshold):
+    """For every (station, doc), the number of remote accesses before
+    its replica appears is exactly min(total_remote, threshold)."""
+    result = _run(trace_pairs, threshold)
+    remote_seen: dict[tuple[str, str], int] = {}
+    for outcome in result.outcomes:
+        key = (outcome.station, outcome.doc_id)
+        if outcome.served_locally:
+            continue
+        remote_seen[key] = remote_seen.get(key, 0) + 1
+        assert outcome.duplicated == (remote_seen[key] == threshold)
+
+
+@given(traces)
+@settings(max_examples=60, deadline=None)
+def test_hit_rate_monotone_in_threshold(trace_pairs):
+    rates = [
+        _run(trace_pairs, threshold).hit_rate
+        for threshold in (1, 2, 4, None)
+    ]
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+@given(traces)
+@settings(max_examples=60, deadline=None)
+def test_bytes_monotone_decreasing_in_hits(trace_pairs):
+    """More local hits can only reduce bytes moved."""
+    eager = _run(trace_pairs, 1)
+    never = _run(trace_pairs, None)
+    assert eager.total_bytes <= never.total_bytes
+
+
+@given(traces, st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_outcome_accounting_consistent(trace_pairs, threshold):
+    result = _run(trace_pairs, threshold)
+    assert result.accesses == len(trace_pairs)
+    assert result.local_hits + sum(
+        1 for o in result.outcomes if not o.served_locally
+    ) == result.accesses
+    assert result.replica_bytes <= result.total_bytes
+    assert all(o.latency >= 0 for o in result.outcomes)
+
+
+class TestPolicyAlgebra:
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_trigger_fires_once_at_exact_count(self, threshold, accesses):
+        policy = WatermarkPolicy(threshold)
+        fired_at = [
+            i + 1
+            for i in range(accesses)
+            if policy.record_remote("s", "d")
+        ]
+        expected = [i for i in range(threshold, accesses + 1)]
+        assert fired_at == expected

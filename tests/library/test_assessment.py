@@ -1,0 +1,98 @@
+"""Tests for circulation-derived study assessment."""
+
+import pytest
+
+from repro.library import (
+    CatalogEntry,
+    CirculationDesk,
+    VirtualLibrary,
+    assess,
+)
+
+
+@pytest.fixture
+def setup():
+    library = VirtualLibrary(instructors={"shih"})
+    for doc, course in (("l1", "CS101"), ("l2", "CS101"), ("m1", "MM201")):
+        library.add_document("shih", CatalogEntry(
+            doc_id=doc, title=doc, course_number=course, instructor="shih",
+        ))
+    return library, CirculationDesk(library)
+
+
+class TestMetrics:
+    def test_counts_and_held_time(self, setup):
+        library, desk = setup
+        desk.check_out("alice", "l1", time=0.0)
+        desk.check_in("alice", "l1", time=100.0)
+        desk.check_out("alice", "l2", time=200.0)
+        report = assess(desk, library)
+        alice = report.for_student("alice")
+        assert alice.checkouts == 2
+        assert alice.checkins == 1
+        assert alice.distinct_documents == 2
+        assert alice.total_held_seconds == 100.0
+        assert alice.still_open == 1
+        assert alice.mean_held_seconds == 100.0
+
+    def test_distinct_courses_resolved_via_library(self, setup):
+        library, desk = setup
+        for doc in ("l1", "l2", "m1"):
+            desk.check_out("bob", doc, time=0.0)
+        report = assess(desk, library)
+        bob = report.for_student("bob")
+        assert bob.distinct_documents == 3
+        assert bob.distinct_courses == 2  # CS101 + MM201
+
+    def test_without_library_courses_equal_documents(self, setup):
+        _library, desk = setup
+        desk.check_out("bob", "l1", time=0.0)
+        desk.check_out("bob", "m1", time=0.0)
+        report = assess(desk, library=None)
+        assert report.for_student("bob").distinct_courses == 2
+
+    def test_repeat_checkouts_counted_but_distinct_once(self, setup):
+        library, desk = setup
+        for round_start in (0.0, 100.0, 200.0):
+            desk.check_out("cyd", "l1", time=round_start)
+            desk.check_in("cyd", "l1", time=round_start + 50.0)
+        report = assess(desk, library)
+        cyd = report.for_student("cyd")
+        assert cyd.checkouts == 3
+        assert cyd.distinct_documents == 1
+        assert cyd.total_held_seconds == 150.0
+
+
+class TestRanking:
+    def test_more_engagement_scores_higher(self, setup):
+        library, desk = setup
+        # active: 3 docs out+in; passive: 1 doc out only
+        for doc in ("l1", "l2", "m1"):
+            desk.check_out("active", doc, time=0.0)
+            desk.check_in("active", doc, time=60.0)
+        desk.check_out("passive", "l1", time=0.0)
+        report = assess(desk, library)
+        ranked = report.ranking()
+        assert [a.student for a in ranked] == ["active", "passive"]
+        assert ranked[0].activity_score > ranked[1].activity_score
+
+    def test_score_monotone_in_components(self, setup):
+        library, desk = setup
+        desk.check_out("a", "l1", time=0.0)
+        base = assess(desk, library).for_student("a").activity_score
+        desk.check_in("a", "l1", time=1.0)
+        richer = assess(desk, library).for_student("a").activity_score
+        assert richer > base
+
+    def test_empty_log(self, setup):
+        library, desk = setup
+        report = assess(desk, library)
+        assert report.students == []
+        assert report.for_student("ghost") is None
+
+    def test_ranking_tie_breaks_by_name(self, setup):
+        library, desk = setup
+        desk.check_out("zed", "l1", time=0.0)
+        desk.check_out("amy", "l2", time=0.0)
+        ranked = assess(desk, library).ranking()
+        assert [a.student for a in ranked] == ["amy", "zed"]

@@ -1,0 +1,94 @@
+"""Property tests for the library search index."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.library import CatalogEntry, VirtualLibrary
+from repro.library.search import SearchIndex, tokenize
+
+words = st.sampled_from(
+    ["multimedia", "network", "database", "drawing", "intro", "systems"]
+)
+doc_specs = st.lists(
+    st.tuples(
+        words,  # keyword
+        words,  # title word
+        st.sampled_from(["shih", "ma", "huang"]),
+        st.sampled_from(["CS101", "MM201", "ED150"]),
+    ),
+    max_size=25,
+)
+
+
+def _library(specs) -> tuple[VirtualLibrary, list[str]]:
+    library = VirtualLibrary(instructors={"gen"})
+    ids = []
+    for index, (keyword, title_word, instructor, course) in enumerate(specs):
+        doc_id = f"d{index}"
+        library.add_document("gen", CatalogEntry(
+            doc_id=doc_id,
+            title=f"Intro to {title_word}",
+            course_number=course,
+            instructor=instructor,
+            keywords=(keyword,),
+        ))
+        ids.append(doc_id)
+    return library, ids
+
+
+@given(doc_specs, words)
+@settings(max_examples=80, deadline=None)
+def test_keyword_results_sound_and_complete(specs, query):
+    """Every result really contains the term; every containing doc is
+    returned."""
+    library, _ids = _library(specs)
+    hits = {r.doc_id for r in library.search(keywords=query)}
+    expected = {
+        f"d{i}"
+        for i, (keyword, title_word, _instr, _course) in enumerate(specs)
+        if query in (keyword,) or query in tokenize(f"Intro to {title_word}")
+    }
+    assert hits == expected
+
+
+@given(doc_specs)
+@settings(max_examples=60, deadline=None)
+def test_no_axes_returns_catalog(specs):
+    library, ids = _library(specs)
+    assert {r.doc_id for r in library.search()} == set(ids)
+
+
+@given(doc_specs, words, st.sampled_from(["shih", "ma", "huang"]))
+@settings(max_examples=60, deadline=None)
+def test_combined_search_is_intersection(specs, query, instructor):
+    library, _ids = _library(specs)
+    keyword_hits = {r.doc_id for r in library.search(keywords=query)}
+    instructor_hits = {r.doc_id for r in library.search(instructor=instructor)}
+    combined = {
+        r.doc_id
+        for r in library.search(keywords=query, instructor=instructor)
+    }
+    assert combined == keyword_hits & instructor_hits
+
+
+@given(doc_specs)
+@settings(max_examples=60, deadline=None)
+def test_remove_makes_docs_unfindable(specs):
+    library, ids = _library(specs)
+    for doc_id in ids[: len(ids) // 2]:
+        library.remove_document("gen", doc_id)
+    survivors = set(ids[len(ids) // 2:])
+    assert {r.doc_id for r in library.search()} == survivors
+    for query in ("multimedia", "network", "database"):
+        assert {r.doc_id for r in library.search(keywords=query)} <= survivors
+
+
+@given(doc_specs)
+@settings(max_examples=40, deadline=None)
+def test_scores_bounded_and_sorted(specs):
+    library, _ids = _library(specs)
+    results = library.search(keywords="multimedia database")
+    scores = [r.score for r in results]
+    assert all(0 <= s <= 1 for s in scores)
+    assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,156 @@
+"""Tests for network failure injection (crashes, message loss)."""
+
+import pytest
+
+from repro.net import Network, Simulator, Station
+from repro.net.link import DuplexLink
+
+from tests.conftest import build_network
+
+
+class TestStationDown:
+    def test_messages_to_down_station_lost(self, net8):
+        seen = []
+        net8.station("s2").on_default(lambda st, m: seen.append(m))
+        net8.set_down("s2")
+        net8.send("s1", "s2", "k", None, 100)
+        net8.quiesce()
+        assert seen == []
+        assert net8.messages_dropped == 1
+
+    def test_messages_from_down_station_lost(self, net8):
+        seen = []
+        net8.station("s2").on_default(lambda st, m: seen.append(m))
+        net8.set_down("s1")
+        net8.send("s1", "s2", "k", None, 100)
+        net8.quiesce()
+        assert seen == []
+
+    def test_crash_mid_flight_drops_delivery(self, net8):
+        seen = []
+        net8.station("s2").on_default(lambda st, m: seen.append(m))
+        net8.send("s1", "s2", "k", None, 5_000_000)  # seconds in flight
+        net8.set_down("s2")
+        net8.quiesce()
+        assert seen == [] and net8.messages_dropped == 1
+
+    def test_revived_station_receives_again(self, net8):
+        seen = []
+        net8.station("s2").on_default(lambda st, m: seen.append(m.payload))
+        net8.set_down("s2")
+        net8.send("s1", "s2", "k", "lost", 10)
+        net8.quiesce()
+        net8.set_down("s2", down=False)
+        net8.send("s1", "s2", "k", "heard", 10)
+        net8.quiesce()
+        assert seen == ["heard"]
+        assert not net8.is_down("s2")
+
+    def test_unknown_station_rejected(self, net8):
+        with pytest.raises(LookupError):
+            net8.set_down("ghost")
+
+
+class TestRandomLoss:
+    def _lossy(self, drop_rate, n_messages=200):
+        sim = Simulator()
+        net = Network(sim, default_latency_s=0.001, drop_rate=drop_rate,
+                      seed=7)
+        net.add(Station("a", DuplexLink.symmetric_mbps(100)))
+        net.add(Station("b", DuplexLink.symmetric_mbps(100)))
+        seen = []
+        net.station("b").on_default(lambda st, m: seen.append(m))
+        for _ in range(n_messages):
+            net.send("a", "b", "k", None, 10)
+        net.quiesce()
+        return net, seen
+
+    def test_zero_rate_loses_nothing(self):
+        net, seen = self._lossy(0.0)
+        assert len(seen) == 200 and net.messages_dropped == 0
+
+    def test_full_rate_loses_everything(self):
+        net, seen = self._lossy(1.0)
+        assert seen == [] and net.messages_dropped == 200
+
+    def test_partial_rate_loses_roughly_that_fraction(self):
+        net, seen = self._lossy(0.3)
+        assert 0.15 < net.messages_dropped / 200 < 0.45
+
+    def test_deterministic_for_seed(self):
+        first = self._lossy(0.3)[0].messages_dropped
+        second = self._lossy(0.3)[0].messages_dropped
+        assert first == second
+
+    def test_set_drop_rate_validation(self, net8):
+        with pytest.raises(ValueError):
+            net8.set_drop_rate(1.5)
+
+    def test_drops_counted_in_stats(self):
+        net, _seen = self._lossy(0.5)
+        assert net.stats()["dropped"] == net.messages_dropped
+
+
+class TestOnDemandRetry:
+    def _world(self, drop_rate, retry_timeout=2.0, max_retries=30, seed=11):
+        from repro.distribution import MAryTree, OnDemandFetcher
+        from repro.util.units import MIB
+
+        sim = Simulator()
+        net = Network(sim, default_latency_s=0.01, drop_rate=drop_rate,
+                      seed=seed)
+        names = [f"s{k}" for k in range(1, 9)]
+        for name in names:
+            net.add(Station(name, DuplexLink.symmetric_mbps(100)))
+        tree = MAryTree(8, 2, names=names)
+        fetcher = OnDemandFetcher(
+            net, tree, retry_timeout_s=retry_timeout,
+            max_retries=max_retries,
+        )
+        fetcher.seed_instance("s1", "doc", MIB)
+        return net, fetcher
+
+    def test_fetch_succeeds_despite_loss(self):
+        """A 25%-lossy path over 3 hops still completes with retries
+        (intermediate caching makes per-attempt progress monotone)."""
+        net, fetcher = self._world(drop_rate=0.25)
+        fetcher.request("s8", "doc")
+        net.quiesce()
+        assert any(r.station == "s8" for r in fetcher.reports)
+        assert fetcher.holds("s8", "doc")
+
+    def test_retries_counted(self):
+        net, fetcher = self._world(drop_rate=0.5)
+        fetcher.request("s8", "doc")
+        net.quiesce()
+        # with 50% loss the first attempt almost surely failed somewhere
+        assert fetcher.retries >= 1 or fetcher.holds("s8", "doc")
+
+    def test_no_retry_without_timeout_config(self):
+        from repro.distribution import MAryTree, OnDemandFetcher
+        from repro.util.units import MIB
+
+        sim = Simulator()
+        net = Network(sim, default_latency_s=0.01, drop_rate=1.0, seed=1)
+        names = [f"s{k}" for k in range(1, 5)]
+        for name in names:
+            net.add(Station(name, DuplexLink.symmetric_mbps(100)))
+        fetcher = OnDemandFetcher(net, MAryTree(4, 2, names=names))
+        fetcher.seed_instance("s1", "doc", MIB)
+        fetcher.request("s4", "doc")
+        net.quiesce()
+        assert fetcher.reports == [] and fetcher.retries == 0
+
+    def test_gives_up_after_max_retries(self):
+        net, fetcher = self._world(drop_rate=1.0, max_retries=10)
+        fetcher.request("s8", "doc")
+        net.quiesce()
+        assert fetcher.reports == []
+        assert fetcher.retries == 10
+
+    def test_lossless_path_needs_no_retries(self):
+        net, fetcher = self._world(drop_rate=0.0)
+        fetcher.request("s8", "doc")
+        net.quiesce()
+        assert fetcher.retries == 0
+        assert len(fetcher.reports) == 1

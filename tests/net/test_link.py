@@ -1,0 +1,82 @@
+"""Tests for the duplex link model and transfer scheduling."""
+
+import pytest
+
+from repro.net.link import DuplexLink, schedule_transfer
+from repro.util.units import Bandwidth
+
+
+def _link(mbit: float = 8.0) -> DuplexLink:
+    return DuplexLink.symmetric_mbps(mbit)  # 8 Mb/s = 1 MB/s
+
+
+class TestTiming:
+    def test_serialization_time(self):
+        a, b = _link(), _link()
+        timing = schedule_transfer(0.0, 1_000_000, a, b, latency_s=0.0)
+        assert timing.start == 0.0
+        assert timing.serialized == pytest.approx(1.0)
+        assert timing.arrival == pytest.approx(1.0)
+
+    def test_latency_added_after_serialization(self):
+        a, b = _link(), _link()
+        timing = schedule_transfer(0.0, 1_000_000, a, b, latency_s=0.5)
+        assert timing.arrival == pytest.approx(1.5)
+        assert timing.duration == pytest.approx(1.5)
+
+    def test_effective_bandwidth_is_min_of_ends(self):
+        fast = _link(8.0)
+        slow = DuplexLink(Bandwidth.from_mbps(8), Bandwidth.from_mbps(4))
+        timing = schedule_transfer(0.0, 1_000_000, fast, slow, 0.0)
+        assert timing.serialized == pytest.approx(2.0)  # limited by 0.5 MB/s
+
+    def test_zero_size_costs_latency_only(self):
+        a, b = _link(), _link()
+        timing = schedule_transfer(0.0, 0, a, b, 0.25)
+        assert timing.arrival == pytest.approx(0.25)
+
+
+class TestQueueing:
+    def test_sender_uplink_serializes(self):
+        """Two sends from one station queue on its uplink."""
+        a, b, c = _link(), _link(), _link()
+        t1 = schedule_transfer(0.0, 1_000_000, a, b, 0.0)
+        t2 = schedule_transfer(0.0, 1_000_000, a, c, 0.0)
+        assert t1.serialized == pytest.approx(1.0)
+        assert t2.start == pytest.approx(1.0)
+        assert t2.serialized == pytest.approx(2.0)
+
+    def test_receiver_downlink_serializes(self):
+        a, b, c = _link(), _link(), _link()
+        schedule_transfer(0.0, 1_000_000, a, c, 0.0)
+        t2 = schedule_transfer(0.0, 1_000_000, b, c, 0.0)
+        assert t2.start == pytest.approx(1.0)
+
+    def test_full_duplex_up_and_down_independent(self):
+        """A station can send while receiving."""
+        a, b = _link(), _link()
+        t_out = schedule_transfer(0.0, 1_000_000, a, b, 0.0)
+        t_in = schedule_transfer(0.0, 1_000_000, b, a, 0.0)
+        assert t_out.start == 0.0 and t_in.start == 0.0
+
+    def test_byte_counters(self):
+        a, b = _link(), _link()
+        schedule_transfer(0.0, 123, a, b, 0.0)
+        assert a.bytes_up == 123 and b.bytes_down == 123
+        assert a.bytes_down == 0 and b.bytes_up == 0
+
+    def test_reset(self):
+        a, b = _link(), _link()
+        schedule_transfer(0.0, 1_000_000, a, b, 0.0)
+        a.reset()
+        assert a.up_busy_until == 0.0 and a.bytes_up == 0
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_transfer(0.0, 1, _link(), _link(), -0.1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_transfer(0.0, -1, _link(), _link(), 0.0)

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the network simulator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Network, Simulator, Station
+from repro.net.link import DuplexLink
+
+station_indices = st.integers(min_value=0, max_value=4)
+sizes = st.integers(min_value=0, max_value=5_000_000)
+
+sends = st.lists(
+    st.tuples(station_indices, station_indices, sizes),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _network(n: int = 5) -> Network:
+    sim = Simulator()
+    net = Network(sim, default_latency_s=0.01)
+    for k in range(n):
+        net.add(Station(f"n{k}", DuplexLink.symmetric_mbps(10)))
+    return net
+
+
+@given(sends)
+@settings(max_examples=80, deadline=None)
+def test_byte_conservation(ops):
+    """Bytes sent == bytes received == network total, per station pair."""
+    net = _network()
+    received: dict[str, int] = {}
+
+    def sink(station, message):
+        received[station.name] = received.get(station.name, 0) + message.size_bytes
+
+    for station in net.stations():
+        station.on_default(sink)
+    sent_total = 0
+    for src, dst, size in ops:
+        if src == dst:
+            continue
+        net.send(f"n{src}", f"n{dst}", "data", None, size)
+        sent_total += size
+    net.quiesce()
+    assert net.total_bytes == sent_total
+    up_total = sum(s.link.bytes_up for s in net.stations())
+    down_total = sum(s.link.bytes_down for s in net.stations())
+    assert up_total == sent_total == down_total
+    assert sum(received.values()) == sent_total
+
+
+@given(sends)
+@settings(max_examples=60, deadline=None)
+def test_message_counts_balance(ops):
+    net = _network()
+    for station in net.stations():
+        station.on_default(lambda st, m: None)
+    expected = 0
+    for src, dst, size in ops:
+        if src == dst:
+            continue
+        net.send(f"n{src}", f"n{dst}", "data", None, size)
+        expected += 1
+    net.quiesce()
+    sent = sum(s.messages_sent for s in net.stations())
+    delivered = sum(s.messages_received for s in net.stations())
+    assert sent == delivered == expected == net.total_messages
+
+
+@given(st.lists(sizes, min_size=1, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_fifo_per_sender_pair(payload_sizes):
+    """Messages between one (src, dst) pair arrive in send order."""
+    net = _network(2)
+    order: list[int] = []
+    net.station("n1").on("seq", lambda st, m: order.append(m.payload))
+    for index, size in enumerate(payload_sizes):
+        net.send("n0", "n1", "seq", index, size)
+    net.quiesce()
+    assert order == list(range(len(payload_sizes)))
+
+
+@given(sends)
+@settings(max_examples=60, deadline=None)
+def test_clock_never_goes_backwards(ops):
+    net = _network()
+    stamps: list[float] = []
+    for station in net.stations():
+        station.on_default(lambda st, m: stamps.append(net.sim.now))
+    for src, dst, size in ops:
+        if src != dst:
+            net.send(f"n{src}", f"n{dst}", "data", None, size)
+    net.quiesce()
+    assert stamps == sorted(stamps)
+    assert all(t >= 0.01 for t in stamps)  # at least one latency

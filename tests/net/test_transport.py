@@ -1,0 +1,119 @@
+"""Tests for stations + the network transport."""
+
+import pytest
+
+from repro.net import Network, Simulator, Station
+from repro.net.link import DuplexLink
+
+from tests.conftest import build_network
+
+
+class TestStation:
+    def test_handler_dispatch(self, net8):
+        seen = []
+        net8.station("s2").on("ping", lambda st, msg: seen.append(msg.payload))
+        net8.send("s1", "s2", "ping", {"n": 1}, 100)
+        net8.quiesce()
+        assert seen == [{"n": 1}]
+
+    def test_duplicate_handler_rejected(self, net8):
+        station = net8.station("s1")
+        station.on("k", lambda st, m: None)
+        with pytest.raises(ValueError):
+            station.on("k", lambda st, m: None)
+
+    def test_default_handler(self, net8):
+        seen = []
+        net8.station("s2").on_default(lambda st, msg: seen.append(msg.kind))
+        net8.send("s1", "s2", "anything", None, 0)
+        net8.quiesce()
+        assert seen == ["anything"]
+
+    def test_unhandled_kind_raises(self, net8):
+        net8.send("s1", "s2", "mystery", None, 0)
+        with pytest.raises(LookupError, match="no handler"):
+            net8.quiesce()
+
+    def test_station_send_requires_network(self):
+        station = Station("lonely")
+        with pytest.raises(RuntimeError, match="not attached"):
+            station.send("x", "k")
+
+    def test_counters(self, net8):
+        net8.station("s2").on_default(lambda st, m: None)
+        net8.send("s1", "s2", "k", None, 10)
+        net8.quiesce()
+        assert net8.station("s1").messages_sent == 1
+        assert net8.station("s2").messages_received == 1
+
+
+class TestNetwork:
+    def test_duplicate_station_rejected(self, net8):
+        with pytest.raises(ValueError):
+            net8.add(Station("s1"))
+
+    def test_unknown_station(self, net8):
+        with pytest.raises(LookupError):
+            net8.station("ghost")
+        with pytest.raises(LookupError):
+            net8.send("s1", "ghost", "k")
+
+    def test_self_send_rejected(self, net8):
+        with pytest.raises(ValueError):
+            net8.send("s1", "s1", "k")
+
+    def test_membership(self, net8):
+        assert len(net8) == 8
+        assert "s3" in net8 and "zz" not in net8
+        assert net8.names()[0] == "s1"
+
+    def test_delivery_time_includes_latency_and_serialization(self):
+        net = build_network(2, mbit=8.0, latency=0.5)  # 1 MB/s
+        arrivals = []
+        net.station("s2").on("data", lambda st, m: arrivals.append(net.sim.now))
+        net.send("s1", "s2", "data", None, 1_000_000)
+        net.quiesce()
+        assert arrivals[0] == pytest.approx(1.5)
+
+    def test_latency_override(self):
+        net = build_network(3, mbit=8.0, latency=0.1)
+        net.set_latency("s1", "s3", 2.0)
+        assert net.latency("s1", "s3") == 2.0
+        assert net.latency("s3", "s1") == 2.0  # symmetric
+        assert net.latency("s1", "s2") == 0.1
+
+    def test_bcast_excludes_source(self, net8):
+        for name in net8.names():
+            net8.station(name).on_default(lambda st, m: None)
+        messages = net8.bcast("s1", net8.names(), "k", None, 10)
+        assert len(messages) == 7
+
+    def test_bcast_serializes_through_root_uplink(self):
+        net = build_network(4, mbit=8.0, latency=0.0)
+        arrivals = {}
+        for name in net.names():
+            net.station(name).on(
+                "k", lambda st, m: arrivals.__setitem__(st.name, net.sim.now)
+            )
+        net.bcast("s1", ["s2", "s3", "s4"], "k", None, 1_000_000)
+        net.quiesce()
+        assert sorted(arrivals.values()) == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_stats(self, net8):
+        net8.station("s2").on_default(lambda st, m: None)
+        net8.send("s1", "s2", "k", None, 500)
+        net8.quiesce()
+        stats = net8.stats()
+        assert stats["messages"] == 1 and stats["bytes"] == 500
+        assert stats["stations"] == 8
+
+    def test_message_metadata(self, net8):
+        net8.station("s2").on_default(lambda st, m: None)
+        message = net8.send("s1", "s2", "kind.x", {"a": 1}, 42)
+        assert message.src == "s1" and message.dst == "s2"
+        assert message.size_bytes == 42 and message.sent_at == 0.0
+        assert message.reply_kind() == "kind.x.reply"
+
+    def test_negative_size_rejected(self, net8):
+        with pytest.raises(ValueError):
+            net8.send("s1", "s2", "k", None, -1)

@@ -1,0 +1,112 @@
+"""Tests for the four bug-report defect checks."""
+
+import pytest
+
+from repro.core import ImplementationSCI, ScriptSCI
+from repro.qa import FindingKind, LinkChecker, WebTraverser
+from repro.storage.files import DocumentFile, FileKind
+
+
+def _impl(wddb, pages, name="cs2", url="http://mmu/cs2/", **kwargs):
+    wddb.add_script(ScriptSCI(name, "mmu", author="x"))
+    return wddb.add_implementation(
+        ImplementationSCI(url, name, author="x", **kwargs),
+        html_files=[DocumentFile(p, FileKind.HTML, c) for p, c in pages],
+    )
+
+
+def _check(wddb, impl):
+    traversal = WebTraverser(wddb.files).traverse(impl)
+    return LinkChecker(wddb).check(impl, traversal)
+
+
+class TestBadUrls:
+    def test_dead_link_reported(self, wddb):
+        impl = _impl(wddb, [("a.html", '<a href="gone.html">')])
+        findings = _check(wddb, impl)
+        bad = [f for f in findings if f.kind is FindingKind.BAD_URL]
+        assert [f.subject for f in bad] == ["gone.html"]
+
+    def test_clean_course_no_findings(self, wddb, course):
+        assert _check(wddb, course) == []
+
+
+class TestMissingObjects:
+    def test_unregistered_resource_reported(self, wddb):
+        impl = _impl(wddb, [("a.html", '<img src="ghost.mpg">')])
+        findings = _check(wddb, impl)
+        missing = [f for f in findings if f.kind is FindingKind.MISSING_OBJECT]
+        assert [f.subject for f in missing] == ["ghost.mpg"]
+
+    def test_registered_resource_ok(self, wddb):
+        from repro.storage.blob import BlobKind
+
+        digest = wddb.register_blob("vid.mpg", 100, BlobKind.VIDEO)
+        impl = _impl(wddb, [("a.html", '<img src="vid.mpg">')],
+                     multimedia=[digest])
+        assert _check(wddb, impl) == []
+
+    def test_unregistered_program_reported(self, wddb):
+        impl = _impl(wddb, [("a.html", '<applet code="ghost.class">')])
+        findings = _check(wddb, impl)
+        assert any(f.subject == "ghost.class" for f in findings)
+
+    def test_file_deleted_from_store_reported(self, wddb, course):
+        wddb.files.delete("cs101/p1.html")
+        findings = _check(wddb, course)
+        missing = [f for f in findings if f.kind is FindingKind.MISSING_OBJECT]
+        assert any(f.subject == "cs101/p1.html" for f in missing)
+
+
+class TestInconsistency:
+    def test_changed_file_without_registry_update(self, wddb, course):
+        """Editing the stored file behind the registry's back is the
+        paper's 'inconsistency'."""
+        original = wddb.files.read("cs101/p1.html")
+        wddb.files.write(original.with_content("<html>edited!</html>"))
+        findings = _check(wddb, course)
+        inconsistent = [
+            f for f in findings if f.kind is FindingKind.INCONSISTENCY
+        ]
+        assert [f.subject for f in inconsistent] == ["cs101/p1.html"]
+
+
+class TestRedundantObjects:
+    def test_orphan_page_reported(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", ""),
+            ("orphan.html", ""),
+        ])
+        findings = _check(wddb, impl)
+        redundant = [
+            f for f in findings if f.kind is FindingKind.REDUNDANT_OBJECT
+        ]
+        assert [f.subject for f in redundant] == ["orphan.html"]
+
+    def test_reachable_pages_not_redundant(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", ""),
+        ])
+        assert _check(wddb, impl) == []
+
+
+class TestCombinedDefects:
+    def test_all_four_kinds_detected_together(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="dead.html"><img src="ghost.gif">'),
+            ("lost.html", ""),
+        ])
+        # introduce an inconsistency on the reachable page
+        wddb.files.write(
+            DocumentFile("a.html", FileKind.HTML,
+                         '<a href="dead.html"><img src="ghost.gif">edited')
+        )
+        findings = _check(wddb, impl)
+        kinds = {f.kind for f in findings}
+        assert kinds == {
+            FindingKind.BAD_URL,
+            FindingKind.MISSING_OBJECT,
+            FindingKind.INCONSISTENCY,
+            FindingKind.REDUNDANT_OBJECT,
+        }

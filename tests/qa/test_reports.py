@@ -1,0 +1,92 @@
+"""Tests for end-to-end QA runs filing test records and bug reports."""
+
+import pytest
+
+from repro.core import ImplementationSCI, ScriptSCI, TestScope
+from repro.qa import QARunner
+from repro.storage.files import DocumentFile, FileKind
+
+
+def _broken_impl(wddb):
+    wddb.add_script(ScriptSCI("broken", "mmu", author="x"))
+    return wddb.add_implementation(
+        ImplementationSCI("http://mmu/broken/", "broken", author="x"),
+        html_files=[
+            DocumentFile("broken/a.html", FileKind.HTML,
+                         '<a href="broken/dead.html">'),
+            DocumentFile("broken/orphan.html", FileKind.HTML, ""),
+        ],
+    )
+
+
+class TestQAPass:
+    def test_clean_course_passes(self, wddb, course):
+        outcome = QARunner(wddb, "ma").run(course.starting_url)
+        assert outcome.passed
+        assert outcome.bug_report is None
+        assert outcome.test_record.passed is True
+
+    def test_test_record_filed_in_db(self, wddb, course):
+        QARunner(wddb, "ma").run(course.starting_url)
+        records = wddb.test_records_of(course.starting_url)
+        assert len(records) == 1
+        assert records[0].traversal_messages  # messages stored
+
+    def test_scope_recorded(self, wddb, course):
+        outcome = QARunner(wddb, "ma").run(
+            course.starting_url, scope=TestScope.GLOBAL
+        )
+        assert outcome.test_record.scope is TestScope.GLOBAL
+
+
+class TestQAFail:
+    def test_bug_report_filed(self, wddb):
+        impl = _broken_impl(wddb)
+        outcome = QARunner(wddb, "ma").run(impl.starting_url)
+        assert not outcome.passed
+        report = outcome.bug_report
+        assert report.qa_engineer == "ma"
+        assert report.bad_urls == ["broken/dead.html"]
+        assert report.redundant_objects == ["broken/orphan.html"]
+        assert "bad_url" in report.bug_description
+
+    def test_bug_report_links_to_test_record(self, wddb):
+        impl = _broken_impl(wddb)
+        outcome = QARunner(wddb, "ma").run(impl.starting_url)
+        filed = wddb.bug_reports_of(outcome.test_record.test_record_name)
+        assert len(filed) == 1
+        assert filed[0].bug_report_name == outcome.bug_report.bug_report_name
+
+    def test_sequential_runs_get_unique_names(self, wddb):
+        impl = _broken_impl(wddb)
+        runner = QARunner(wddb, "ma")
+        first = runner.run(impl.starting_url)
+        second = runner.run(impl.starting_url)
+        assert (
+            first.test_record.test_record_name
+            != second.test_record.test_record_name
+        )
+        assert wddb.engine.count("bug_reports") == 2
+
+    def test_unknown_implementation(self, wddb):
+        with pytest.raises(LookupError):
+            QARunner(wddb, "ma").run("http://ghost/")
+
+    def test_test_procedure_mentions_scope_and_pages(self, wddb):
+        impl = _broken_impl(wddb)
+        outcome = QARunner(wddb, "ma").run(impl.starting_url)
+        assert "local traversal" in outcome.bug_report.test_procedure
+
+    def test_global_run_sees_other_documents(self, wddb, course):
+        wddb.add_script(ScriptSCI("linker", "mmu", author="x"))
+        impl = wddb.add_implementation(
+            ImplementationSCI("http://mmu/linker/", "linker", author="x"),
+            html_files=[
+                DocumentFile("linker/a.html", FileKind.HTML,
+                             '<a href="cs101/index.html">')
+            ],
+        )
+        outcome = QARunner(wddb, "ma").run(
+            impl.starting_url, scope=TestScope.GLOBAL
+        )
+        assert outcome.passed  # cross-document link resolves globally

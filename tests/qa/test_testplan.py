@@ -1,0 +1,146 @@
+"""Tests for white-box test-plan generation."""
+
+import pytest
+
+from repro.core import ImplementationSCI, ScriptSCI
+from repro.qa import build_test_plan, verify_plan
+from repro.storage.files import DocumentFile, FileKind
+
+
+def _impl(wddb, pages, name="plan"):
+    wddb.add_script(ScriptSCI(name, "mmu", author="x"))
+    return wddb.add_implementation(
+        ImplementationSCI(f"http://mmu/{name}/", name, author="x"),
+        html_files=[DocumentFile(p, FileKind.HTML, c) for p, c in pages],
+    )
+
+
+class TestPlanGeneration:
+    def test_linear_chain_single_path(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", '<a href="c.html">'),
+            ("c.html", ""),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        assert len(plan.paths) == 1
+        assert plan.paths[0].pages == ("a.html", "b.html", "c.html")
+        assert plan.coverage == 1.0
+
+    def test_branching_covers_every_edge(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html"><a href="c.html">'),
+            ("b.html", '<a href="d.html">'),
+            ("c.html", '<a href="d.html">'),
+            ("d.html", ""),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        assert plan.coverage == 1.0
+        assert plan.covered_edges == {
+            ("a.html", "b.html"), ("a.html", "c.html"),
+            ("b.html", "d.html"), ("c.html", "d.html"),
+        }
+        # needs at least two paths (a->b->d and a->c->d)
+        assert len(plan.paths) >= 2
+
+    def test_cycles_handled(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", '<a href="a.html">'),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        assert plan.coverage == 1.0
+
+    def test_orphan_edges_marked_uncoverable(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", ""),
+            ("orphan.html", '<a href="a.html">'),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        assert plan.uncoverable_edges == {("orphan.html", "a.html")}
+        assert plan.coverage == 0.0  # nothing coverable was covered...
+        # single-page start still yields a trivial opening path
+        assert plan.paths[0].pages == ("a.html",)
+
+    def test_empty_implementation(self, wddb):
+        impl = ImplementationSCI("http://x/", "cs101", author="x")
+        plan = build_test_plan(wddb.files, impl)
+        assert plan.paths == () and plan.coverage == 1.0
+
+    def test_path_messages_format(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", ""),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        messages = plan.paths[0].as_messages()
+        assert messages == [
+            "OPEN_PAGE a.html",
+            "FOLLOW_LINK a.html -> b.html",
+            "OPEN_PAGE b.html",
+        ]
+
+    def test_total_clicks_counts_edges(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", '<a href="c.html">'),
+            ("c.html", ""),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        assert plan.total_clicks == 2
+
+    def test_plan_size_tracks_complexity(self, wddb):
+        """More branching -> more paths, in line with cyclomatic count."""
+        from repro.core import measure_complexity
+
+        wide = _impl(wddb, [
+            ("w/a.html",
+             "".join(f'<a href="w/p{i}.html">' for i in range(5))),
+            *[(f"w/p{i}.html", "") for i in range(5)],
+        ], name="wide")
+        plan = build_test_plan(wddb.files, wide)
+        cx = measure_complexity(wddb, wide)
+        assert len(plan.paths) == 5  # one per branch
+        assert len(plan.paths) >= cx.cyclomatic - 1
+
+
+class TestPlanVerification:
+    def test_intact_course_passes(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", ""),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        assert verify_plan(wddb.files, plan) == []
+
+    def test_removed_link_detected(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", ""),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        wddb.files.write(
+            DocumentFile("a.html", FileKind.HTML, "no more links")
+        )
+        failures = verify_plan(wddb.files, plan)
+        assert failures and "no longer links" in failures[0]
+
+    def test_deleted_page_detected(self, wddb):
+        impl = _impl(wddb, [
+            ("a.html", '<a href="b.html">'),
+            ("b.html", '<a href="a.html">'),
+        ])
+        plan = build_test_plan(wddb.files, impl)
+        wddb.files.delete("b.html")
+        failures = verify_plan(wddb.files, plan)
+        assert any("missing" in failure for failure in failures)
+
+    def test_generated_courses_fully_coverable(self, wddb):
+        from repro.workloads import CourseGenerator
+
+        course = CourseGenerator(seed=5, pages_per_course=10).generate_course(
+            wddb, "mmu"
+        )
+        plan = build_test_plan(wddb.files, course.implementation)
+        assert plan.coverage == 1.0
+        assert verify_plan(wddb.files, plan) == []

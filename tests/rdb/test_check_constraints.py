@@ -1,0 +1,107 @@
+"""Tests for column CHECK constraints."""
+
+import pytest
+
+from repro.rdb import (
+    CheckError,
+    Column,
+    ColumnType,
+    ConstraintError,
+    Database,
+    Schema,
+    SchemaError,
+)
+
+T = ColumnType
+
+
+@pytest.fixture
+def checked_db() -> Database:
+    db = Database("x")
+    db.create_table(Schema(
+        name="grades",
+        columns=(
+            Column("k", T.INT, nullable=False),
+            Column("grade", T.FLOAT,
+                   check=lambda v: 0.0 <= v <= 4.0,
+                   check_label="grade_scale"),
+            Column("status", T.TEXT, default="open",
+                   check=lambda v: v in ("open", "closed")),
+        ),
+        primary_key=("k",),
+    ))
+    return db
+
+
+class TestCheckEnforcement:
+    def test_valid_values_pass(self, checked_db):
+        checked_db.insert("grades", {"k": 1, "grade": 3.5})
+        assert checked_db.get("grades", 1)["grade"] == 3.5
+
+    def test_insert_violation_rejected(self, checked_db):
+        with pytest.raises(CheckError, match="grade_scale"):
+            checked_db.insert("grades", {"k": 1, "grade": 5.0})
+        assert checked_db.count("grades") == 0
+
+    def test_update_violation_rejected(self, checked_db):
+        checked_db.insert("grades", {"k": 1, "grade": 3.0})
+        with pytest.raises(CheckError):
+            checked_db.update_pk("grades", 1, {"grade": -1.0})
+        assert checked_db.get("grades", 1)["grade"] == 3.0
+
+    def test_null_exempt(self, checked_db):
+        """SQL semantics: a NULL value satisfies any CHECK."""
+        checked_db.insert("grades", {"k": 1, "grade": None})
+
+    def test_default_label_generated(self, checked_db):
+        with pytest.raises(CheckError, match="check_status"):
+            checked_db.insert("grades", {"k": 1, "status": "weird"})
+
+    def test_check_error_is_constraint_error(self, checked_db):
+        with pytest.raises(ConstraintError):
+            checked_db.insert("grades", {"k": 1, "grade": 9.9})
+
+    def test_error_carries_details(self, checked_db):
+        with pytest.raises(CheckError) as info:
+            checked_db.insert("grades", {"k": 1, "grade": 9.9})
+        assert info.value.column == "grade"
+        assert info.value.value == 9.9
+
+    def test_default_must_satisfy_own_check(self):
+        with pytest.raises(SchemaError, match="violates its own CHECK"):
+            Column("bad", T.INT, default=-1, check=lambda v: v >= 0)
+
+
+class TestDomainSchemas:
+    def test_percent_complete_range_enforced(self, wddb):
+        from repro.core import ScriptSCI
+
+        with pytest.raises(CheckError, match="percent_in_range"):
+            wddb.add_script(ScriptSCI(
+                "bad", "mmu", author="x", percent_complete=150.0,
+            ))
+
+    def test_scope_domain_enforced(self, wddb, course):
+        with pytest.raises(CheckError, match="scope_local_or_global"):
+            wddb.engine.insert("test_records", {
+                "test_record_name": "t", "scope": "galactic",
+                "script_name": "cs101",
+                "starting_url": course.starting_url,
+                "created_at": __import__("datetime").datetime(1999, 1, 1),
+            })
+
+    def test_grade_scale_enforced_through_tiers(self):
+        from repro.tiers import (
+            AdministratorClient,
+            ClassAdministrator,
+            InstructorClient,
+        )
+
+        server = ClassAdministrator()
+        admin = AdministratorClient(server, "reg"); admin.login()
+        instructor = InstructorClient(server, "shih"); instructor.login()
+        admin.admit_student("alice")
+        instructor.register_course("CS1", "T")
+        admin.enroll("alice", "CS1")
+        with pytest.raises(RuntimeError, match="grade_in_scale"):
+            instructor.record_grade("alice", "CS1", 11.0)

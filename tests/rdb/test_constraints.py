@@ -1,0 +1,300 @@
+"""Tests for constraint enforcement and referential actions."""
+
+import pytest
+
+from repro.rdb import (
+    Action,
+    Column,
+    ColumnType,
+    Database,
+    DuplicateKeyError,
+    ForeignKey,
+    ForeignKeyError,
+    NotNullError,
+    Schema,
+    SchemaError,
+    col,
+)
+
+T = ColumnType
+
+
+class TestNotNull:
+    def test_rejects_null_in_not_null_column(self, db):
+        with pytest.raises(NotNullError, match="name"):
+            db.insert("people", {"person_id": 1, "name": None})
+
+    def test_rejects_missing_not_null_value(self, db):
+        with pytest.raises(NotNullError):
+            db.insert("people", {"person_id": 1})
+
+    def test_update_to_null_rejected(self, populated_db):
+        with pytest.raises(NotNullError):
+            populated_db.update_pk("people", 1, {"name": None})
+
+
+class TestUniqueness:
+    def test_duplicate_pk_rejected(self, populated_db):
+        with pytest.raises(DuplicateKeyError):
+            populated_db.insert("people", {"person_id": 1, "name": "dup"})
+
+    def test_duplicate_unique_rejected(self, populated_db):
+        with pytest.raises(DuplicateKeyError, match="email"):
+            populated_db.insert(
+                "people",
+                {"person_id": 9, "name": "x", "email": "ada@mmu.edu"},
+            )
+
+    def test_null_unique_values_coexist(self, populated_db):
+        """NULL never equals NULL: many rows may have a null email."""
+        populated_db.insert("people", {"person_id": 8, "name": "x"})
+        populated_db.insert("people", {"person_id": 9, "name": "y"})
+        assert populated_db.count("people") == 5
+
+    def test_update_into_duplicate_rejected(self, populated_db):
+        with pytest.raises(DuplicateKeyError):
+            populated_db.update_pk("people", 2, {"email": "ada@mmu.edu"})
+
+    def test_update_keeping_own_key_allowed(self, populated_db):
+        assert populated_db.update_pk(
+            "people", 1, {"email": "ada@mmu.edu", "age": 37}
+        )
+
+
+class TestForeignKeyChecks:
+    def test_dangling_fk_rejected(self, populated_db):
+        with pytest.raises(ForeignKeyError):
+            populated_db.insert(
+                "orders", {"order_id": 99, "person_id": 12345}
+            )
+
+    def test_all_null_fk_exempt(self, populated_db):
+        populated_db.insert("orders", {"order_id": 99, "person_id": None})
+        assert populated_db.get("orders", 99)["person_id"] is None
+
+    def test_partial_null_composite_fk_rejected(self):
+        db = Database("x")
+        db.create_table(
+            Schema(
+                name="parent",
+                columns=(
+                    Column("a", T.INT, nullable=False),
+                    Column("b", T.INT, nullable=False),
+                ),
+                primary_key=("a", "b"),
+            )
+        )
+        db.create_table(
+            Schema(
+                name="child",
+                columns=(
+                    Column("k", T.INT, nullable=False),
+                    Column("fa", T.INT),
+                    Column("fb", T.INT),
+                ),
+                primary_key=("k",),
+                foreign_keys=(
+                    ForeignKey(("fa", "fb"), "parent", ("a", "b")),
+                ),
+            )
+        )
+        db.insert("parent", {"a": 1, "b": 2})
+        db.insert("child", {"k": 1, "fa": 1, "fb": 2})
+        with pytest.raises(ForeignKeyError, match="partially null"):
+            db.insert("child", {"k": 2, "fa": 1, "fb": None})
+
+
+class TestOnDelete:
+    def test_cascade(self, populated_db):
+        populated_db.delete_pk("people", 1)
+        assert populated_db.count("orders", col("person_id") == 1) == 0
+        assert populated_db.count("orders") == 1  # bob's order remains
+
+    def test_restrict(self):
+        db = Database("x")
+        db.create_table(
+            Schema(
+                name="p",
+                columns=(Column("k", T.INT, nullable=False),),
+                primary_key=("k",),
+            )
+        )
+        db.create_table(
+            Schema(
+                name="c",
+                columns=(
+                    Column("k", T.INT, nullable=False),
+                    Column("pk", T.INT),
+                ),
+                primary_key=("k",),
+                foreign_keys=(
+                    ForeignKey(("pk",), "p", ("k",),
+                               on_delete=Action.RESTRICT),
+                ),
+            )
+        )
+        db.insert("p", {"k": 1})
+        db.insert("c", {"k": 1, "pk": 1})
+        with pytest.raises(ForeignKeyError, match="RESTRICT"):
+            db.delete_pk("p", 1)
+        assert db.count("p") == 1  # nothing deleted
+
+    def test_set_null(self):
+        db = Database("x")
+        db.create_table(
+            Schema(
+                name="p",
+                columns=(Column("k", T.INT, nullable=False),),
+                primary_key=("k",),
+            )
+        )
+        db.create_table(
+            Schema(
+                name="c",
+                columns=(
+                    Column("k", T.INT, nullable=False),
+                    Column("pk", T.INT),
+                ),
+                primary_key=("k",),
+                foreign_keys=(
+                    ForeignKey(("pk",), "p", ("k",),
+                               on_delete=Action.SET_NULL),
+                ),
+            )
+        )
+        db.insert("p", {"k": 1})
+        db.insert("c", {"k": 1, "pk": 1})
+        db.delete_pk("p", 1)
+        assert db.get("c", 1)["pk"] is None
+
+    def test_cascade_chains_transitively(self):
+        db = Database("x")
+        for name, parent in (("a", None), ("b", "a"), ("c", "b")):
+            fks = ()
+            if parent:
+                fks = (
+                    ForeignKey(("pk",), parent, ("k",),
+                               on_delete=Action.CASCADE),
+                )
+            db.create_table(
+                Schema(
+                    name=name,
+                    columns=(
+                        Column("k", T.INT, nullable=False),
+                        Column("pk", T.INT),
+                    ),
+                    primary_key=("k",),
+                    foreign_keys=fks,
+                )
+            )
+        db.insert("a", {"k": 1})
+        db.insert("b", {"k": 1, "pk": 1})
+        db.insert("c", {"k": 1, "pk": 1})
+        db.delete_pk("a", 1)
+        assert db.count("b") == 0 and db.count("c") == 0
+
+
+class TestOnUpdate:
+    def test_cascade_updates_children(self, populated_db):
+        populated_db.update_pk("people", 1, {"person_id": 100})
+        assert populated_db.count("orders", col("person_id") == 100) == 2
+
+    def test_restrict_blocks_key_change(self):
+        db = Database("x")
+        db.create_table(
+            Schema(
+                name="p",
+                columns=(Column("k", T.INT, nullable=False),),
+                primary_key=("k",),
+            )
+        )
+        db.create_table(
+            Schema(
+                name="c",
+                columns=(
+                    Column("k", T.INT, nullable=False),
+                    Column("pk", T.INT),
+                ),
+                primary_key=("k",),
+                foreign_keys=(
+                    ForeignKey(("pk",), "p", ("k",),
+                               on_update=Action.RESTRICT),
+                ),
+            )
+        )
+        db.insert("p", {"k": 1})
+        db.insert("c", {"k": 1, "pk": 1})
+        with pytest.raises(ForeignKeyError, match="ON UPDATE RESTRICT"):
+            db.update_pk("p", 1, {"k": 2})
+
+    def test_non_key_update_never_triggers_actions(self, populated_db):
+        populated_db.update_pk("people", 1, {"age": 99})
+        assert populated_db.count("orders", col("person_id") == 1) == 2
+
+
+class TestSchemaLevelFkValidation:
+    def test_fk_must_target_pk_or_unique(self):
+        db = Database("x")
+        db.create_table(
+            Schema(
+                name="p",
+                columns=(
+                    Column("k", T.INT, nullable=False),
+                    Column("loose", T.INT),
+                ),
+                primary_key=("k",),
+            )
+        )
+        with pytest.raises(SchemaError, match="neither"):
+            db.create_table(
+                Schema(
+                    name="c",
+                    columns=(
+                        Column("k", T.INT, nullable=False),
+                        Column("f", T.INT),
+                    ),
+                    primary_key=("k",),
+                    foreign_keys=(ForeignKey(("f",), "p", ("loose",)),),
+                )
+            )
+
+    def test_fk_column_count_mismatch(self):
+        with pytest.raises(SchemaError, match="mismatch"):
+            ForeignKey(("a", "b"), "p", ("k",))
+
+    def test_fk_to_unknown_table(self):
+        db = Database("x")
+        with pytest.raises(SchemaError, match="unknown table"):
+            db.create_table(
+                Schema(
+                    name="c",
+                    columns=(
+                        Column("k", T.INT, nullable=False),
+                        Column("f", T.INT),
+                    ),
+                    primary_key=("k",),
+                    foreign_keys=(ForeignKey(("f",), "ghost", ("k",)),),
+                )
+            )
+
+    def test_self_referential_fk_allowed(self):
+        db = Database("x")
+        db.create_table(
+            Schema(
+                name="tree",
+                columns=(
+                    Column("k", T.INT, nullable=False),
+                    Column("parent", T.INT),
+                ),
+                primary_key=("k",),
+                foreign_keys=(
+                    ForeignKey(("parent",), "tree", ("k",),
+                               on_delete=Action.CASCADE),
+                ),
+            )
+        )
+        db.insert("tree", {"k": 1, "parent": None})
+        db.insert("tree", {"k": 2, "parent": 1})
+        db.insert("tree", {"k": 3, "parent": 2})
+        db.delete_pk("tree", 1)
+        assert db.count("tree") == 0

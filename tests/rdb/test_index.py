@@ -1,0 +1,141 @@
+"""Tests for hash and sorted secondary indexes."""
+
+import pytest
+
+from repro.rdb.index import HashIndex, IndexSet, SortedIndex
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        index = HashIndex("i", ("a",))
+        index.insert((1,), 10)
+        index.insert((1,), 11)
+        index.insert((2,), 12)
+        assert index.lookup((1,)) == {10, 11}
+        assert index.lookup((2,)) == {12}
+        assert index.lookup((3,)) == frozenset()
+
+    def test_count(self):
+        index = HashIndex("i", ("a",))
+        index.insert((1,), 10)
+        assert index.count((1,)) == 1 and index.count((9,)) == 0
+
+    def test_remove(self):
+        index = HashIndex("i", ("a",))
+        index.insert((1,), 10)
+        index.insert((1,), 11)
+        index.remove((1,), 10)
+        assert index.lookup((1,)) == {11}
+        index.remove((1,), 11)
+        assert (1,) not in list(index.keys())
+
+    def test_remove_absent_is_noop(self):
+        index = HashIndex("i", ("a",))
+        index.remove((1,), 10)  # no raise
+        assert len(index) == 0
+
+    def test_len_counts_rowids(self):
+        index = HashIndex("i", ("a",))
+        index.insert((1,), 10)
+        index.insert((1,), 11)
+        index.insert((2,), 12)
+        assert len(index) == 3
+
+    def test_composite_keys(self):
+        index = HashIndex("i", ("a", "b"))
+        index.insert((1, "x"), 10)
+        assert index.lookup((1, "x")) == {10}
+        assert index.lookup((1, "y")) == frozenset()
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            HashIndex("i", ())
+
+
+class TestSortedIndex:
+    def _index(self):
+        index = SortedIndex("s", "a")
+        for key, rowid in [(5, 1), (1, 2), (3, 3), (3, 4), (9, 5)]:
+            index.insert(key, rowid)
+        return index
+
+    def test_range_inclusive(self):
+        assert set(self._index().range(3, 5)) == {1, 3, 4}
+
+    def test_range_exclusive_bounds(self):
+        index = self._index()
+        assert set(index.range(3, 5, include_low=False)) == {1}
+        assert set(index.range(3, 5, include_high=False)) == {3, 4}
+
+    def test_open_ended(self):
+        index = self._index()
+        assert set(index.range(low=5)) == {1, 5}
+        assert set(index.range(high=3)) == {2, 3, 4}
+        assert set(index.range()) == {1, 2, 3, 4, 5}
+
+    def test_none_keys_excluded(self):
+        index = SortedIndex("s", "a")
+        index.insert(None, 1)
+        assert len(index) == 0
+        index.remove(None, 1)  # no raise
+
+    def test_min_max(self):
+        index = self._index()
+        assert index.min_key() == 1 and index.max_key() == 9
+        assert SortedIndex("s", "a").min_key() is None
+
+    def test_remove_shrinks(self):
+        index = self._index()
+        index.remove(3, 3)
+        assert set(index.range(3, 3)) == {4}
+        index.remove(3, 4)
+        assert set(index.range(3, 3)) == set()
+
+    def test_remove_absent_key(self):
+        index = self._index()
+        index.remove(99, 1)  # no raise
+        assert len(index) == 5
+
+
+class TestIndexSet:
+    def _set(self):
+        indexes = IndexSet()
+        indexes.add_hash(HashIndex("h1", ("a",)))
+        indexes.add_hash(HashIndex("h2", ("a", "b")))
+        indexes.add_sorted(SortedIndex("s1", "c"))
+        return indexes
+
+    def test_duplicate_names_rejected(self):
+        indexes = self._set()
+        with pytest.raises(ValueError):
+            indexes.add_hash(HashIndex("h1", ("z",)))
+        with pytest.raises(ValueError):
+            indexes.add_sorted(SortedIndex("s1", "z"))
+
+    def test_hash_index_on_exact_columns(self):
+        indexes = self._set()
+        assert indexes.hash_index_on(("a",)).name == "h1"
+        assert indexes.hash_index_on(("a", "b")).name == "h2"
+        assert indexes.hash_index_on(("b",)) is None
+
+    def test_best_hash_index_prefers_widest(self):
+        indexes = self._set()
+        assert indexes.best_hash_index(frozenset({"a", "b"})).name == "h2"
+        assert indexes.best_hash_index(frozenset({"a"})).name == "h1"
+        assert indexes.best_hash_index(frozenset({"z"})) is None
+
+    def test_sorted_index_on(self):
+        indexes = self._set()
+        assert indexes.sorted_index_on("c").name == "s1"
+        assert indexes.sorted_index_on("a") is None
+
+    def test_row_maintenance(self):
+        indexes = self._set()
+        row = {"a": 1, "b": "x", "c": 5}
+        indexes.insert_row(row, 10)
+        assert indexes.hash_index_on(("a",)).lookup((1,)) == {10}
+        assert indexes.hash_index_on(("a", "b")).lookup((1, "x")) == {10}
+        assert set(indexes.sorted_index_on("c").range(5, 5)) == {10}
+        indexes.remove_row(row, 10)
+        assert indexes.hash_index_on(("a",)).lookup((1,)) == frozenset()
+        assert set(indexes.sorted_index_on("c").range()) == set()

@@ -1,0 +1,183 @@
+"""Tests for query execution: selects, plans, joins, aggregates."""
+
+import pytest
+
+from repro.rdb import UnknownColumnError, col
+from repro.rdb.query import aggregate, join_rows
+
+
+class TestSelect:
+    def test_select_all(self, populated_db):
+        assert len(populated_db.select("people")) == 3
+
+    def test_where_filters(self, populated_db):
+        rows = populated_db.select("people", where=col("age") > 25)
+        assert [r["name"] for r in rows] == ["ada"]
+
+    def test_order_by(self, populated_db):
+        rows = populated_db.select("people", order_by="name")
+        assert [r["name"] for r in rows] == ["ada", "bob", "cyd"]
+
+    def test_order_by_descending(self, populated_db):
+        rows = populated_db.select("people", order_by="name", descending=True)
+        assert [r["name"] for r in rows] == ["cyd", "bob", "ada"]
+
+    def test_order_by_nulls_first(self, populated_db):
+        rows = populated_db.select("people", order_by="age")
+        assert rows[0]["name"] == "cyd"  # null age sorts first
+
+    def test_multi_column_order(self, populated_db):
+        rows = populated_db.select("orders", order_by=("person_id", "amount"))
+        assert [r["order_id"] for r in rows] == [10, 11, 12]
+
+    def test_limit_offset(self, populated_db):
+        rows = populated_db.select("people", order_by="person_id",
+                                   limit=1, offset=1)
+        assert [r["person_id"] for r in rows] == [2]
+
+    def test_projection(self, populated_db):
+        rows = populated_db.select("people", columns=["name"])
+        assert all(set(r) == {"name"} for r in rows)
+
+    def test_projection_unknown_column(self, populated_db):
+        with pytest.raises(UnknownColumnError):
+            populated_db.select("people", columns=["ghost"])
+
+    def test_order_by_unknown_column(self, populated_db):
+        with pytest.raises(UnknownColumnError):
+            populated_db.select("people", order_by="ghost")
+
+    def test_rows_are_copies(self, populated_db):
+        row = populated_db.select("people", where=col("person_id") == 1)[0]
+        row["name"] = "mutated"
+        assert populated_db.get("people", 1)["name"] == "ada"
+
+
+class TestPlanner:
+    def test_pk_equality_uses_index(self, populated_db):
+        plan = populated_db.explain("people", col("person_id") == 1)
+        assert "index:" in plan
+
+    def test_fk_equality_uses_index(self, populated_db):
+        plan = populated_db.explain("orders", col("person_id") == 1)
+        assert "index:" in plan
+
+    def test_non_indexed_column_scans(self, populated_db):
+        assert "scan" in populated_db.explain("people", col("age") > 5)
+
+    def test_or_predicate_scans(self, populated_db):
+        plan = populated_db.explain(
+            "people", (col("person_id") == 1) | (col("person_id") == 2)
+        )
+        assert "scan" in plan
+
+    def test_index_plus_residual_filter(self, populated_db):
+        rows = populated_db.select(
+            "orders", where=(col("person_id") == 1) & (col("amount") > 6)
+        )
+        assert [r["order_id"] for r in rows] == [11]
+
+    def test_secondary_index_used_after_creation(self, populated_db):
+        populated_db.create_hash_index("people", "by_name", ["name"])
+        plan = populated_db.explain("people", col("name") == "ada")
+        assert "index:by_name" in plan
+
+
+class TestRange:
+    def test_range_without_index(self, populated_db):
+        rows = populated_db.range("orders", "amount", 3.0, 8.0)
+        assert sorted(r["order_id"] for r in rows) == [10, 11]
+
+    def test_range_with_sorted_index(self, populated_db):
+        populated_db.create_sorted_index("orders", "by_amount", "amount")
+        rows = populated_db.range("orders", "amount", 3.0, 8.0)
+        assert sorted(r["order_id"] for r in rows) == [10, 11]
+
+    def test_range_exclusive(self, populated_db):
+        rows = populated_db.range("orders", "amount", 5.0, 7.5,
+                                  include_low=False, include_high=False)
+        assert rows == []
+
+    def test_range_ignores_nulls(self, populated_db):
+        rows = populated_db.range("people", "age", 0, 200)
+        assert sorted(r["name"] for r in rows) == ["ada", "bob"]
+
+
+class TestJoin:
+    def test_inner_join(self, populated_db):
+        rows = populated_db.join(
+            "people", "orders", on=[("person_id", "person_id")]
+        )
+        assert len(rows) == 3
+        assert {r["l.name"] for r in rows} == {"ada", "bob"}
+
+    def test_left_join_keeps_unmatched(self, populated_db):
+        rows = populated_db.join(
+            "people", "orders", on=[("person_id", "person_id")], kind="left"
+        )
+        cyd = [r for r in rows if r["l.name"] == "cyd"]
+        assert len(cyd) == 1 and cyd[0]["r.order_id"] is None
+
+    def test_join_with_filters(self, populated_db):
+        rows = populated_db.join(
+            "people", "orders", on=[("person_id", "person_id")],
+            where_right=col("amount") > 6,
+        )
+        assert [r["r.order_id"] for r in rows] == [11]
+
+    def test_join_null_keys_never_match(self):
+        rows = join_rows(
+            [{"k": None, "v": 1}], [{"k": None, "w": 2}], on=[("k", "k")]
+        )
+        assert rows == []
+
+    def test_bad_join_kind(self, populated_db):
+        with pytest.raises(ValueError):
+            populated_db.join("people", "orders",
+                              on=[("person_id", "person_id")], kind="outer")
+
+
+class TestAggregate:
+    def test_global_aggregates(self, populated_db):
+        out = populated_db.aggregate(
+            "orders",
+            {"n": ("count", None), "total": ("sum", "amount"),
+             "mean": ("avg", "amount"), "low": ("min", "amount"),
+             "high": ("max", "amount")},
+        )
+        assert out == [
+            {"n": 3, "total": 14.5, "mean": pytest.approx(14.5 / 3),
+             "low": 2.0, "high": 7.5}
+        ]
+
+    def test_group_by(self, populated_db):
+        out = populated_db.aggregate(
+            "orders",
+            {"n": ("count", None), "total": ("sum", "amount")},
+            group_by=["person_id"],
+        )
+        assert out == [
+            {"person_id": 1, "n": 2, "total": 12.5},
+            {"person_id": 2, "n": 1, "total": 2.0},
+        ]
+
+    def test_nulls_excluded_from_column_aggregates(self, populated_db):
+        out = populated_db.aggregate(
+            "people", {"n": ("count", None), "mean_age": ("avg", "age")}
+        )
+        assert out[0]["n"] == 3
+        assert out[0]["mean_age"] == pytest.approx(28.0)
+
+    def test_empty_input(self):
+        assert aggregate([], {"n": ("count", None), "m": ("max", "x")}) == [
+            {"n": 0, "m": None}
+        ]
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([], {"bad": ("median", "x")})
+
+    def test_count_star_includes_null_rows(self):
+        rows = [{"x": None}, {"x": 1}]
+        out = aggregate(rows, {"all": ("count", None), "xs": ("sum", "x")})
+        assert out == [{"all": 2, "xs": 1}]

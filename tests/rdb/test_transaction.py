@@ -1,0 +1,197 @@
+"""Tests for transactions, rollback and savepoints."""
+
+import pytest
+
+from repro.rdb import Database, DuplicateKeyError, TransactionError, col
+
+
+class TestBasicTransactions:
+    def test_commit_persists(self, db):
+        db.begin()
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.commit()
+        assert db.count("people") == 1
+
+    def test_rollback_undoes_insert(self, db):
+        db.begin()
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.rollback()
+        assert db.count("people") == 0
+
+    def test_rollback_undoes_update(self, populated_db):
+        populated_db.begin()
+        populated_db.update_pk("people", 1, {"name": "changed"})
+        populated_db.rollback()
+        assert populated_db.get("people", 1)["name"] == "ada"
+
+    def test_rollback_undoes_delete_and_cascade(self, populated_db):
+        populated_db.begin()
+        populated_db.delete_pk("people", 1)
+        assert populated_db.count("orders") == 1
+        populated_db.rollback()
+        assert populated_db.count("people") == 3
+        assert populated_db.count("orders") == 3
+        # Indexes are restored too: PK lookup must work again.
+        assert populated_db.get("people", 1)["name"] == "ada"
+
+    def test_rollback_restores_index_consistency(self, populated_db):
+        populated_db.begin()
+        populated_db.update_pk("people", 1, {"person_id": 100})
+        populated_db.rollback()
+        assert populated_db.get("people", 100) is None
+        assert populated_db.count("orders", col("person_id") == 1) == 2
+
+    def test_mixed_ops_rollback_in_reverse_order(self, db):
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.begin()
+        db.insert("people", {"person_id": 2, "name": "b"})
+        db.update_pk("people", 1, {"name": "a2"})
+        db.delete_pk("people", 1)
+        db.rollback()
+        rows = db.select("people", order_by="person_id")
+        assert [(r["person_id"], r["name"]) for r in rows] == [(1, "a")]
+
+
+class TestTransactionErrors:
+    def test_commit_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_rollback_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.rollback()
+
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.rollback()
+
+    def test_counters(self, db):
+        db.begin(); db.commit()
+        db.begin(); db.rollback()
+        # autocommits also count as commits
+        db.insert("people", {"person_id": 1, "name": "a"})
+        assert db.commits >= 2 and db.rollbacks == 1
+
+
+class TestAutocommitAtomicity:
+    def test_failed_statement_leaves_no_trace(self, populated_db):
+        """A multi-row statement that fails midway fully rolls back."""
+        with pytest.raises(DuplicateKeyError):
+            populated_db.insert_many(
+                "people",
+                [
+                    {"person_id": 50, "name": "ok"},
+                    {"person_id": 1, "name": "dup"},  # fails
+                ],
+            )
+        assert populated_db.get("people", 50) is None
+
+    def test_failed_cascade_delete_is_atomic(self):
+        from repro.rdb import (
+            Action,
+            Column,
+            ColumnType,
+            ForeignKey,
+            ForeignKeyError,
+            Schema,
+        )
+
+        T = ColumnType
+        db = Database("x")
+        db.create_table(Schema(
+            name="a",
+            columns=(Column("k", T.INT, nullable=False),),
+            primary_key=("k",),
+        ))
+        db.create_table(Schema(
+            name="b",
+            columns=(Column("k", T.INT, nullable=False), Column("pk", T.INT)),
+            primary_key=("k",),
+            foreign_keys=(ForeignKey(("pk",), "a", ("k",),
+                                     on_delete=Action.CASCADE),),
+        ))
+        db.create_table(Schema(
+            name="c",
+            columns=(Column("k", T.INT, nullable=False), Column("pk", T.INT)),
+            primary_key=("k",),
+            foreign_keys=(ForeignKey(("pk",), "b", ("k",),
+                                     on_delete=Action.RESTRICT),),
+        ))
+        db.insert("a", {"k": 1})
+        db.insert("b", {"k": 1, "pk": 1})
+        db.insert("c", {"k": 1, "pk": 1})
+        # deleting a would cascade into b, but c RESTRICTs b's deletion
+        with pytest.raises(ForeignKeyError):
+            db.delete_pk("a", 1)
+        assert db.count("a") == 1 and db.count("b") == 1
+
+
+class TestContextManager:
+    def test_success_commits(self, db):
+        with db.transaction():
+            db.insert("people", {"person_id": 1, "name": "a"})
+        assert db.count("people") == 1 and not db.in_transaction
+
+    def test_exception_rolls_back_and_reraises(self, db):
+        with pytest.raises(RuntimeError, match="boom"):
+            with db.transaction():
+                db.insert("people", {"person_id": 1, "name": "a"})
+                raise RuntimeError("boom")
+        assert db.count("people") == 0 and not db.in_transaction
+
+
+class TestSavepoints:
+    def test_rollback_to_savepoint(self, db):
+        db.begin()
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.savepoint("sp1")
+        db.insert("people", {"person_id": 2, "name": "b"})
+        db.rollback_to("sp1")
+        db.commit()
+        assert db.count("people") == 1
+
+    def test_multiple_savepoints(self, db):
+        db.begin()
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.savepoint("s1")
+        db.insert("people", {"person_id": 2, "name": "b"})
+        db.savepoint("s2")
+        db.insert("people", {"person_id": 3, "name": "c"})
+        db.rollback_to("s2")
+        assert db.count("people") == 2
+        db.rollback_to("s1")
+        assert db.count("people") == 1
+        db.commit()
+
+    def test_rollback_past_savepoint_invalidates_it(self, db):
+        db.begin()
+        db.savepoint("s1")
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.savepoint("s2")
+        db.rollback_to("s1")
+        with pytest.raises(TransactionError, match="unknown savepoint"):
+            db.rollback_to("s2")
+        db.rollback()
+
+    def test_unknown_savepoint(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.rollback_to("ghost")
+        db.rollback()
+
+    def test_savepoint_outside_transaction(self, db):
+        with pytest.raises(TransactionError):
+            db.savepoint("s")
+        with pytest.raises(TransactionError):
+            db.rollback_to("s")
+
+    def test_work_after_partial_rollback_commits(self, db):
+        db.begin()
+        db.savepoint("s")
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.rollback_to("s")
+        db.insert("people", {"person_id": 2, "name": "b"})
+        db.commit()
+        assert [r["person_id"] for r in db.select("people")] == [2]

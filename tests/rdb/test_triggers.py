@@ -1,0 +1,124 @@
+"""Tests for row-level triggers."""
+
+import pytest
+
+from repro.rdb import TriggerEvent, TriggerTiming
+from repro.rdb.triggers import TriggerRegistry
+
+
+class TestRegistry:
+    def test_register_and_fire(self):
+        registry = TriggerRegistry()
+        seen = []
+        registry.register(
+            "t1", "tbl", TriggerEvent.INSERT, TriggerTiming.AFTER,
+            lambda ctx: seen.append(ctx),
+        )
+        registry.fire("tbl", TriggerEvent.INSERT, TriggerTiming.AFTER,
+                      None, {"a": 1})
+        assert len(seen) == 1
+        assert seen[0].new_row == {"a": 1} and seen[0].old_row is None
+
+    def test_duplicate_name_rejected(self):
+        registry = TriggerRegistry()
+        registry.register("t", "tbl", TriggerEvent.INSERT,
+                          TriggerTiming.AFTER, lambda ctx: None)
+        with pytest.raises(ValueError):
+            registry.register("t", "tbl", TriggerEvent.INSERT,
+                              TriggerTiming.AFTER, lambda ctx: None)
+
+    def test_same_name_different_event_ok(self):
+        registry = TriggerRegistry()
+        registry.register("t", "tbl", TriggerEvent.INSERT,
+                          TriggerTiming.AFTER, lambda ctx: None)
+        registry.register("t", "tbl", TriggerEvent.DELETE,
+                          TriggerTiming.AFTER, lambda ctx: None)
+        assert registry.names_for("tbl") == ["t"]
+
+    def test_drop(self):
+        registry = TriggerRegistry()
+        registry.register("t", "tbl", TriggerEvent.INSERT,
+                          TriggerTiming.AFTER, lambda ctx: None)
+        assert registry.drop("t", "tbl") is True
+        assert registry.drop("t", "tbl") is False
+        assert registry.names_for("tbl") == []
+
+    def test_rows_are_copies(self):
+        registry = TriggerRegistry()
+        captured = []
+        registry.register("t", "tbl", TriggerEvent.UPDATE,
+                          TriggerTiming.AFTER,
+                          lambda ctx: captured.append(ctx.new_row))
+        row = {"a": 1}
+        registry.fire("tbl", TriggerEvent.UPDATE, TriggerTiming.AFTER,
+                      row, row)
+        captured[0]["a"] = 999
+        assert row["a"] == 1
+
+    def test_multiple_triggers_fire_in_order(self):
+        registry = TriggerRegistry()
+        order = []
+        registry.register("t1", "tbl", TriggerEvent.INSERT,
+                          TriggerTiming.AFTER, lambda ctx: order.append(1))
+        registry.register("t2", "tbl", TriggerEvent.INSERT,
+                          TriggerTiming.AFTER, lambda ctx: order.append(2))
+        registry.fire("tbl", TriggerEvent.INSERT, TriggerTiming.AFTER,
+                      None, {})
+        assert order == [1, 2]
+
+
+class TestEngineIntegration:
+    def test_after_insert_fires(self, db):
+        seen = []
+        db.register_trigger("t", "people", TriggerEvent.INSERT,
+                            TriggerTiming.AFTER,
+                            lambda ctx: seen.append(ctx.new_row["name"]))
+        db.insert("people", {"person_id": 1, "name": "ada"})
+        assert seen == ["ada"]
+
+    def test_before_insert_can_veto(self, db):
+        def veto(ctx):
+            if ctx.new_row["name"] == "bad":
+                raise ValueError("vetoed")
+
+        db.register_trigger("veto", "people", TriggerEvent.INSERT,
+                            TriggerTiming.BEFORE, veto)
+        db.insert("people", {"person_id": 1, "name": "good"})
+        with pytest.raises(ValueError, match="vetoed"):
+            db.insert("people", {"person_id": 2, "name": "bad"})
+        assert db.count("people") == 1  # vetoed insert rolled back
+
+    def test_update_sees_old_and_new(self, populated_db):
+        pairs = []
+        populated_db.register_trigger(
+            "t", "people", TriggerEvent.UPDATE, TriggerTiming.AFTER,
+            lambda ctx: pairs.append((ctx.old_row["age"], ctx.new_row["age"])),
+        )
+        populated_db.update_pk("people", 1, {"age": 40})
+        assert pairs == [(36, 40)]
+
+    def test_delete_fires_for_cascade_children(self, populated_db):
+        deleted = []
+        populated_db.register_trigger(
+            "t", "orders", TriggerEvent.DELETE, TriggerTiming.AFTER,
+            lambda ctx: deleted.append(ctx.old_row["order_id"]),
+        )
+        populated_db.delete_pk("people", 1)
+        assert sorted(deleted) == [10, 11]
+
+    def test_register_on_unknown_table(self, db):
+        from repro.rdb import UnknownTableError
+
+        with pytest.raises(UnknownTableError):
+            db.register_trigger("t", "ghost", TriggerEvent.INSERT,
+                                TriggerTiming.AFTER, lambda ctx: None)
+
+    def test_drop_trigger_stops_firing(self, db):
+        seen = []
+        db.register_trigger("t", "people", TriggerEvent.INSERT,
+                            TriggerTiming.AFTER,
+                            lambda ctx: seen.append(1))
+        db.insert("people", {"person_id": 1, "name": "a"})
+        db.drop_trigger("t", "people")
+        db.insert("people", {"person_id": 2, "name": "b"})
+        assert len(seen) == 1

@@ -1,0 +1,162 @@
+"""Tests for repro.rdb.types (column types, schemas, normalization)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdb import Column, ColumnType, Schema, SchemaError
+
+T = ColumnType
+
+
+class TestColumnTypeValidate:
+    def test_int_accepts_int(self):
+        assert T.INT.validate(5, column="c") == 5
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            T.INT.validate(True, column="c")
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            T.INT.validate(1.5, column="c")
+
+    def test_float_coerces_int(self):
+        value = T.FLOAT.validate(3, column="c")
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError):
+            T.FLOAT.validate(False, column="c")
+
+    def test_text_accepts_str(self):
+        assert T.TEXT.validate("x", column="c") == "x"
+
+    def test_text_rejects_bytes(self):
+        with pytest.raises(TypeError):
+            T.TEXT.validate(b"x", column="c")
+
+    def test_bool_strict(self):
+        assert T.BOOL.validate(True, column="c") is True
+        with pytest.raises(TypeError):
+            T.BOOL.validate(1, column="c")
+
+    def test_datetime(self):
+        stamp = dt.datetime(1999, 1, 1)
+        assert T.DATETIME.validate(stamp, column="c") == stamp
+        with pytest.raises(TypeError):
+            T.DATETIME.validate("1999-01-01", column="c")
+
+    def test_bytes_coerces_bytearray(self):
+        value = T.BYTES.validate(bytearray(b"ab"), column="c")
+        assert value == b"ab" and isinstance(value, bytes)
+
+    def test_json_accepts_nested(self):
+        payload = {"a": [1, 2, {"b": None}], "c": "x"}
+        assert T.JSON.validate(payload, column="c") == payload
+
+    def test_json_rejects_non_string_keys(self):
+        with pytest.raises(TypeError):
+            T.JSON.validate({1: "x"}, column="c")
+
+    def test_json_rejects_objects(self):
+        with pytest.raises(TypeError):
+            T.JSON.validate({"a": object()}, column="c")
+
+    def test_json_rejects_too_deep(self):
+        nested: list = []
+        tip = nested
+        for _ in range(40):
+            tip.append([])
+            tip = tip[0]
+        with pytest.raises(TypeError, match="nested too deeply"):
+            T.JSON.validate(nested, column="c")
+
+
+class TestColumn:
+    def test_default_validated_eagerly(self):
+        with pytest.raises(TypeError):
+            Column("c", T.INT, default="not an int")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("9bad", T.INT)
+
+
+class TestSchema:
+    def _schema(self, **kwargs):
+        defaults = dict(
+            name="t",
+            columns=(
+                Column("k", T.INT, nullable=False),
+                Column("v", T.TEXT, default="d"),
+            ),
+            primary_key=("k",),
+        )
+        defaults.update(kwargs)
+        return Schema(**defaults)
+
+    def test_column_lookup(self):
+        schema = self._schema()
+        assert schema.column("v").default == "d"
+        assert schema.has_column("k") and not schema.has_column("zz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema(
+                columns=(
+                    Column("k", T.INT, nullable=False),
+                    Column("k", T.TEXT),
+                )
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema(columns=())
+
+    def test_missing_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema(primary_key=())
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            self._schema(primary_key=("nope",))
+
+    def test_pk_column_must_be_not_null(self):
+        with pytest.raises(SchemaError, match="nullable=False"):
+            Schema(
+                name="t",
+                columns=(Column("k", T.INT),),
+                primary_key=("k",),
+            )
+
+    def test_unique_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            self._schema(unique=(("ghost",),))
+
+    def test_normalize_fills_defaults(self):
+        row = self._schema().normalize_row({"k": 1})
+        assert row == {"k": 1, "v": "d"}
+
+    def test_normalize_rejects_unknown_keys(self):
+        with pytest.raises(SchemaError, match="no column"):
+            self._schema().normalize_row({"k": 1, "ghost": 2})
+
+    def test_normalize_validates_types(self):
+        with pytest.raises(TypeError):
+            self._schema().normalize_row({"k": "not-int"})
+
+    def test_normalize_returns_fresh_dict(self):
+        values = {"k": 1}
+        row = self._schema().normalize_row(values)
+        row["v"] = "mutated"
+        assert values == {"k": 1}
+
+    def test_key_extraction(self):
+        schema = self._schema()
+        row = schema.normalize_row({"k": 7, "v": "x"})
+        assert schema.primary_key_of(row) == (7,)
+        assert schema.key_of(row, ("v", "k")) == ("x", 7)
+
+    def test_column_names_ordered(self):
+        assert self._schema().column_names == ("k", "v")

@@ -1,0 +1,187 @@
+"""Tests for the write-ahead journal, snapshots and recovery."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.rdb import Column, ColumnType, Database, Schema
+from repro.rdb.wal import (
+    Journal,
+    decode_value,
+    encode_value,
+    read_snapshot,
+    write_snapshot,
+)
+
+T = ColumnType
+
+EVENTS = Schema(
+    name="events",
+    columns=(
+        Column("k", T.INT, nullable=False),
+        Column("label", T.TEXT),
+        Column("when", T.DATETIME),
+        Column("payload", T.BYTES),
+        Column("meta", T.JSON),
+    ),
+    primary_key=("k",),
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            42,
+            3.5,
+            "text",
+            True,
+            dt.datetime(1999, 12, 31, 23, 59, 59),
+            b"\x00\xffbinary",
+            {"nested": [1, {"d": dt.datetime(2000, 1, 1)}]},
+            [b"aa", "bb"],
+        ],
+    )
+    def test_roundtrip(self, value):
+        encoded = encode_value(value)
+        json.dumps(encoded)  # must be JSON-safe
+        decoded = decode_value(json.loads(json.dumps(encoded)))
+        if isinstance(value, tuple):
+            value = list(value)
+        assert decoded == value
+
+    def test_dt_marker_dict_distinguished(self):
+        """A real dict with a '$dt' key plus others survives."""
+        value = {"$dt": "not-a-date", "other": 1}
+        assert decode_value(encode_value(value)) == value
+
+
+class TestJournal:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            journal.append(2, [["delete", "events", [1]]])
+        records = list(Journal.read(path))
+        assert [r["txn"] for r in records] == [1, 2]
+
+    def test_read_missing_file(self, tmp_path):
+        assert list(Journal.read(tmp_path / "nope.jsonl")) == []
+
+    def test_torn_tail_skipped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+        with path.open("a") as fh:
+            fh.write('{"txn": 2, "ops": [incomplete')
+        records = list(Journal.read(path))
+        assert len(records) == 1
+
+    def test_truncate(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = Journal(path)
+        journal.append(1, [["insert", "events", {"k": 1}]])
+        journal.truncate()
+        journal.close()
+        assert list(Journal.read(path)) == []
+
+
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "snap.json"
+        tables = {
+            "events": [
+                {"k": 1, "when": dt.datetime(1999, 1, 1),
+                 "payload": b"xy", "label": None, "meta": {"a": [1]}}
+            ]
+        }
+        write_snapshot(path, tables)
+        assert read_snapshot(path) == tables
+
+
+def _make_db(journal: Journal | None = None) -> Database:
+    db = Database("j")
+    db.create_table(EVENTS)
+    if journal is not None:
+        db.attach_journal(journal)
+    return db
+
+
+class TestRecovery:
+    def test_journal_replay(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        db = _make_db(Journal(path))
+        db.insert("events", {"k": 1, "label": "a",
+                             "when": dt.datetime(1999, 5, 5),
+                             "payload": b"zz", "meta": {"x": 1}})
+        db.insert("events", {"k": 2, "label": "b"})
+        db.update_pk("events", 1, {"label": "a2"})
+        db.delete_pk("events", 2)
+        recovered = Database.recover("r", [EVENTS], journal_path=str(path))
+        rows = recovered.select("events")
+        assert len(rows) == 1
+        assert rows[0]["label"] == "a2"
+        assert rows[0]["when"] == dt.datetime(1999, 5, 5)
+        assert rows[0]["payload"] == b"zz"
+
+    def test_rolled_back_txn_not_journaled(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        db = _make_db(Journal(path))
+        db.insert("events", {"k": 1})
+        db.begin()
+        db.insert("events", {"k": 2})
+        db.rollback()
+        recovered = Database.recover("r", [EVENTS], journal_path=str(path))
+        assert [r["k"] for r in recovered.select("events")] == [1]
+
+    def test_savepoint_rollback_not_journaled(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        db = _make_db(Journal(path))
+        db.begin()
+        db.insert("events", {"k": 1})
+        db.savepoint("s")
+        db.insert("events", {"k": 2})
+        db.rollback_to("s")
+        db.commit()
+        recovered = Database.recover("r", [EVENTS], journal_path=str(path))
+        assert [r["k"] for r in recovered.select("events")] == [1]
+
+    def test_snapshot_plus_journal(self, tmp_path):
+        wal_path = tmp_path / "wal.jsonl"
+        snap_path = tmp_path / "snap.json"
+        db = _make_db(Journal(wal_path))
+        db.insert("events", {"k": 1, "label": "pre-snapshot"})
+        db.snapshot(str(snap_path))
+        db.insert("events", {"k": 2, "label": "post-snapshot"})
+        recovered = Database.recover(
+            "r", [EVENTS],
+            snapshot_path=str(snap_path), journal_path=str(wal_path),
+        )
+        labels = {r["k"]: r["label"] for r in recovered.select("events")}
+        assert labels == {1: "pre-snapshot", 2: "post-snapshot"}
+
+    def test_snapshot_truncates_journal(self, tmp_path):
+        wal_path = tmp_path / "wal.jsonl"
+        db = _make_db(Journal(wal_path))
+        db.insert("events", {"k": 1})
+        db.snapshot(str(tmp_path / "snap.json"))
+        assert list(Journal.read(wal_path)) == []
+
+    def test_snapshot_inside_transaction_rejected(self, tmp_path):
+        from repro.rdb import TransactionError
+
+        db = _make_db()
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.snapshot(str(tmp_path / "snap.json"))
+        db.rollback()
+
+    def test_recovery_without_files(self, tmp_path):
+        recovered = Database.recover(
+            "r", [EVENTS],
+            snapshot_path=str(tmp_path / "ghost.json"),
+            journal_path=str(tmp_path / "ghost.jsonl"),
+        )
+        assert recovered.count("events") == 0

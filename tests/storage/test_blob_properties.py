@@ -1,0 +1,74 @@
+"""Hypothesis property tests for the BLOB store's accounting invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.blob import BlobStore, MissingBlobError
+
+labels = st.sampled_from(["a", "b", "c", "d"])
+owners = st.sampled_from(["o1", "o2", "o3"])
+sizes = st.integers(min_value=0, max_value=1000)
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), labels, sizes, owners),
+        st.tuples(st.just("acquire"), labels, sizes, owners),
+        st.tuples(st.just("release"), labels, sizes, owners),
+        st.tuples(st.just("release_owner"), owners),
+    ),
+    max_size=60,
+)
+
+
+@given(actions)
+@settings(max_examples=80, deadline=None)
+def test_accounting_invariants(ops):
+    """After any action sequence:
+
+    * physical == sum of sizes of resident blobs (each once);
+    * logical == sum over blobs of size * refcount;
+    * no blob survives with zero owners;
+    * sharing_factor >= 1 whenever something is resident.
+    """
+    store = BlobStore()
+    for op in ops:
+        if op[0] == "put":
+            _kind, label, size, owner = op
+            store.put_synthetic(label, size, owner=owner)
+        elif op[0] == "acquire":
+            _kind, label, size, owner = op
+            from repro.storage.blob import synthetic_digest
+
+            digest = synthetic_digest(label, size)
+            try:
+                store.acquire(digest, owner)
+            except MissingBlobError:
+                pass
+        elif op[0] == "release":
+            _kind, label, size, owner = op
+            from repro.storage.blob import synthetic_digest
+
+            digest = synthetic_digest(label, size)
+            try:
+                store.release(digest, owner)
+            except MissingBlobError:
+                pass
+        else:
+            store.release_owner(op[1])
+
+    resident = list(store.blobs())
+    assert store.physical_bytes == sum(b.size for b in resident)
+    assert store.logical_bytes == sum(b.size * b.refcount for b in resident)
+    assert all(b.refcount > 0 for b in resident)
+    if store.physical_bytes:
+        assert store.sharing_factor >= 1.0
+
+
+@given(st.lists(st.tuples(labels, sizes), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_dedup_never_stores_duplicate_content(puts):
+    store = BlobStore()
+    for label, size in puts:
+        store.put_synthetic(label, size, owner="o")
+    assert len(store) == len({(label, size) for label, size in puts})

@@ -1,0 +1,50 @@
+"""Run the doctests embedded in module docstrings.
+
+Examples in docstrings are part of the documentation contract; this
+harness keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.annotations.model
+import repro.distribution.adaptive
+import repro.distribution.mtree
+import repro.library.search
+import repro.net.sim
+import repro.rdb.query
+import repro.util.rng
+import repro.util.units
+import repro.workloads.traces
+
+MODULES = [
+    repro.annotations.model,
+    repro.distribution.adaptive,
+    repro.distribution.mtree,
+    repro.library.search,
+    repro.net.sim,
+    repro.rdb.query,
+    repro.util.rng,
+    repro.util.units,
+    repro.workloads.traces,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda module: module.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+
+
+def test_doctests_exist_somewhere():
+    """Guard against the suite silently testing nothing."""
+    total = sum(
+        doctest.testmod(module, verbose=False).attempted
+        for module in MODULES
+    )
+    assert total >= 10

@@ -1,0 +1,98 @@
+"""Tests for the typed role clients."""
+
+import pytest
+
+from repro.tiers import (
+    AdministratorClient,
+    ClassAdministrator,
+    InstructorClient,
+    StudentClient,
+)
+
+
+@pytest.fixture
+def world():
+    server = ClassAdministrator()
+    admin = AdministratorClient(server, "registrar")
+    admin.login()
+    instructor = InstructorClient(server, "shih")
+    instructor.login()
+    admin.admit_student("alice")
+    student = StudentClient(server, "alice")
+    student.login()
+    return server, admin, instructor, student
+
+
+class TestClients:
+    def test_full_term_flow(self, world):
+        _server, admin, instructor, student = world
+        instructor.register_course("CS101", "Intro")
+        admin.enroll("alice", "CS101")
+        instructor.publish("d1", "Lecture 1", "CS101", keywords=("intro",))
+        hits = student.search_library(keywords="intro")
+        assert [h["doc_id"] for h in hits] == ["d1"]
+        student.check_out("d1", time=0.0)
+        student.check_in("d1", time=60.0)
+        instructor.record_grade("alice", "CS101", 3.7)
+        assert student.transcript()[0]["grade"] == 3.7
+        report = instructor.assessment_report()
+        assert report[0]["student"] == "alice"
+
+    def test_unwrap_raises_on_denied(self, world):
+        _server, _admin, _instructor, student = world
+        with pytest.raises(RuntimeError, match="may not call"):
+            student._call("admit_student", student_id="eve")
+
+    def test_logout_clears_session(self, world):
+        _server, _admin, _instructor, student = world
+        student.logout()
+        assert student.session_id is None
+        with pytest.raises(RuntimeError):
+            student.transcript()
+
+    def test_register_station(self, world):
+        server, _admin, _instructor, student = world
+        student.register_station("wkst-alice", address="10.1.2.3")
+        row = server.connection.cursor().select("stations").fetchone()
+        assert row["user_id"] == "alice" and row["address"] == "10.1.2.3"
+
+    def test_instructor_withdraw(self, world):
+        _server, _admin, instructor, _student = world
+        instructor.publish("d2", "T", "CS101")
+        assert instructor.withdraw("d2") is True
+
+    def test_admin_transcript_of(self, world):
+        _server, admin, instructor, _student = world
+        instructor.register_course("CS101", "Intro")
+        admin.enroll("alice", "CS101")
+        instructor.record_grade("alice", "CS101", 2.0)
+        assert admin.transcript_of("alice")[0]["course_number"] == "CS101"
+
+    def test_roster_visible_to_instructor(self, world):
+        _server, admin, instructor, _student = world
+        instructor.register_course("CS101", "Intro")
+        admin.enroll("alice", "CS101")
+        assert instructor.roster("CS101") == ["alice"]
+
+    def test_admin_register_course_for_other(self, world):
+        _server, admin, _instructor, _student = world
+        admin.register_course("MM201", "Multimedia", instructor="ma")
+        hits = admin.search_library(course="MM201")
+        assert hits == []  # course exists; nothing published yet
+
+
+class TestProtocolObjects:
+    def test_request_wire_size_grows_with_params(self):
+        from repro.tiers.protocol import Request
+
+        small = Request("op", None, {})
+        big = Request("op", None, {"key": "value" * 100})
+        assert big.wire_size > small.wire_size
+
+    def test_response_unwrap(self):
+        from repro.tiers.protocol import Request, Response
+
+        request = Request("op", None)
+        assert Response.success(request, 42).unwrap() == 42
+        with pytest.raises(RuntimeError, match="nope"):
+            Response.failure(request, "nope").unwrap()

@@ -1,0 +1,96 @@
+"""Tests for the three-tier protocol over the simulated network."""
+
+import pytest
+
+from repro.tiers import RemoteTierClient, RemoteTierServer
+
+from tests.conftest import build_network
+
+
+@pytest.fixture
+def world():
+    net = build_network(4)
+    server = RemoteTierServer(net, "s1")
+    return net, server
+
+
+class TestRemoteCalls:
+    def test_login_over_the_wire(self, world):
+        net, server = world
+        client = RemoteTierClient(net, "s2", "s1")
+        session = client.login("registrar", "administrator")
+        assert session.startswith("sess-")
+        assert server.requests_received == 1
+
+    def test_request_latency_is_nonzero(self, world):
+        net, _server = world
+        client = RemoteTierClient(net, "s2", "s1")
+        start = net.sim.now
+        client.login("registrar", "administrator")
+        assert net.sim.now > start  # round trip consumed virtual time
+
+    def test_full_admin_flow_remotely(self, world):
+        net, _server = world
+        admin = RemoteTierClient(net, "s2", "s1")
+        admin.login("registrar", "administrator")
+        admin.call_sync("admit_student", student_id="alice")
+        instructor = RemoteTierClient(net, "s3", "s1")
+        instructor.login("shih", "instructor")
+        instructor.call_sync("register_course", course_number="CS1",
+                             title="Intro")
+        admin.call_sync("enroll", student_id="alice", course_number="CS1")
+        instructor.call_sync("record_grade", student_id="alice",
+                             course_number="CS1", grade=3.0)
+        transcript = admin.call_sync(
+            "transcript", student_id="alice"
+        ).unwrap()
+        assert transcript[0]["grade"] == 3.0
+
+    def test_failure_responses_travel_back(self, world):
+        net, _server = world
+        client = RemoteTierClient(net, "s2", "s1")
+        client.login("registrar", "administrator")
+        response = client.call_sync("fly_to_moon")
+        assert not response.ok and "unknown operation" in response.error
+
+    def test_async_callback_mode(self, world):
+        net, _server = world
+        client = RemoteTierClient(net, "s2", "s1")
+        responses = []
+        client.call("login", {"user": "x", "role": "administrator"},
+                    on_response=responses.append)
+        assert responses == []  # nothing until the simulator runs
+        net.quiesce()
+        assert len(responses) == 1 and responses[0].ok
+
+    def test_two_clients_on_different_stations(self, world):
+        net, server = world
+        a = RemoteTierClient(net, "s2", "s1")
+        b = RemoteTierClient(net, "s3", "s1")
+        a.login("registrar", "administrator")
+        b.login("shih", "instructor")
+        assert server.requests_received == 2
+        assert a.session_id != b.session_id
+
+    def test_wire_bytes_charged(self, world):
+        net, _server = world
+        client = RemoteTierClient(net, "s2", "s1")
+        client.login("registrar", "administrator")
+        assert net.total_bytes > 0
+        assert net.station("s1").link.bytes_up > 0  # response traffic
+
+    def test_call_sync_times_out_when_server_down(self, world):
+        net, _server = world
+        client = RemoteTierClient(net, "s2", "s1")
+        net.set_down("s1")
+        with pytest.raises(TimeoutError):
+            client.call_sync("login", user="x", role="administrator")
+
+    def test_shares_administrator_with_local_view(self, world):
+        net, server = world
+        client = RemoteTierClient(net, "s2", "s1")
+        client.login("registrar", "administrator")
+        client.call_sync("admit_student", student_id="bob")
+        # the same administrator object is queryable in-process
+        cursor = server.administrator.connection.cursor().select("students")
+        assert cursor.fetchone()["student_id"] == "bob"

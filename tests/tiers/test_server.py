@@ -1,0 +1,205 @@
+"""Tests for the class administrator middle tier."""
+
+import pytest
+
+from repro.tiers import ClassAdministrator, Request, Role
+
+
+@pytest.fixture
+def server() -> ClassAdministrator:
+    return ClassAdministrator()
+
+
+def _login(server, user, role) -> str:
+    response = server.handle(Request(
+        op="login", session_id=None, params={"user": user, "role": role},
+    ))
+    return response.unwrap()["session_id"]
+
+
+def _call(server, session, op, **params):
+    return server.handle(Request(op=op, session_id=session, params=params))
+
+
+@pytest.fixture
+def admin_session(server) -> str:
+    return _login(server, "registrar", "administrator")
+
+
+@pytest.fixture
+def instructor_session(server) -> str:
+    return _login(server, "shih", "instructor")
+
+
+class TestSessions:
+    def test_login_creates_session(self, server):
+        session = _login(server, "registrar", "administrator")
+        assert session.startswith("sess-")
+
+    def test_login_requires_user_and_role(self, server):
+        response = server.handle(Request(op="login", session_id=None,
+                                         params={"user": "x"}))
+        assert not response.ok
+
+    def test_unknown_role(self, server):
+        response = server.handle(Request(
+            op="login", session_id=None,
+            params={"user": "x", "role": "superuser"},
+        ))
+        assert not response.ok
+
+    def test_student_login_requires_admission(self, server, admin_session):
+        denied = server.handle(Request(
+            op="login", session_id=None,
+            params={"user": "alice", "role": "student"},
+        ))
+        assert not denied.ok and "not admitted" in denied.error
+        _call(server, admin_session, "admit_student", student_id="alice")
+        allowed = server.handle(Request(
+            op="login", session_id=None,
+            params={"user": "alice", "role": "student"},
+        ))
+        assert allowed.ok
+
+    def test_request_without_session_rejected(self, server):
+        response = _call(server, None, "transcript")
+        assert not response.ok and "not logged in" in response.error
+
+    def test_logout_invalidates_session(self, server, admin_session):
+        _call(server, admin_session, "logout")
+        response = _call(server, admin_session, "transcript")
+        assert not response.ok
+
+    def test_unknown_operation(self, server, admin_session):
+        response = _call(server, admin_session, "fly_to_moon")
+        assert not response.ok and "unknown operation" in response.error
+
+
+class TestAuthorization:
+    def test_student_cannot_admit(self, server, admin_session):
+        _call(server, admin_session, "admit_student", student_id="alice")
+        student = _login(server, "alice", "student")
+        response = _call(server, student, "admit_student", student_id="bob")
+        assert not response.ok and "may not call" in response.error
+
+    def test_instructor_cannot_register_others_courses(
+        self, server, instructor_session
+    ):
+        response = _call(
+            server, instructor_session, "register_course",
+            course_number="X1", title="T", instructor="someone_else",
+        )
+        assert not response.ok
+
+    def test_student_sees_only_own_transcript(self, server, admin_session):
+        for student in ("alice", "bob"):
+            _call(server, admin_session, "admit_student", student_id=student)
+        alice = _login(server, "alice", "student")
+        response = _call(server, alice, "transcript", student_id="bob")
+        assert not response.ok
+
+    def test_instructor_grades_only_own_courses(
+        self, server, admin_session, instructor_session
+    ):
+        _call(server, admin_session, "admit_student", student_id="alice")
+        _call(server, admin_session, "register_course",
+              course_number="MM1", title="T", instructor="ma")
+        _call(server, admin_session, "enroll",
+              student_id="alice", course_number="MM1")
+        response = _call(server, instructor_session, "record_grade",
+                         student_id="alice", course_number="MM1", grade=4.0)
+        assert not response.ok and "does not teach" in response.error
+
+
+class TestAdministration:
+    def test_enroll_requires_admitted_student_and_course(
+        self, server, admin_session
+    ):
+        response = _call(server, admin_session, "enroll",
+                         student_id="ghost", course_number="none")
+        assert not response.ok  # FK violation surfaces as failure
+
+    def test_grade_requires_enrollment(
+        self, server, admin_session, instructor_session
+    ):
+        _call(server, admin_session, "admit_student", student_id="alice")
+        _call(server, instructor_session, "register_course",
+              course_number="CS1", title="T")
+        response = _call(server, instructor_session, "record_grade",
+                         student_id="alice", course_number="CS1", grade=4.0)
+        assert not response.ok and "not enrolled" in response.error
+
+    def test_full_transcript_flow(
+        self, server, admin_session, instructor_session
+    ):
+        _call(server, admin_session, "admit_student", student_id="alice")
+        _call(server, instructor_session, "register_course",
+              course_number="CS1", title="T")
+        _call(server, admin_session, "enroll",
+              student_id="alice", course_number="CS1")
+        _call(server, instructor_session, "record_grade",
+              student_id="alice", course_number="CS1", grade=3.5)
+        transcript = _call(server, admin_session, "transcript",
+                           student_id="alice").unwrap()
+        assert transcript == [
+            {"student_id": "alice", "course_number": "CS1", "grade": 3.5}
+        ]
+
+    def test_roster(self, server, admin_session, instructor_session):
+        _call(server, instructor_session, "register_course",
+              course_number="CS1", title="T")
+        for student in ("bob", "alice"):
+            _call(server, admin_session, "admit_student", student_id=student)
+            _call(server, admin_session, "enroll",
+                  student_id=student, course_number="CS1")
+        roster = _call(server, instructor_session, "roster",
+                       course_number="CS1").unwrap()
+        assert roster == ["alice", "bob"]
+
+    def test_station_registration_upserts(self, server, admin_session):
+        _call(server, admin_session, "register_station", station="w1")
+        _call(server, admin_session, "register_station", station="w2",
+              address="10.0.0.2")
+        cursor = server.connection.cursor().select("stations")
+        rows = cursor.fetchall()
+        assert len(rows) == 1 and rows[0]["station"] == "w2"
+
+
+class TestLibraryOps:
+    def test_publish_search_checkout_flow(self, server, admin_session,
+                                          instructor_session):
+        _call(server, admin_session, "admit_student", student_id="alice")
+        _call(server, instructor_session, "publish_course_document",
+              doc_id="d1", title="Multimedia Lecture", course_number="MM1",
+              keywords=["video"])
+        alice = _login(server, "alice", "student")
+        hits = _call(server, alice, "search_library",
+                     keywords="video").unwrap()
+        assert [h["doc_id"] for h in hits] == ["d1"]
+        _call(server, alice, "check_out", doc_id="d1", time=0.0)
+        held = _call(server, alice, "check_in",
+                     doc_id="d1", time=30.0).unwrap()
+        assert held["held_seconds"] == 30.0
+
+    def test_withdraw(self, server, instructor_session):
+        _call(server, instructor_session, "publish_course_document",
+              doc_id="d1", title="T", course_number="C")
+        assert _call(server, instructor_session,
+                     "withdraw_course_document", doc_id="d1").unwrap() is True
+
+    def test_assessment_report(self, server, admin_session,
+                               instructor_session):
+        _call(server, admin_session, "admit_student", student_id="alice")
+        _call(server, instructor_session, "publish_course_document",
+              doc_id="d1", title="T", course_number="C")
+        alice = _login(server, "alice", "student")
+        _call(server, alice, "check_out", doc_id="d1", time=0.0)
+        report = _call(server, instructor_session,
+                       "assessment_report").unwrap()
+        assert report[0]["student"] == "alice"
+        assert report[0]["checkouts"] == 1
+
+    def test_requests_counted(self, server, admin_session):
+        before = server.requests_served
+        _call(server, admin_session, "transcript")
+        assert server.requests_served == before + 1

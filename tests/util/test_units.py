@@ -1,0 +1,88 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    Bandwidth,
+    bits_to_bytes,
+    bytes_to_bits,
+    format_bytes,
+    format_duration,
+    mbps,
+    transfer_time,
+)
+
+
+class TestConversions:
+    def test_constants(self):
+        assert KIB == 1024 and MIB == 1024**2 and GIB == 1024**3
+
+    def test_bytes_bits_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(123.0)) == 123.0
+
+    def test_mbps(self):
+        assert mbps(8) == 1_000_000.0
+        assert mbps(1.5) == 187_500.0
+
+
+class TestBandwidth:
+    def test_from_mbps(self):
+        assert Bandwidth.from_mbps(10).bytes_per_second == 1_250_000.0
+
+    def test_mbps_property_roundtrip(self):
+        assert Bandwidth.from_mbps(2.5).mbps == pytest.approx(2.5)
+
+    def test_seconds_for(self):
+        bw = Bandwidth.from_mbps(8)  # 1 MB/s
+        assert bw.seconds_for(2_000_000) == pytest.approx(2.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Bandwidth(0.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Bandwidth.from_mbps(1).seconds_for(-1)
+
+
+class TestTransferTime:
+    def test_latency_plus_serialization(self):
+        bw = Bandwidth.from_mbps(8)
+        assert transfer_time(1_000_000, bw, 0.5) == pytest.approx(1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(1, Bandwidth.from_mbps(1), -0.1)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512 B"),
+            (1536, "1.5 KiB"),
+            (5 * MIB, "5.0 MiB"),
+            (2 * GIB, "2.0 GiB"),
+        ],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.0000005, "0us"),
+            (0.05, "50.0ms"),
+            (5.25, "5.25s"),
+            (90, "1m30.0s"),
+            (3750, "1h02m30.0s"),
+        ],
+    )
+    def test_format_duration(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_duration(self):
+        assert format_duration(-90) == "-1m30.0s"

@@ -1,0 +1,66 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_identifier,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_passes_and_returns(self):
+        assert check_type("x", str, "arg") == "x"
+
+    def test_tuple_of_types(self):
+        assert check_type(3, (int, float), "arg") == 3
+
+    def test_raises_with_name(self):
+        with pytest.raises(TypeError, match="arg must be str"):
+            check_type(3, str, "arg")
+
+
+class TestNumericChecks:
+    def test_positive_ok(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(value, "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_probability_ok(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_probability_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckIdentifier:
+    @pytest.mark.parametrize(
+        "name", ["abc", "a_b", "A9", "_x", "course-01", "a/b.html", "two words"]
+    )
+    def test_accepts(self, name):
+        assert check_identifier(name, "n") == name
+
+    @pytest.mark.parametrize("name", ["", "9abc", "-x", "a\nb", "a;b"])
+    def test_rejects(self, name):
+        with pytest.raises(ValueError):
+            check_identifier(name, "n")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            check_identifier(42, "n")

@@ -1,0 +1,60 @@
+"""Tests for the media size/rate models."""
+
+import pytest
+
+from repro.storage.blob import BlobKind
+from repro.util.units import KIB
+from repro.workloads import MediaModel, PLAYBACK_RATES
+
+
+class TestSampling:
+    def test_deterministic_for_seed(self):
+        a = MediaModel(7).sample(BlobKind.VIDEO, 10)
+        b = MediaModel(7).sample(BlobKind.VIDEO, 10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert MediaModel(1).sample(BlobKind.VIDEO, 5) != MediaModel(2).sample(
+            BlobKind.VIDEO, 5
+        )
+
+    def test_sizes_positive_and_floored(self):
+        sizes = MediaModel(3).sample(BlobKind.MIDI, 100)
+        assert all(size >= KIB for size in sizes)
+
+    def test_video_bigger_than_midi_on_average(self):
+        model = MediaModel(5)
+        video = sum(model.sample(BlobKind.VIDEO, 50)) / 50
+        midi = sum(model.sample(BlobKind.MIDI, 50)) / 50
+        assert video > 100 * midi
+
+    def test_unknown_kind(self):
+        with pytest.raises(LookupError):
+            MediaModel(1).sample(BlobKind.OTHER)
+
+
+class TestMixedSampling:
+    def test_mixed_returns_pairs(self):
+        pairs = MediaModel(9).sample_mixed(20)
+        assert len(pairs) == 20
+        assert all(isinstance(kind, BlobKind) and size >= KIB
+                   for kind, size in pairs)
+
+    def test_custom_weights_respected(self):
+        pairs = MediaModel(9).sample_mixed(
+            50, weights={BlobKind.MIDI: 1.0}
+        )
+        assert all(kind is BlobKind.MIDI for kind, _size in pairs)
+
+
+class TestPlaybackRates:
+    def test_video_rate_is_mpeg1(self):
+        assert PLAYBACK_RATES[BlobKind.VIDEO] == pytest.approx(187_500.0)
+
+    def test_static_media_have_zero_rate(self):
+        model = MediaModel(1)
+        assert model.playback_rate(BlobKind.IMAGE) == 0.0
+        assert model.playback_rate(BlobKind.OTHER) == 0.0
+
+    def test_all_kinds_covered(self):
+        assert set(PLAYBACK_RATES) == set(BlobKind)

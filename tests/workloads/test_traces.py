@@ -1,0 +1,120 @@
+"""Tests for access-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import AccessTraceGenerator, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] > weights[i + 1] for i in range(9))
+
+    def test_alpha_zero_is_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        np.testing.assert_allclose(weights, 0.2)
+
+    def test_higher_alpha_more_skew(self):
+        mild = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > mild[0]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestAccessTraces:
+    def _trace(self, **kwargs):
+        defaults = dict(
+            stations=["s1", "s2", "s3"],
+            doc_ids=[f"d{i}" for i in range(20)],
+            n_accesses=500,
+        )
+        defaults.update(kwargs)
+        return AccessTraceGenerator(seed=42).generate(**defaults)
+
+    def test_shape_and_sorting(self):
+        trace = self._trace()
+        assert len(trace) == 500
+        times = [t for t, _s, _d in trace]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_members_from_inputs(self):
+        trace = self._trace()
+        assert {s for _t, s, _d in trace} <= {"s1", "s2", "s3"}
+        assert {d for _t, _s, d in trace} <= {f"d{i}" for i in range(20)}
+
+    def test_deterministic_per_seed_and_label(self):
+        a = AccessTraceGenerator(1).generate(["s1"], ["d1", "d2"], 50)
+        b = AccessTraceGenerator(1).generate(["s1"], ["d1", "d2"], 50)
+        assert a == b
+        c = AccessTraceGenerator(1).generate(["s1"], ["d1", "d2"], 50,
+                                             label="other")
+        assert a != c
+
+    def test_zipf_skews_documents(self):
+        trace = self._trace(zipf_alpha=1.5, n_accesses=2000)
+        counts = {}
+        for _t, _s, doc in trace:
+            counts[doc] = counts.get(doc, 0) + 1
+        assert counts.get("d0", 0) > counts.get("d19", 0) * 3
+
+    def test_station_skew_optional(self):
+        trace = self._trace(station_zipf_alpha=2.0, n_accesses=2000)
+        counts = {}
+        for _t, station, _d in trace:
+            counts[station] = counts.get(station, 0) + 1
+        assert counts["s1"] > counts["s3"]
+
+    def test_start_time_offset(self):
+        trace = self._trace(start_time=1000.0)
+        assert trace[0][0] > 1000.0
+
+    def test_validation(self):
+        generator = AccessTraceGenerator(1)
+        with pytest.raises(ValueError):
+            generator.generate([], ["d"], 10)
+        with pytest.raises(ValueError):
+            generator.generate(["s"], ["d"], 0)
+
+
+class TestSessionTraces:
+    def test_events_well_formed(self):
+        events = AccessTraceGenerator(9).generate_sessions(
+            ["alice", "bob"], [f"d{i}" for i in range(10)], n_sessions=30,
+        )
+        times = [t for t, _s, _d, _a in events]
+        assert times == sorted(times)
+        assert all(a in ("check_out", "check_in") for _t, _s, _d, a in events)
+
+    def test_checkins_match_checkouts(self):
+        events = AccessTraceGenerator(9).generate_sessions(
+            ["alice"], ["d1", "d2", "d3"], n_sessions=20,
+        )
+        outs = sum(1 for e in events if e[3] == "check_out")
+        ins = sum(1 for e in events if e[3] == "check_in")
+        assert outs == ins
+
+    def test_replayable_against_circulation_desk(self):
+        from repro.library import CatalogEntry, CirculationDesk, VirtualLibrary
+
+        docs = [f"d{i}" for i in range(8)]
+        library = VirtualLibrary(instructors={"t"})
+        for doc in docs:
+            library.add_document("t", CatalogEntry(
+                doc_id=doc, title=doc, course_number="C", instructor="t",
+            ))
+        desk = CirculationDesk(library)
+        events = AccessTraceGenerator(3).generate_sessions(
+            ["a", "b", "c"], docs, n_sessions=60,
+        )
+        for time, student, doc, action in events:
+            if action == "check_out":
+                desk.check_out(student, doc, time)
+            else:
+                desk.check_in(student, doc, time)
+        assert desk.total_checkouts > 0
