@@ -1,0 +1,194 @@
+"""E14 — fault injection and self-healing redelivery.
+
+The paper assumes every workstation survives the lecture push; E14
+measures what the fault subsystem costs when they do not.  A seeded
+fraction of stations crashes *mid-broadcast*; the heartbeat detector
+confirms them dead, the tree repairer compacts the broadcast vector
+(the closed-form parent formulas re-derive the tree), and the
+redelivery service re-feeds every orphaned survivor from its nearest
+complete ancestor.
+
+Metrics per configuration:
+
+* ``t_heal`` — time from broadcast start until *every surviving*
+  station holds the full lecture (detection latency included);
+* ``redundant_bytes`` — redelivery traffic beyond the first attempt,
+  also as a fraction of the useful payload (``N-1`` lecture copies).
+
+Expected shape: redundant bytes grow with the crash rate (each dead
+inner node orphans a subtree) and shrink with larger m (shallower
+trees orphan fewer descendants per crash); a zero crash rate must cost
+exactly zero redundant bytes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import pytest
+
+from benchmarks.common import build_network, names, print_table
+from repro.distribution import PreBroadcaster
+from repro.distribution.vector import BroadcastVector
+from repro.fault import (
+    FailureDetector,
+    FaultInjector,
+    FaultSchedule,
+    RedeliveryService,
+    RetryPolicy,
+    TreeRepairer,
+)
+from repro.util.units import MIB
+
+LECTURE = 20 * MIB
+CHUNK = MIB
+SIZES = (16, 64, 256)
+ARITIES = (2, 3, 8)
+CRASH_RATE = 0.10
+CRASH_WINDOW = (2.0, 30.0)
+DETECTOR_HORIZON = 240.0
+
+
+def run_scenario(n: int, m: int, crash_rate: float, seed: int = 0) -> dict:
+    """One full inject -> detect -> repair -> redeliver cycle."""
+    net = build_network(n)
+    vector = BroadcastVector(net)
+    for name in names(n):
+        vector.join(name)
+    tree = vector.tree(m)
+    broadcaster = PreBroadcaster(net)
+
+    schedule = FaultSchedule.random_crashes(
+        names(n)[1:], crash_rate, CRASH_WINDOW,
+        seed=seed + 1000 * n + 10 * m,
+    )
+    injector = FaultInjector(net)
+    injector.arm(schedule)
+    detector = FailureDetector(
+        net, "s1", names(n),
+        heartbeat_interval_s=5.0,
+        suspect_timeout_s=12.0,
+        confirm_timeout_s=25.0,
+    )
+    detector.start(until=DETECTOR_HORIZON)
+
+    report = broadcaster.broadcast("lec", LECTURE, tree,
+                                   chunk_size_bytes=CHUNK)
+    net.quiesce()
+
+    heal_bytes = 0
+    if detector.confirmed_dead:
+        repair = TreeRepairer(vector, m).repair(detector.confirmed_dead)
+        TreeRepairer.verify_tree(repair.tree)
+        # Patient rechecks: the interval must outlast a full-lecture
+        # transfer, or the healer re-sends chunks still in flight and
+        # the redundancy metric measures impatience instead of crashes.
+        service = RedeliveryService(
+            broadcaster,
+            policy=RetryPolicy.exponential(60.0, max_timeout_s=120.0),
+        )
+        heal = service.redeliver("lec", repair.tree)
+        net.quiesce()
+        heal_bytes = heal.bytes_redelivered
+
+    survivors = vector.members()
+    complete = [s for s in survivors
+                if broadcaster.is_complete(s, "lec")]
+    useful = LECTURE * (n - 1)
+    return {
+        "n": n,
+        "m": m,
+        "crash_rate": crash_rate,
+        "crashed": len(injector.crashed),
+        "survivors": len(survivors),
+        "all_complete": len(complete) == len(survivors),
+        "t_heal": report.makespan,
+        "redundant_bytes": heal_bytes,
+        "redundant_frac": heal_bytes / useful,
+    }
+
+
+def experiment_rows(sizes=SIZES, arities=ARITIES, rates=(CRASH_RATE,)):
+    rows = []
+    for n in sizes:
+        for m in arities:
+            for rate in rates:
+                r = run_scenario(n, m, rate)
+                rows.append([
+                    r["n"], r["m"], r["crash_rate"], r["crashed"],
+                    "yes" if r["all_complete"] else "NO",
+                    r["t_heal"], r["redundant_bytes"] / MIB,
+                    r["redundant_frac"],
+                ])
+    return rows
+
+
+def sweep_rows(n=64, m=3, rates=(0.0, 0.1, 0.2, 0.3)):
+    rows = []
+    for rate in rates:
+        r = run_scenario(n, m, rate)
+        rows.append([
+            rate, r["crashed"], "yes" if r["all_complete"] else "NO",
+            r["t_heal"], r["redundant_bytes"] / MIB, r["redundant_frac"],
+        ])
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Assertions (the PR's acceptance criteria)
+# ---------------------------------------------------------------------------
+def test_e14_survivors_always_complete():
+    """>= 10% of stations crash mid-broadcast; every survivor still
+    ends up with the whole lecture."""
+    r = run_scenario(64, 3, 0.10, seed=2)
+    assert r["crashed"] >= 7  # >= 10% of the 64 stations
+    assert r["all_complete"]
+    assert r["redundant_bytes"] > 0
+
+
+def test_e14_zero_crash_rate_is_free():
+    r = run_scenario(64, 3, 0.0)
+    assert r["crashed"] == 0
+    assert r["all_complete"]
+    assert r["redundant_bytes"] == 0
+
+
+def test_e14_redundancy_grows_with_crash_rate():
+    low = run_scenario(64, 3, 0.1, seed=2)
+    high = run_scenario(64, 3, 0.3, seed=2)
+    assert high["crashed"] > low["crashed"]
+    assert high["redundant_bytes"] > low["redundant_bytes"]
+
+
+def test_e14_bench_recovery_cycle(benchmark):
+    """Kernel: full 16-station faulty broadcast + heal simulation."""
+    benchmark(run_scenario, 16, 3, 0.2)
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    if smoke:
+        sizes, arities, rates = (8, 16), (3,), (0.0, 0.2)
+    else:
+        sizes, arities, rates = SIZES, ARITIES, (CRASH_RATE,)
+    print_table(
+        "E14: 20 MiB lecture, crashes mid-broadcast, detect+repair+redeliver",
+        ["N", "m", "crash_rate", "crashed", "all_complete",
+         "t_heal_s", "redundant_MiB", "redundant_frac"],
+        experiment_rows(sizes, arities, rates),
+    )
+    if not smoke:
+        print_table(
+            "E14b: crash-rate sweep (N=64, m=3)",
+            ["crash_rate", "crashed", "all_complete", "t_heal_s",
+             "redundant_MiB", "redundant_frac"],
+            sweep_rows(),
+        )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1-E10) in one run.
+"""Regenerate every experiment table (E1-E14) in one run.
 
 Usage:  python benchmarks/run_all.py
 """
@@ -28,6 +28,7 @@ EXPERIMENTS = [
     "bench_e11_syncdb",
     "bench_e12_live_annotations",
     "bench_e13_checkout",
+    "bench_e14_fault_recovery",
 ]
 
 

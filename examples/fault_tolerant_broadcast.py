@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""A 32-station lecture broadcast that survives station crashes.
+
+The paper's pre-broadcast assumes every workstation stays up; this
+scenario breaks that assumption and shows the fault subsystem putting
+the class back together:
+
+1. 32 workstations join the broadcast vector in linear order and the
+   instructor pushes a 20 MiB lecture down the m=3 tree.
+2. A seeded fault schedule crashes ~15% of the stations mid-broadcast;
+   every crashed inner node silently orphans its whole subtree.
+3. The heartbeat failure detector (built on the presence daemon)
+   suspects and then confirms the dead stations on the virtual clock.
+4. The tree repairer removes them from the broadcast vector; the
+   closed-form parent formulas re-derive every surviving parent.
+5. The redelivery service re-feeds each orphaned survivor its missing
+   chunks from the nearest complete ancestor, and one crashed station
+   restarts and rejoins at the tail of the vector.
+
+Run:  python examples/fault_tolerant_broadcast.py
+"""
+
+from __future__ import annotations
+
+from repro.distribution import PreBroadcaster
+from repro.distribution.vector import BroadcastVector
+from repro.fault import (
+    FailureDetector,
+    FaultInjector,
+    FaultSchedule,
+    HealthMonitor,
+    RecoveryManager,
+    RedeliveryService,
+    RetryPolicy,
+    TreeRepairer,
+)
+from repro.net import Network, Simulator, Station
+from repro.net.link import DuplexLink
+from repro.util.units import MIB, format_bytes, format_duration
+
+N_STATIONS = 32
+M = 3
+LECTURE_BYTES = 20 * MIB
+LINK_MBPS = 10.0
+
+
+def main() -> None:
+    sim = Simulator()
+    net = Network(sim, default_latency_s=0.05)
+    names = [f"s{k}" for k in range(1, N_STATIONS + 1)]
+    for name in names:
+        net.add(Station(name, DuplexLink.symmetric_mbps(LINK_MBPS)))
+
+    # ------------------------------------------------------------------
+    # 1. Members join in linear order; the instructor starts pushing.
+    # ------------------------------------------------------------------
+    vector = BroadcastVector(net)
+    for name in names:
+        vector.join(name)
+    tree = vector.tree(M)
+    broadcaster = PreBroadcaster(net)
+
+    # ------------------------------------------------------------------
+    # 2. Arm the fault schedule: seeded crashes mid-broadcast.
+    # ------------------------------------------------------------------
+    schedule = FaultSchedule.random_crashes(
+        names[1:], crash_rate=0.15, window=(2.0, 25.0), seed=7,
+    )
+    injector = FaultInjector(net)
+    injector.arm(schedule)
+    print(f"fault schedule: {len(schedule)} crashes armed at "
+          f"{[f'{e.time:.0f}s' for e in schedule]}")
+
+    # ------------------------------------------------------------------
+    # 3. The failure detector heartbeats through the presence daemon.
+    # ------------------------------------------------------------------
+    detector = FailureDetector(
+        net, "s1", names,
+        heartbeat_interval_s=5.0,
+        suspect_timeout_s=12.0,
+        confirm_timeout_s=25.0,
+    )
+    detector.on_confirm(
+        lambda station, t: print(f"  t={t:6.1f}s  confirmed dead: {station}")
+    )
+    detector.start(until=180.0)
+
+    report = broadcaster.broadcast(
+        "lecture-1", LECTURE_BYTES, tree, chunk_size_bytes=MIB
+    )
+    net.quiesce()
+
+    dead = sorted(detector.confirmed_dead)
+    orphaned = [
+        name for name in names
+        if name not in dead and not broadcaster.is_complete(name, "lecture-1")
+    ]
+    print(f"\nafter the broadcast drained: {len(dead)} stations dead "
+          f"({dead}), {len(orphaned)} survivors missing chunks")
+
+    # ------------------------------------------------------------------
+    # 4. Repair: compact the vector, re-derive the tree.
+    # ------------------------------------------------------------------
+    repair = TreeRepairer(vector, M).repair(detector.confirmed_dead)
+    TreeRepairer.verify_tree(repair.tree)
+    print(f"tree repaired: {len(repair.removed)} removed, "
+          f"{len(repair.orphaned)} orphaned, "
+          f"{len(repair.reparented)} reparented "
+          f"({repair.survivor_count} survivors)")
+
+    # ------------------------------------------------------------------
+    # 5. Redeliver missing chunks from the nearest complete ancestor.
+    # ------------------------------------------------------------------
+    service = RedeliveryService(
+        broadcaster, policy=RetryPolicy.exponential(60.0)
+    )
+    heal = service.redeliver("lecture-1", repair.tree)
+    net.quiesce()
+    complete = all(
+        broadcaster.is_complete(name, "lecture-1")
+        for name in vector.members()
+    )
+    print(f"redelivery: {heal.chunks_redelivered} chunks "
+          f"({format_bytes(heal.bytes_redelivered)}) to "
+          f"{len(heal.stations_healed)} stations; "
+          f"every survivor complete: {complete}")
+    print(f"time to full redelivery: {format_duration(report.makespan)} "
+          f"after the push began")
+
+    # ------------------------------------------------------------------
+    # 6. One crashed station restarts and rejoins at the tail.
+    # ------------------------------------------------------------------
+    rejoined = dead[0]
+    manager = RecoveryManager(net, vector)
+    rejoin = manager.rejoin(rejoined)
+    print(f"\n{rejoined} restarted and rejoined at position "
+          f"{rejoin.position} of {len(vector)}")
+
+    # ------------------------------------------------------------------
+    # 7. The health monitor folds it all into one table.
+    # ------------------------------------------------------------------
+    monitor = HealthMonitor(net)
+    monitor.observe_injector(injector)
+    monitor.observe_detector(detector)
+    monitor.observe_redelivery(heal)
+    rows = [r for r in monitor.report() if not r.healthy]
+    print("\nstations that faulted or needed healing:")
+    print(HealthMonitor.render(rows))
+    summary = monitor.summary()
+    print(f"\ncluster: {summary['alive']}/{summary['stations']} alive, "
+          f"mean uptime {summary['mean_uptime']:.2f}, "
+          f"{summary['chunks_redelivered']} chunks redelivered")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,9 @@ The package rebuilds the paper's entire system in Python:
   simulator;
 * :mod:`repro.distribution` — m-ary-tree pre-broadcast, on-demand pull,
   watermark duplication, instance→reference migration, adaptive arity;
+* :mod:`repro.fault` — fault injection, heartbeat failure detection,
+  m-ary tree self-healing, broadcast redelivery and crashed-station
+  rejoin, shared retry policies, health reporting;
 * :mod:`repro.library` — the Web-savvy virtual library with
   check-in/out assessment;
 * :mod:`repro.qa` — traversal testing and the four bug-report defect

@@ -8,6 +8,16 @@ from __future__ import annotations
 
 from repro.core import ScriptSCI, ImplementationSCI, WebDocumentDatabase
 from repro.distribution import AdaptiveMSelector, MAryTree, PreBroadcaster
+from repro.distribution.vector import BroadcastVector
+from repro.fault import (
+    FailureDetector,
+    FaultInjector,
+    FaultSchedule,
+    HealthMonitor,
+    RedeliveryService,
+    RetryPolicy,
+    TreeRepairer,
+)
 from repro.library import CatalogEntry, CirculationDesk, VirtualLibrary, assess
 from repro.net import Network, Simulator, Station
 from repro.net.link import DuplexLink
@@ -61,7 +71,48 @@ def main() -> int:
     print(f"[distribution] {n}-station pre-broadcast with adaptive m={m}: "
           f"makespan {format_duration(report.makespan)}")
 
-    # 4. Virtual library.
+    # 4. Fault tolerance: crash mid-broadcast, detect, repair, redeliver.
+    sim = Simulator()
+    net = Network(sim, default_latency_s=0.05)
+    names = [f"s{k}" for k in range(1, 9)]
+    for name in names:
+        net.add(Station(name, DuplexLink.symmetric_mbps(10)))
+    vector = BroadcastVector(net)
+    for name in names:
+        vector.join(name)
+    injector = FaultInjector(net)
+    injector.arm(FaultSchedule().crash(2.0, "s2"))
+    detector = FailureDetector(net, "s1", names)
+    detector.start(until=80.0)
+    broadcaster = PreBroadcaster(net)
+    broadcaster.broadcast("lec2", 5 * MIB, vector.tree(2),
+                          chunk_size_bytes=MIB)
+    net.quiesce()
+    repair = TreeRepairer(vector, 2).repair(detector.confirmed_dead)
+    # The recheck interval must outlast a full-lecture transfer, or the
+    # healer re-sends chunks that are merely still in flight.
+    service = RedeliveryService(
+        broadcaster, policy=RetryPolicy.exponential(30.0)
+    )
+    heal = service.redeliver("lec2", repair.tree)
+    net.quiesce()
+    monitor = HealthMonitor(net)
+    monitor.observe_injector(injector)
+    monitor.observe_detector(detector)
+    monitor.observe_redelivery(heal)
+    status = monitor.summary()
+    survivors_ok = all(
+        broadcaster.is_complete(name, "lec2") for name in vector.members()
+    )
+    print(f"[fault]        s2 crashed mid-broadcast; detector confirmed "
+          f"{sorted(detector.confirmed_dead)}, tree repaired "
+          f"({len(repair.reparented)} reparented), redelivery healed "
+          f"{len(heal.stations_healed)} stations "
+          f"({heal.bytes_redelivered // MIB} MiB redundant); "
+          f"survivors complete={survivors_ok}, "
+          f"mean uptime {status['mean_uptime']:.2f}")
+
+    # 5. Virtual library.
     library = VirtualLibrary(instructors={"shih"})
     library.add_document("shih", CatalogEntry(
         doc_id="cs101-l1", title="CS101 Lecture 1", course_number="CS101",

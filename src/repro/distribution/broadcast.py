@@ -13,11 +13,18 @@ Two refinements are measured as ablations:
   as they arrive (store-and-forward per chunk), pipelining the levels;
 * the flat baseline (root unicasts to everyone) is
   :meth:`PreBroadcaster.flat_broadcast`.
+
+For lossy links a ``retry_policy`` (see :mod:`repro.fault.policy`) arms
+a completion check: stations still missing chunks after the policy's
+timeout get the missing chunks re-pushed from the root, with backoff,
+until complete or the policy gives up.  Without a policy the send path
+is exactly the fire-and-forget mechanism above — zero overhead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.distribution.mtree import MAryTree
 from repro.net.messages import Message
@@ -25,6 +32,9 @@ from repro.net.station import Station
 from repro.net.transport import Network
 from repro.storage.blob import BlobKind
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:
+    from repro.fault.policy import RetryPolicy
 
 __all__ = ["LecturePayload", "BroadcastReport", "PreBroadcaster"]
 
@@ -42,6 +52,9 @@ class LecturePayload:
     chunk_bytes: int
     total_bytes: int
     kind: BlobKind = BlobKind.VIDEO
+    #: redelivered chunks are targeted repairs: they are not forwarded
+    #: on, so healing traffic stays exactly the bytes the healer chose
+    redelivery: bool = False
 
 
 @dataclass
@@ -54,6 +67,8 @@ class BroadcastReport:
     total_bytes: int
     n_chunks: int
     start_time: float
+    #: size of every chunk but the last (which carries the remainder)
+    chunk_size_bytes: int = 0
     #: station name -> virtual time its *last* chunk arrived
     arrival_times: dict[str, float] = field(default_factory=dict)
     #: stations whose disk was full: they received and forwarded but
@@ -79,6 +94,16 @@ class BroadcastReport:
         """Seconds after start until ``station`` held the lecture."""
         return self.arrival_times[station] - self.start_time
 
+    def chunk_bytes_of(self, index: int) -> int:
+        """Wire size of chunk ``index`` (the last chunk is smaller)."""
+        if not 0 <= index < self.n_chunks:
+            raise ValueError(
+                f"chunk index must be in [0, {self.n_chunks}), got {index}"
+            )
+        if index < self.n_chunks - 1:
+            return self.chunk_size_bytes
+        return self.total_bytes - self.chunk_size_bytes * (self.n_chunks - 1)
+
 
 class PreBroadcaster:
     """Runs tree (and baseline flat) pre-broadcasts over a network.
@@ -94,6 +119,10 @@ class PreBroadcaster:
         self.network = network
         self._reports: dict[str, BroadcastReport] = {}
         self._trees: dict[str, MAryTree | "_NoForwardTree"] = {}
+        #: policy-driven completion checks that found stragglers
+        self.redeliveries = 0
+        #: bytes re-sent beyond the first delivery attempt
+        self.bytes_redelivered = 0
         for station in network.stations():
             self._install(station)
 
@@ -112,11 +141,14 @@ class PreBroadcaster:
         *,
         chunk_size_bytes: int | None = None,
         kind: BlobKind = BlobKind.VIDEO,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> BroadcastReport:
         """Push ``lecture_id`` from the tree root to every station.
 
         Returns the (live) report; run the simulator to completion
-        (``network.quiesce()``) before reading arrival times.
+        (``network.quiesce()``) before reading arrival times.  With a
+        ``retry_policy`` the root re-pushes missing chunks to stations
+        still incomplete after each policy timeout (lossy-link mode).
         """
         check_positive(size_bytes, "size_bytes")
         if chunk_size_bytes is None:
@@ -130,6 +162,7 @@ class PreBroadcaster:
             total_bytes=size_bytes,
             n_chunks=n_chunks,
             start_time=self.network.sim.now,
+            chunk_size_bytes=chunk_size_bytes,
         )
         self._reports[lecture_id] = report
         self._trees[lecture_id] = tree
@@ -139,6 +172,10 @@ class PreBroadcaster:
         if not self._store_lecture(root, lecture_id, size_bytes, kind):
             report.reference_only.add(root_name)
         report.arrival_times[root_name] = self.network.sim.now
+        root_entry = self._station_state(root).setdefault(
+            lecture_id, {"chunks": set()}
+        )
+        root_entry["chunks"].update(range(n_chunks))
         remaining = size_bytes
         for index in range(n_chunks):
             chunk = min(chunk_size_bytes, remaining)
@@ -153,26 +190,139 @@ class PreBroadcaster:
             )
             for child in tree.children_names(root_name):
                 self.network.send(root_name, child, PUSH_KIND, payload, chunk)
+        if retry_policy is not None and retry_policy.allows(0):
+            self.network.sim.schedule(
+                retry_policy.timeout_for(0),
+                self._check_completion, lecture_id, retry_policy, 0, kind,
+            )
         return report
 
     def _on_push(self, station: Station, message: Message) -> None:
         payload: LecturePayload = message.payload
-        report = self._reports[payload.lecture_id]
-        state = self._station_state(station)
-        entry = state.setdefault(payload.lecture_id, {"received_chunks": 0})
-        entry["received_chunks"] += 1
-        if entry["received_chunks"] == payload.n_chunks:
-            stored = self._store_lecture(
-                station, payload.lecture_id, payload.total_bytes, payload.kind
-            )
-            report.arrival_times[station.name] = self.network.sim.now
-            if not stored:
-                report.reference_only.add(station.name)
+        self.receive_chunk(
+            station,
+            payload.lecture_id,
+            payload.chunk_index,
+            kind=payload.kind,
+        )
+        if payload.redelivery:
+            return  # targeted repair traffic; the healer decides fan-out
         # Forward this chunk to tree children (store-and-forward per chunk).
         tree = self._trees[payload.lecture_id]
+        if station.name not in tree:
+            return  # dropped from membership while the chunk was in flight
         for child in tree.children_names(station.name):
             self.network.send(
                 station.name, child, PUSH_KIND, payload, payload.chunk_bytes
+            )
+
+    def receive_chunk(
+        self,
+        station: Station,
+        lecture_id: str,
+        chunk_index: int,
+        *,
+        kind: BlobKind = BlobKind.VIDEO,
+    ) -> bool:
+        """Record one chunk at ``station``; True when it just completed.
+
+        Duplicate chunks are idempotent (receipts are a set of indices,
+        not a counter), which is what makes redelivery after crashes or
+        loss safe to over-send.
+        """
+        report = self._reports[lecture_id]
+        state = self._station_state(station)
+        entry = state.setdefault(lecture_id, {"chunks": set()})
+        was_complete = len(entry["chunks"]) == report.n_chunks
+        entry["chunks"].add(chunk_index)
+        if was_complete or len(entry["chunks"]) < report.n_chunks:
+            return False
+        stored = self._store_lecture(
+            station, lecture_id, report.total_bytes, kind
+        )
+        report.arrival_times[station.name] = self.network.sim.now
+        if not stored:
+            report.reference_only.add(station.name)
+        return True
+
+    # ------------------------------------------------------------------
+    # Completion tracking and policy-driven redelivery
+    # ------------------------------------------------------------------
+    def chunks_received(self, station_name: str, lecture_id: str) -> set[int]:
+        """Chunk indices ``station_name`` holds for ``lecture_id``."""
+        station = self.network.station(station_name)
+        entry = self._station_state(station).get(lecture_id)
+        return set() if entry is None else set(entry["chunks"])
+
+    def missing_chunks(self, station_name: str, lecture_id: str) -> list[int]:
+        """Chunk indices ``station_name`` still lacks, ascending."""
+        report = self._reports[lecture_id]
+        have = self.chunks_received(station_name, lecture_id)
+        return [i for i in range(report.n_chunks) if i not in have]
+
+    def is_complete(self, station_name: str, lecture_id: str) -> bool:
+        """True once a station holds every chunk of the lecture."""
+        return not self.missing_chunks(station_name, lecture_id)
+
+    def resend_chunks(
+        self,
+        src: str,
+        dst: str,
+        lecture_id: str,
+        chunk_indexes: list[int],
+        *,
+        kind: BlobKind = BlobKind.VIDEO,
+    ) -> int:
+        """Unicast specific chunks from ``src`` to ``dst``; returns bytes.
+
+        The receiver stores them like first-delivery pushes but does not
+        forward them on (``redelivery=True``): the healer enumerates the
+        incomplete stations itself, so repair traffic is exactly the
+        bytes it chose to send.
+        """
+        report = self._reports[lecture_id]
+        sent = 0
+        for index in chunk_indexes:
+            chunk = report.chunk_bytes_of(index)
+            payload = LecturePayload(
+                lecture_id=lecture_id,
+                chunk_index=index,
+                n_chunks=report.n_chunks,
+                chunk_bytes=chunk,
+                total_bytes=report.total_bytes,
+                kind=kind,
+                redelivery=True,
+            )
+            self.network.send(src, dst, PUSH_KIND, payload, chunk)
+            sent += chunk
+        self.bytes_redelivered += sent
+        return sent
+
+    def _check_completion(
+        self,
+        lecture_id: str,
+        policy: "RetryPolicy",
+        attempt: int,
+        kind: BlobKind,
+    ) -> None:
+        """Re-push missing chunks from the root to incomplete stations."""
+        tree = self._trees[lecture_id]
+        root_name = tree.name_of(1)
+        incomplete = False
+        for name in tree.names:
+            if self.network.is_down(name) or name == root_name:
+                continue
+            missing = self.missing_chunks(name, lecture_id)
+            if not missing:
+                continue
+            incomplete = True
+            self.redeliveries += 1
+            self.resend_chunks(root_name, name, lecture_id, missing,
+                               kind=kind)
+        if incomplete and policy.allows(attempt + 1):
+            self.network.sim.schedule(
+                policy.timeout_for(attempt + 1),
+                self._check_completion, lecture_id, policy, attempt + 1, kind,
             )
 
     # ------------------------------------------------------------------
@@ -200,6 +350,7 @@ class PreBroadcaster:
             total_bytes=size_bytes,
             n_chunks=1,
             start_time=self.network.sim.now,
+            chunk_size_bytes=size_bytes,
         )
         self._reports[lecture_id] = report
         self._trees[lecture_id] = _NO_FORWARD_TREE
@@ -207,6 +358,9 @@ class PreBroadcaster:
         if not self._store_lecture(root, lecture_id, size_bytes, kind):
             report.reference_only.add(root_name)
         report.arrival_times[root_name] = self.network.sim.now
+        self._station_state(root).setdefault(
+            lecture_id, {"chunks": set()}
+        )["chunks"].add(0)
         payload = LecturePayload(
             lecture_id=lecture_id,
             chunk_index=0,
@@ -256,6 +410,20 @@ class PreBroadcaster:
     def report(self, lecture_id: str) -> BroadcastReport:
         return self._reports[lecture_id]
 
+    def tree(self, lecture_id: str) -> MAryTree:
+        """The forwarding tree currently driving ``lecture_id``."""
+        return self._trees[lecture_id]
+
+    def retarget(self, lecture_id: str, tree: MAryTree) -> None:
+        """Swap the forwarding tree for ``lecture_id``.
+
+        Used by the fault-repair layer after crashed stations are
+        removed from the membership: chunks still in flight (and any
+        redelivered ones) forward along the repaired tree, not through
+        the dead stations.
+        """
+        self._trees[lecture_id] = tree
+
 
 class _NoForwardTree:
     """Sentinel tree with no children, used by flat broadcasts."""
@@ -265,6 +433,9 @@ class _NoForwardTree:
     @staticmethod
     def children_names(_name: str) -> list[str]:
         return []
+
+    def __contains__(self, _name: str) -> bool:
+        return True
 
 
 _NO_FORWARD_TREE = _NoForwardTree()

@@ -166,6 +166,9 @@ class MAryTree:
         except KeyError:
             raise LookupError(f"unknown station {name!r}") from None
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._positions
+
     def parent_name(self, name: str) -> str | None:
         parent = self.parent(self.position_of(name))
         return None if parent is None else self.name_of(parent)

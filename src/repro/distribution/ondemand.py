@@ -12,6 +12,10 @@ stations may cache the instance on the way down (``cache_intermediate``)
 — the paper's behaviour, since the child "copies information from its
 parent" implies the parent materializes it first — or relay without
 keeping a copy (ablation).
+
+Loss tolerance rides on the shared :class:`~repro.fault.policy.RetryPolicy`:
+``retry_timeout_s``/``max_retries`` remain as the fixed-interval
+convenience form, while ``retry_policy`` accepts any backoff schedule.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.distribution.mtree import MAryTree
+from repro.fault.policy import RetryPolicy
 from repro.net.messages import Message
 from repro.net.station import Station
 from repro.net.transport import Network
@@ -61,16 +66,29 @@ class OnDemandFetcher:
         kind: BlobKind = BlobKind.VIDEO,
         retry_timeout_s: float | None = None,
         max_retries: int = 5,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
+        if retry_policy is not None and retry_timeout_s is not None:
+            raise ValueError(
+                "pass either retry_policy or retry_timeout_s, not both"
+            )
         self.network = network
         self.tree = tree
         self.cache_intermediate = cache_intermediate
         self.kind = kind
-        #: when set, a requester that has not received its document
-        #: within this window re-issues the climb (survives lost
-        #: messages on the paper's lossy Internet)
-        self.retry_timeout_s = retry_timeout_s
-        self.max_retries = max_retries
+        #: the retry schedule: a requester that has not received its
+        #: document within the policy's timeout re-issues the climb
+        #: (survives lost messages on the paper's lossy Internet).
+        #: ``retry_timeout_s`` is the legacy fixed-interval spelling;
+        #: None disables retrying entirely.
+        if retry_policy is not None:
+            self.retry_policy: RetryPolicy | None = retry_policy
+        elif retry_timeout_s is not None:
+            self.retry_policy = RetryPolicy.fixed(
+                retry_timeout_s, max_retries=max_retries
+            )
+        else:
+            self.retry_policy = None
         self.retries = 0
         self.reports: list[FetchReport] = []
         self._doc_sizes: dict[str, int] = {}
@@ -131,9 +149,10 @@ class OnDemandFetcher:
             return
         state["origin_times"][doc_id] = now
         self._climb(station, doc_id, waiter=_SELF, hops=0)
-        if self.retry_timeout_s is not None:
+        if self.retry_policy is not None and self.retry_policy.allows(0):
             self.network.sim.schedule(
-                self.retry_timeout_s, self._check_retry, station, doc_id, 0
+                self.retry_policy.timeout_for(0),
+                self._check_retry, station, doc_id, 0,
             )
 
     def _check_retry(self, station: Station, doc_id: str, attempt: int) -> None:
@@ -141,14 +160,13 @@ class OnDemandFetcher:
         state = self._state(station)
         if doc_id in state["holdings"] or doc_id not in state["origin_times"]:
             return  # fetched (or never pending) — nothing to retry
-        if attempt >= self.max_retries:
-            return  # give up; the report will simply never complete
         self.retries += 1
         self._climb(station, doc_id, waiter=_SELF, hops=0, force=True)
-        self.network.sim.schedule(
-            self.retry_timeout_s, self._check_retry, station, doc_id,
-            attempt + 1,
-        )
+        if self.retry_policy.allows(attempt + 1):
+            self.network.sim.schedule(
+                self.retry_policy.timeout_for(attempt + 1),
+                self._check_retry, station, doc_id, attempt + 1,
+            )
 
     def _climb(
         self,

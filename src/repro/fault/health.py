@@ -1,0 +1,151 @@
+"""Per-station health reporting across the fault subsystem.
+
+One :class:`HealthMonitor` observes the other fault components — the
+injector (ground truth: crashes and downtime), the detector (what the
+cluster *believed*: suspicions, confirmations, missed heartbeats) and
+the redelivery reports (what recovery *cost*: chunks and bytes re-sent
+per station) — and folds them into one :class:`StationHealth` row per
+station.  ``python -m repro`` prints the summary line; benchmarks and
+operators read the full table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.net.transport import Network
+
+if TYPE_CHECKING:
+    from repro.fault.detector import FailureDetector
+    from repro.fault.inject import FaultInjector
+    from repro.fault.recovery import RedeliveryReport
+
+__all__ = ["StationHealth", "HealthMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class StationHealth:
+    """One station's health over the observed horizon."""
+
+    station: str
+    crashes: int
+    downtime_s: float
+    uptime_fraction: float
+    missed_heartbeats: int
+    state: str  # detector view: "alive" | "suspect" | "dead" | "unmonitored"
+    chunks_redelivered: int
+
+    @property
+    def healthy(self) -> bool:
+        """True for a station that never faulted and needed no healing."""
+        return (self.crashes == 0 and self.state in ("alive", "unmonitored")
+                and self.chunks_redelivered == 0)
+
+
+class HealthMonitor:
+    """Aggregates fault-subsystem observations into per-station rows."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._injector: "FaultInjector | None" = None
+        self._detector: "FailureDetector | None" = None
+        self._redeliveries: list["RedeliveryReport"] = []
+
+    # ------------------------------------------------------------------
+    # Observation sources
+    # ------------------------------------------------------------------
+    def observe_injector(self, injector: "FaultInjector") -> None:
+        """Use ``injector`` as ground truth for crashes and downtime."""
+        self._injector = injector
+
+    def observe_detector(self, detector: "FailureDetector") -> None:
+        """Use ``detector`` for believed state and missed heartbeats."""
+        self._detector = detector
+
+    def observe_redelivery(self, report: "RedeliveryReport") -> None:
+        """Fold one redelivery report's per-station costs in."""
+        self._redeliveries.append(report)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, horizon: float | None = None) -> list[StationHealth]:
+        """One row per station, in registration order.
+
+        ``horizon`` is the observation window for uptime fractions
+        (default: the current virtual time).
+        """
+        end = self.network.sim.now if horizon is None else float(horizon)
+        rows = []
+        for station in self.network.names():
+            crashes = 0
+            downtime = 0.0
+            if self._injector is not None:
+                crashes = self._injector.crash_count(station)
+                downtime = self._injector.downtime_s(station, end)
+            missed = 0
+            state = "unmonitored"
+            if self._detector is not None:
+                if station in self._detector.stations:
+                    missed = self._detector.missed_heartbeats.get(station, 0)
+                    state = self._detector.state_of(station)
+                elif station == self._detector.coordinator:
+                    state = "alive"
+            chunks = sum(
+                r.chunks_by_station.get(station, 0)
+                for r in self._redeliveries
+            )
+            uptime = 1.0 if end <= 0 else max(0.0, 1.0 - downtime / end)
+            rows.append(StationHealth(
+                station=station,
+                crashes=crashes,
+                downtime_s=downtime,
+                uptime_fraction=uptime,
+                missed_heartbeats=missed,
+                state=state,
+                chunks_redelivered=chunks,
+            ))
+        return rows
+
+    def summary(self, horizon: float | None = None) -> dict[str, float | int]:
+        """Cluster-level aggregates for one-line status output."""
+        rows = self.report(horizon)
+        dead = sum(1 for r in rows if r.state == "dead")
+        return {
+            "stations": len(rows),
+            "dead": dead,
+            "alive": len(rows) - dead,
+            "crashes": sum(r.crashes for r in rows),
+            "chunks_redelivered": sum(r.chunks_redelivered for r in rows),
+            "mean_uptime": (
+                sum(r.uptime_fraction for r in rows) / len(rows)
+                if rows else 1.0
+            ),
+        }
+
+    @staticmethod
+    def render(rows: Sequence[StationHealth]) -> str:
+        """A small aligned text table of health rows."""
+        headers = ["station", "state", "crashes", "downtime_s",
+                   "uptime", "missed_hb", "redelivered"]
+        body = [
+            [r.station, r.state, str(r.crashes), f"{r.downtime_s:.1f}",
+             f"{r.uptime_fraction:.3f}", str(r.missed_heartbeats),
+             str(r.chunks_redelivered)]
+            for r in rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in body))
+            if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+            for row in body
+        )
+        return "\n".join(lines)

@@ -23,6 +23,25 @@ from repro.util.validation import check_non_negative
 __all__ = ["DuplexLink", "TransferTiming"]
 
 
+def _check_bandwidth(value: Bandwidth, name: str) -> Bandwidth:
+    """Reject non-:class:`Bandwidth` rates and non-positive rates early.
+
+    A zero or negative rate would make :func:`schedule_transfer` divide
+    by zero (or schedule time-travelling transfers) two layers down, so
+    the link constructor and rate setters fail loudly instead.
+    """
+    if not isinstance(value, Bandwidth):
+        raise TypeError(
+            f"{name} must be a Bandwidth (e.g. Bandwidth.from_mbps(10)), "
+            f"got {type(value).__name__}"
+        )
+    if not value.bytes_per_second > 0:
+        raise ValueError(
+            f"{name} must be positive, got {value.bytes_per_second!r} B/s"
+        )
+    return value
+
+
 @dataclass(frozen=True, slots=True)
 class TransferTiming:
     """Computed schedule of one transfer."""
@@ -43,8 +62,8 @@ class DuplexLink:
                  "bytes_up", "bytes_down")
 
     def __init__(self, up: Bandwidth, down: Bandwidth | None = None) -> None:
-        self.up = up
-        self.down = down if down is not None else up
+        self.up = _check_bandwidth(up, "up")
+        self.down = _check_bandwidth(down, "down") if down is not None else up
         self.up_busy_until = 0.0
         self.down_busy_until = 0.0
         self.bytes_up = 0
@@ -61,11 +80,13 @@ class DuplexLink:
         Applies to transfers scheduled from now on; in-flight transfers
         keep the rate they were committed at (their busy horizons stand).
         """
-        self.up = up
-        self.down = down if down is not None else up
+        self.up = _check_bandwidth(up, "up")
+        self.down = _check_bandwidth(down, "down") if down is not None else up
 
     def set_rate_mbps(self, mbit: float) -> None:
         """Symmetric convenience form of :meth:`set_rate`."""
+        if not mbit > 0:
+            raise ValueError(f"mbit must be > 0, got {mbit!r}")
         self.set_rate(Bandwidth.from_mbps(mbit))
 
     def reset(self) -> None:

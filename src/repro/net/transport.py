@@ -50,6 +50,7 @@ class Network:
         self._stations: dict[str, Station] = {}
         self._latency: dict[tuple[str, str], float] = {}
         self._down: set[str] = set()
+        self._partition: dict[str, int] | None = None
         self.drop_rate = drop_rate
         self._drop_rng = make_rng(seed, "network-drops")
         self.total_bytes = 0
@@ -120,8 +121,38 @@ class Network:
         check_probability(drop_rate, "drop_rate")
         self.drop_rate = drop_rate
 
+    def set_partition(self, groups: Sequence[Iterable[str]] | None) -> None:
+        """Split the network: traffic between groups is lost.
+
+        ``groups`` is a sequence of station-name collections; stations
+        in different groups cannot exchange messages while the partition
+        stands.  Stations named in no group form one implicit residual
+        group (still connected to each other).  Pass ``None`` to heal.
+        """
+        if groups is None:
+            self._partition = None
+            return
+        mapping: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                self.station(name)  # raise early on unknown
+                if name in mapping:
+                    raise ValueError(
+                        f"station {name!r} appears in more than one group"
+                    )
+                mapping[name] = index
+        self._partition = mapping
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """True while a partition separates stations ``a`` and ``b``."""
+        if self._partition is None:
+            return False
+        return self._partition.get(a, -1) != self._partition.get(b, -1)
+
     def _should_drop(self, src: str, dst: str) -> bool:
         if src in self._down or dst in self._down:
+            return True
+        if self._partition is not None and self.is_partitioned(src, dst):
             return True
         if self.drop_rate and self._drop_rng.random() < self.drop_rate:
             return True

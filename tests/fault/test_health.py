@@ -1,0 +1,90 @@
+"""Tests for per-station health reporting."""
+
+from repro.fault import (
+    FailureDetector,
+    FaultInjector,
+    FaultSchedule,
+    HealthMonitor,
+    RedeliveryReport,
+)
+
+
+class TestReport:
+    def test_unobserved_monitor_reports_clean_rows(self, net8):
+        monitor = HealthMonitor(net8)
+        rows = monitor.report(horizon=100.0)
+        assert [r.station for r in rows] == net8.names()
+        assert all(r.healthy for r in rows)
+        assert all(r.state == "unmonitored" for r in rows)
+        assert all(r.uptime_fraction == 1.0 for r in rows)
+
+    def test_injector_feeds_crashes_and_downtime(self, net8):
+        injector = FaultInjector(net8)
+        injector.arm(FaultSchedule().crash(10.0, "s2").restart(60.0, "s2"))
+        net8.quiesce()
+        monitor = HealthMonitor(net8)
+        monitor.observe_injector(injector)
+        row = {r.station: r for r in monitor.report(horizon=100.0)}["s2"]
+        assert row.crashes == 1
+        assert row.downtime_s == 50.0
+        assert row.uptime_fraction == 0.5
+        assert not row.healthy
+
+    def test_detector_feeds_state_and_misses(self, net8):
+        injector = FaultInjector(net8)
+        injector.arm(FaultSchedule().crash(10.0, "s3"))
+        detector = FailureDetector(net8, "s1", net8.names())
+        detector.start(until=80.0)
+        net8.quiesce()
+        monitor = HealthMonitor(net8)
+        monitor.observe_detector(detector)
+        rows = {r.station: r for r in monitor.report()}
+        assert rows["s3"].state == "dead"
+        assert rows["s3"].missed_heartbeats > 0
+        assert rows["s2"].state == "alive"
+        assert rows["s1"].state == "alive"  # the coordinator itself
+
+    def test_redelivery_costs_fold_in(self, net8):
+        monitor = HealthMonitor(net8)
+        monitor.observe_redelivery(RedeliveryReport(
+            lecture_id="lec", started_at=0.0,
+            chunks_by_station={"s4": 3},
+        ))
+        monitor.observe_redelivery(RedeliveryReport(
+            lecture_id="lec2", started_at=5.0,
+            chunks_by_station={"s4": 2, "s5": 1},
+        ))
+        rows = {r.station: r for r in monitor.report(horizon=10.0)}
+        assert rows["s4"].chunks_redelivered == 5
+        assert rows["s5"].chunks_redelivered == 1
+        assert not rows["s4"].healthy and not rows["s5"].healthy
+
+
+class TestSummaryAndRender:
+    def test_summary_aggregates(self, net8):
+        injector = FaultInjector(net8)
+        injector.arm(FaultSchedule().crash(10.0, "s3"))
+        detector = FailureDetector(net8, "s1", net8.names())
+        detector.start(until=80.0)
+        net8.quiesce()
+        monitor = HealthMonitor(net8)
+        monitor.observe_injector(injector)
+        monitor.observe_detector(detector)
+        summary = monitor.summary(horizon=80.0)
+        assert summary["stations"] == 8
+        assert summary["dead"] == 1
+        assert summary["alive"] == 7
+        assert summary["crashes"] == 1
+        assert 0.0 < summary["mean_uptime"] < 1.0
+
+    def test_render_is_aligned_text(self, net8):
+        monitor = HealthMonitor(net8)
+        text = HealthMonitor.render(monitor.report(horizon=10.0))
+        lines = text.splitlines()
+        assert lines[0].startswith("station")
+        assert len(lines) == 2 + len(net8.names())
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_empty_rows(self):
+        text = HealthMonitor.render([])
+        assert text.splitlines()[0].startswith("station")

@@ -1,0 +1,200 @@
+"""Tests for m-ary tree self-healing after confirmed deaths.
+
+The property tests are the fault-tolerance counterpart of the paper's
+induction proofs: after *any* crash+repair sequence the compacted
+vector's tree must still satisfy the closed-form child/parent formulas,
+stay connected, and stay acyclic.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution.vector import BroadcastVector
+from repro.fault import TreeRepairer
+
+from tests.conftest import build_network
+
+
+def _vector(n):
+    network = build_network(n)
+    vector = BroadcastVector(network)
+    for name in network.names():
+        vector.join(name)
+    return vector
+
+
+class TestRepair:
+    def test_removes_dead_and_compacts(self):
+        vector = _vector(8)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["s3"])
+        assert report.removed == {"s3": 3}
+        assert vector.members() == [
+            "s1", "s2", "s4", "s5", "s6", "s7", "s8",
+        ]
+        assert report.survivor_count == 7
+        TreeRepairer.verify_tree(report.tree)
+
+    def test_orphans_are_the_dead_subtree_survivors(self):
+        # m=2, 8 stations: s2's subtree is {s2, s4, s5, s8}.
+        vector = _vector(8)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["s2"])
+        assert report.orphaned == ["s4", "s5", "s8"]
+
+    def test_reparented_lists_changed_parents_only(self):
+        vector = _vector(8)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["s8"])  # a leaf: nobody moves
+        assert report.orphaned == []
+        assert report.reparented == []
+
+    def test_reparenting_records_old_and_new(self):
+        vector = _vector(8)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["s2"])
+        moved = {r.station: r for r in report.reparented}
+        # s4 slides into position 3, child of the root now.
+        assert moved["s4"].old_parent == "s2"
+        assert moved["s4"].new_parent == "s1"
+
+    def test_unknown_dead_stations_are_ignored(self):
+        vector = _vector(4)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["ghost", "s2"])
+        assert report.removed == {"s2": 2}
+        assert len(vector) == 3
+
+    def test_repair_is_idempotent(self):
+        vector = _vector(4)
+        repairer = TreeRepairer(vector, m=2)
+        repairer.repair(["s2"])
+        report = repairer.repair(["s2"])
+        assert report.removed == {}
+        assert report.orphaned == []
+        assert report.reparented == []
+        assert report.survivor_count == 3
+
+    def test_duplicate_dead_names_removed_once(self):
+        vector = _vector(4)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["s2", "s2"])
+        assert report.removed == {"s2": 2}
+        assert len(vector) == 3
+
+    def test_empty_dead_set_is_a_noop(self):
+        vector = _vector(4)
+        repairer = TreeRepairer(vector, m=3)
+        before = vector.members()
+        report = repairer.repair([])
+        assert vector.members() == before
+        assert report.tree is not None
+
+    def test_repairs_are_recorded(self):
+        vector = _vector(4)
+        repairer = TreeRepairer(vector, m=2)
+        repairer.repair(["s2"])
+        repairer.repair(["s3"])
+        assert len(repairer.repairs) == 2
+
+    def test_everyone_dead_leaves_no_tree(self):
+        vector = _vector(2)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["s1", "s2"])
+        assert report.tree is None
+        assert report.survivor_count == 0
+
+    def test_root_death_promotes_second_member(self):
+        vector = _vector(4)
+        repairer = TreeRepairer(vector, m=2)
+        report = repairer.repair(["s1"])
+        assert report.tree.name_of(1) == "s2"
+        TreeRepairer.verify_tree(report.tree)
+
+
+# ---------------------------------------------------------------------------
+# Property tests (satellite: the paper's invariants survive any repair)
+# ---------------------------------------------------------------------------
+ns = st.integers(min_value=2, max_value=40)
+ms = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def crash_sequences(draw):
+    """A cluster size, an arity, and batches of stations to kill."""
+    n = draw(ns)
+    m = draw(ms)
+    names = [f"s{k}" for k in range(1, n + 1)]
+    n_batches = draw(st.integers(min_value=1, max_value=4))
+    batches = [
+        draw(st.lists(st.sampled_from(names), min_size=1, max_size=5))
+        for _ in range(n_batches)
+    ]
+    return n, m, batches
+
+
+@given(crash_sequences())
+@settings(max_examples=60, deadline=None)
+def test_any_crash_sequence_leaves_a_valid_tree(case):
+    n, m, batches = case
+    vector = _vector(n)
+    repairer = TreeRepairer(vector, m)
+    for batch in batches:
+        report = repairer.repair(batch)
+        if report.tree is not None:
+            TreeRepairer.verify_tree(report.tree)
+
+
+@given(crash_sequences())
+@settings(max_examples=60, deadline=None)
+def test_survivors_keep_their_relative_order(case):
+    n, m, batches = case
+    vector = _vector(n)
+    original = vector.members()
+    repairer = TreeRepairer(vector, m)
+    for batch in batches:
+        repairer.repair(batch)
+    survivors = vector.members()
+    assert survivors == [s for s in original if s in set(survivors)]
+
+
+@given(crash_sequences())
+@settings(max_examples=60, deadline=None)
+def test_exactly_the_dead_are_gone(case):
+    n, m, batches = case
+    vector = _vector(n)
+    original = set(vector.members())
+    repairer = TreeRepairer(vector, m)
+    killed = set()
+    for batch in batches:
+        repairer.repair(batch)
+        killed |= set(batch) & original
+    assert set(vector.members()) == original - killed
+
+
+@given(crash_sequences())
+@settings(max_examples=40, deadline=None)
+def test_reparented_is_sound_and_complete(case):
+    """Diffing old vs new tree parents matches the report exactly."""
+    n, m, batches = case
+    vector = _vector(n)
+    repairer = TreeRepairer(vector, m)
+    for batch in batches:
+        members = vector.members()
+        old_tree = vector.tree(m) if members else None
+        report = repairer.repair(batch)
+        if old_tree is None or report.tree is None:
+            continue
+        expected = {}
+        for name in report.tree.names:
+            old_parent = (
+                old_tree.parent_name(name) if name in old_tree else None
+            )
+            new_parent = report.tree.parent_name(name)
+            if old_parent != new_parent:
+                expected[name] = (old_parent, new_parent)
+        got = {
+            r.station: (r.old_parent, r.new_parent)
+            for r in report.reparented
+        }
+        assert got == expected

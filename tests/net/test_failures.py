@@ -154,3 +154,72 @@ class TestOnDemandRetry:
         net.quiesce()
         assert fetcher.retries == 0
         assert len(fetcher.reports) == 1
+
+
+class TestOnDemandRetryPolicy:
+    """The fetcher's retry rides the shared repro.fault.policy schedule."""
+
+    def _world(self, drop_rate, policy, seed=11):
+        from repro.distribution import MAryTree, OnDemandFetcher
+        from repro.util.units import MIB
+
+        sim = Simulator()
+        net = Network(sim, default_latency_s=0.01, drop_rate=drop_rate,
+                      seed=seed)
+        names = [f"s{k}" for k in range(1, 9)]
+        for name in names:
+            net.add(Station(name, DuplexLink.symmetric_mbps(100)))
+        fetcher = OnDemandFetcher(
+            net, MAryTree(8, 2, names=names), retry_policy=policy,
+        )
+        fetcher.seed_instance("s1", "doc", MIB)
+        return net, fetcher
+
+    def test_exponential_backoff_still_completes(self):
+        from repro.fault import RetryPolicy
+
+        policy = RetryPolicy.exponential(1.0, max_retries=30)
+        net, fetcher = self._world(0.25, policy)
+        fetcher.request("s8", "doc")
+        net.quiesce()
+        assert fetcher.holds("s8", "doc")
+
+    def test_legacy_kwargs_build_the_fixed_policy(self):
+        from repro.distribution import MAryTree, OnDemandFetcher
+        from repro.fault import RetryPolicy
+
+        sim = Simulator()
+        net = Network(sim)
+        names = [f"s{k}" for k in range(1, 5)]
+        for name in names:
+            net.add(Station(name, DuplexLink.symmetric_mbps(100)))
+        fetcher = OnDemandFetcher(
+            net, MAryTree(4, 2, names=names),
+            retry_timeout_s=3.0, max_retries=7,
+        )
+        assert fetcher.retry_policy == RetryPolicy.fixed(3.0, max_retries=7)
+
+    def test_policy_and_legacy_kwargs_conflict(self):
+        from repro.distribution import MAryTree, OnDemandFetcher
+        from repro.fault import RetryPolicy
+
+        sim = Simulator()
+        net = Network(sim)
+        names = [f"s{k}" for k in range(1, 5)]
+        for name in names:
+            net.add(Station(name, DuplexLink.symmetric_mbps(100)))
+        with pytest.raises(ValueError):
+            OnDemandFetcher(
+                net, MAryTree(4, 2, names=names),
+                retry_timeout_s=2.0,
+                retry_policy=RetryPolicy.fixed(2.0),
+            )
+
+    def test_zero_retry_policy_never_reissues(self):
+        from repro.fault import RetryPolicy
+
+        policy = RetryPolicy.fixed(2.0, max_retries=0)
+        net, fetcher = self._world(1.0, policy)
+        fetcher.request("s8", "doc")
+        net.quiesce()
+        assert fetcher.retries == 0 and fetcher.reports == []

@@ -80,3 +80,41 @@ class TestValidation:
     def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
             schedule_transfer(0.0, -1, _link(), _link(), 0.0)
+
+
+class TestRateGuards:
+    """Zero/negative bandwidth would divide-by-zero (or time-travel) in
+    schedule_transfer; the link rejects it at construction/set time."""
+
+    def test_zero_bandwidth_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            DuplexLink(Bandwidth(0.0))
+
+    def test_negative_bandwidth_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            DuplexLink(Bandwidth(-1.0))
+
+    def test_bad_down_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DuplexLink(Bandwidth.from_mbps(8), Bandwidth(0.0))
+
+    def test_non_bandwidth_rate_rejected(self):
+        with pytest.raises(TypeError):
+            DuplexLink(1_000_000)  # raw B/s: must be a Bandwidth
+
+    def test_symmetric_mbps_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DuplexLink.symmetric_mbps(0.0)
+
+    def test_set_rate_zero_rejected(self):
+        link = _link()
+        with pytest.raises(ValueError):
+            link.set_rate(Bandwidth(0.0))
+        assert link.up.bytes_per_second > 0  # unchanged after rejection
+
+    def test_set_rate_mbps_guards(self):
+        link = _link()
+        with pytest.raises(ValueError):
+            link.set_rate_mbps(0.0)
+        with pytest.raises(ValueError):
+            link.set_rate_mbps(-4.0)

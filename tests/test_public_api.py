@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.collab",
     "repro.core",
     "repro.distribution",
+    "repro.fault",
     "repro.library",
     "repro.net",
     "repro.qa",
