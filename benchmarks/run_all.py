@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1-E14) in one run.
+"""Regenerate every experiment table (E1-E15) in one run.
 
 Usage:  python benchmarks/run_all.py
 """
@@ -29,6 +29,7 @@ EXPERIMENTS = [
     "bench_e12_live_annotations",
     "bench_e13_checkout",
     "bench_e14_fault_recovery",
+    "bench_e15_query_planner",
 ]
 
 

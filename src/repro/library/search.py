@@ -2,12 +2,15 @@
 
 Three query axes, matching the paper: free-text keywords (tokenized,
 AND-combined, ranked by match count), exact-ish instructor name, and
-course number or title substring.  The index maintains one posting map
-per axis; queries intersect the axes they use.
+course number or title words.  The index maintains one posting map per
+axis; queries intersect the axes they use.  The course axis serves
+title matches from a sorted title-token list (word-prefix lookup via
+:mod:`bisect`) instead of scanning every stored document per query.
 """
 
 from __future__ import annotations
 
+import bisect
 import re
 from dataclasses import dataclass, field
 
@@ -39,7 +42,10 @@ class SearchIndex:
     _instructor_postings: dict[str, set[str]] = field(default_factory=dict)
     #: course number (exact, lowered) -> docs
     _course_postings: dict[str, set[str]] = field(default_factory=dict)
-    #: per-doc stored fields for filtering / scoring
+    #: title word -> docs, plus the words in sorted order for prefix lookup
+    _title_postings: dict[str, set[str]] = field(default_factory=dict)
+    _title_terms_sorted: list[str] = field(default_factory=list)
+    #: per-doc stored fields for targeted removal / scoring
     _docs: dict[str, dict[str, object]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -59,34 +65,70 @@ class SearchIndex:
             keyword_terms.update(tokenize(source))
         for term in keyword_terms:
             self._keyword_postings.setdefault(term, set()).add(doc_id)
-        for term in tokenize(instructor):
+        instructor_terms = set(tokenize(instructor))
+        for term in instructor_terms:
             self._instructor_postings.setdefault(term, set()).add(doc_id)
         if course_number:
             self._course_postings.setdefault(
                 course_number.lower(), set()
             ).add(doc_id)
+        title_terms = set(tokenize(title))
+        for term in title_terms:
+            postings = self._title_postings.get(term)
+            if postings is None:
+                self._title_postings[term] = {doc_id}
+                bisect.insort(self._title_terms_sorted, term)
+            else:
+                postings.add(doc_id)
         self._docs[doc_id] = {
             "keyword_terms": keyword_terms,
             "instructor": instructor,
+            "instructor_terms": instructor_terms,
             "course_number": course_number,
             "title": title,
+            "title_terms": title_terms,
         }
 
     def remove(self, doc_id: str) -> None:
+        """Targeted posting removal using the doc's stored term sets —
+        touches only the terms the document actually carries, not every
+        posting list in the index."""
         doc = self._docs.pop(doc_id, None)
         if doc is None:
             return
-        for postings in (
-            self._keyword_postings,
-            self._instructor_postings,
-            self._course_postings,
-        ):
-            empty = []
-            for term, ids in postings.items():
-                ids.discard(doc_id)
-                if not ids:
-                    empty.append(term)
-            for term in empty:
+        self._discard(self._keyword_postings, doc["keyword_terms"], doc_id)  # type: ignore[arg-type]
+        self._discard(
+            self._instructor_postings, doc["instructor_terms"], doc_id  # type: ignore[arg-type]
+        )
+        course_number = str(doc["course_number"])
+        if course_number:
+            self._discard(
+                self._course_postings, (course_number.lower(),), doc_id
+            )
+        for term in doc["title_terms"]:  # type: ignore[union-attr]
+            postings = self._title_postings.get(term)
+            if postings is None:
+                continue
+            postings.discard(doc_id)
+            if not postings:
+                del self._title_postings[term]
+                pos = bisect.bisect_left(self._title_terms_sorted, term)
+                if (
+                    pos < len(self._title_terms_sorted)
+                    and self._title_terms_sorted[pos] == term
+                ):
+                    del self._title_terms_sorted[pos]
+
+    @staticmethod
+    def _discard(
+        postings: dict[str, set[str]], terms, doc_id: str
+    ) -> None:
+        for term in terms:
+            ids = postings.get(term)
+            if ids is None:
+                continue
+            ids.discard(doc_id)
+            if not ids:
                 del postings[term]
 
     def __len__(self) -> int:
@@ -104,7 +146,9 @@ class SearchIndex:
         """Intersect the axes in use; rank by keyword-match count.
 
         ``course`` matches the course number exactly (case-insensitive)
-        or the title as a substring.
+        or the title by words: every query token must prefix-match some
+        title word (so "Draw" and "drawing" both find "Engineering
+        Drawing"), served from the title-token postings.
         """
         candidate_sets: list[set[str]] = []
         query_terms = tokenize(keywords) if keywords else []
@@ -120,12 +164,7 @@ class SearchIndex:
             candidate_sets.append(set.intersection(*sets) if sets else set())
         if course:
             exact = self._course_postings.get(course.lower(), set())
-            by_title = {
-                doc_id
-                for doc_id, doc in self._docs.items()
-                if course.lower() in str(doc["title"]).lower()
-            }
-            candidate_sets.append(exact | by_title)
+            candidate_sets.append(exact | self._title_word_matches(course))
         if not candidate_sets:
             candidates = set(self._docs)
         else:
@@ -138,6 +177,31 @@ class SearchIndex:
         if limit is not None:
             results = results[:limit]
         return results
+
+    def _title_word_matches(self, query: str) -> set[str]:
+        """Docs whose title words prefix-match every query token."""
+        tokens = tokenize(query)
+        if not tokens:
+            return set()
+        matched: set[str] | None = None
+        for token in tokens:
+            docs = self._title_prefix_docs(token)
+            matched = docs if matched is None else matched & docs
+            if not matched:
+                return set()
+        return matched or set()
+
+    def _title_prefix_docs(self, token: str) -> set[str]:
+        """Union of postings for every title word starting with ``token``."""
+        out: set[str] = set()
+        pos = bisect.bisect_left(self._title_terms_sorted, token)
+        while pos < len(self._title_terms_sorted):
+            term = self._title_terms_sorted[pos]
+            if not term.startswith(token):
+                break
+            out |= self._title_postings[term]
+            pos += 1
+        return out
 
     def _score(self, doc_id: str, query_terms: list[str]) -> float:
         if not query_terms:

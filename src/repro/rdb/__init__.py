@@ -24,7 +24,9 @@ guide's "make it work, make it right" ordering; the few hot paths
 """
 
 from repro.rdb.types import Column, ColumnType, Schema
-from repro.rdb.predicate import Expr, col, lit
+from repro.rdb.predicate import Expr, col, lit, predicate_cache_key
+from repro.rdb.query import SelectPlan
+from repro.rdb.stats import IndexStatistics, TableStatistics
 from repro.rdb.constraints import Action, ForeignKey
 from repro.rdb.engine import Database
 from repro.rdb.errors import (
@@ -48,6 +50,10 @@ __all__ = [
     "Expr",
     "col",
     "lit",
+    "predicate_cache_key",
+    "SelectPlan",
+    "IndexStatistics",
+    "TableStatistics",
     "Action",
     "ForeignKey",
     "Database",

@@ -267,10 +267,20 @@ class Database:
         )
 
     def explain(self, table_name: str, where: Expr | None = None) -> str:
-        """Describe the access path a select would use."""
+        """Describe the access path a select would use (cost, conjuncts,
+        range pushdown)."""
+        return self.explain_plan(table_name, where).describe()
+
+    def explain_plan(self, table_name: str, where: Expr | None = None):
+        """The :class:`~repro.rdb.query.SelectPlan` a select would use
+        (programmatic EXPLAIN for tests, benchmarks and plan guards)."""
         table = self._catalog.get(table_name)
         plan, _ = plan_select(table, where)
-        return f"{plan.table}: {plan.access_path} (~{plan.estimated_candidates} rows)"
+        return plan
+
+    def statistics(self, table_name: str):
+        """Planner statistics snapshot for one table."""
+        return self._catalog.get(table_name).statistics()
 
     def range(
         self,

@@ -3,14 +3,22 @@
 Indexes map a key tuple (values of the indexed columns) to the set of
 row ids holding that key.  The table maintains them on every mutation;
 the query planner consults them through :class:`IndexSet`.
+
+Both index kinds keep two O(1) statistics counters up to date on every
+mutation — total entries and distinct keys — so the cost-based planner
+(:mod:`repro.rdb.stats`, :mod:`repro.rdb.query`) can estimate
+selectivity without touching the data.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Any, Iterable, Iterator
 
 __all__ = ["HashIndex", "SortedIndex", "IndexSet"]
+
+_EMPTY: frozenset[int] = frozenset()
 
 
 class HashIndex:
@@ -21,7 +29,7 @@ class HashIndex:
     not here, so the index simply stores what it is given).
     """
 
-    __slots__ = ("name", "columns", "_map")
+    __slots__ = ("name", "columns", "_map", "_frozen", "_entries")
 
     def __init__(self, name: str, columns: tuple[str, ...]) -> None:
         if not columns:
@@ -29,20 +37,45 @@ class HashIndex:
         self.name = name
         self.columns = columns
         self._map: dict[tuple, set[int]] = {}
+        # Per-key frozenset cache so repeated probes of a hot key do not
+        # re-allocate; invalidated on any mutation of that key.
+        self._frozen: dict[tuple, frozenset[int]] = {}
+        self._entries = 0
 
     def insert(self, key: tuple, rowid: int) -> None:
-        self._map.setdefault(key, set()).add(rowid)
+        bucket = self._map.setdefault(key, set())
+        if rowid not in bucket:
+            bucket.add(rowid)
+            self._entries += 1
+        self._frozen.pop(key, None)
 
     def remove(self, key: tuple, rowid: int) -> None:
         rowids = self._map.get(key)
         if rowids is None:
             return
-        rowids.discard(rowid)
+        if rowid in rowids:
+            rowids.discard(rowid)
+            self._entries -= 1
+            self._frozen.pop(key, None)
         if not rowids:
             del self._map[key]
 
     def lookup(self, key: tuple) -> frozenset[int]:
-        return frozenset(self._map.get(key, ()))
+        """Row ids holding ``key`` as an immutable snapshot.
+
+        The snapshot is cached per key until the next mutation of that
+        key, so hot probes don't allocate; being a frozenset, the
+        returned value can never alias later mutations.
+        """
+        cached = self._frozen.get(key)
+        if cached is not None:
+            return cached
+        bucket = self._map.get(key)
+        if bucket is None:
+            return _EMPTY
+        frozen = frozenset(bucket)
+        self._frozen[key] = frozen
+        return frozen
 
     def count(self, key: tuple) -> int:
         return len(self._map.get(key, ()))
@@ -50,8 +83,12 @@ class HashIndex:
     def keys(self) -> Iterator[tuple]:
         return iter(self._map)
 
+    def distinct_keys(self) -> int:
+        """Number of distinct key tuples currently stored (O(1))."""
+        return len(self._map)
+
     def __len__(self) -> int:
-        return sum(len(v) for v in self._map.values())
+        return self._entries
 
 
 class SortedIndex:
@@ -63,23 +100,27 @@ class SortedIndex:
     implementation transparent.
     """
 
-    __slots__ = ("name", "column", "_keys", "_rowids")
+    __slots__ = ("name", "column", "_keys", "_rowids", "_entries")
 
     def __init__(self, name: str, column: str) -> None:
         self.name = name
         self.column = column
         self._keys: list[Any] = []
         self._rowids: list[set[int]] = []
+        self._entries = 0
 
     def insert(self, key: Any, rowid: int) -> None:
         if key is None:
             return
         pos = bisect.bisect_left(self._keys, key)
         if pos < len(self._keys) and self._keys[pos] == key:
-            self._rowids[pos].add(rowid)
+            if rowid not in self._rowids[pos]:
+                self._rowids[pos].add(rowid)
+                self._entries += 1
         else:
             self._keys.insert(pos, key)
             self._rowids.insert(pos, {rowid})
+            self._entries += 1
 
     def remove(self, key: Any, rowid: int) -> None:
         if key is None:
@@ -87,20 +128,17 @@ class SortedIndex:
         pos = bisect.bisect_left(self._keys, key)
         if pos >= len(self._keys) or self._keys[pos] != key:
             return
-        self._rowids[pos].discard(rowid)
+        if rowid in self._rowids[pos]:
+            self._rowids[pos].discard(rowid)
+            self._entries -= 1
         if not self._rowids[pos]:
             del self._keys[pos]
             del self._rowids[pos]
 
-    def range(
-        self,
-        low: Any = None,
-        high: Any = None,
-        *,
-        include_low: bool = True,
-        include_high: bool = True,
-    ) -> Iterator[int]:
-        """Yield row ids whose key falls in [low, high] (bounds optional)."""
+    def _bounds(
+        self, low: Any, high: Any, include_low: bool, include_high: bool
+    ) -> tuple[int, int]:
+        """Key-list positions [start, stop) covered by the range."""
         if low is None:
             start = 0
         elif include_low:
@@ -113,8 +151,39 @@ class SortedIndex:
             stop = bisect.bisect_right(self._keys, high)
         else:
             stop = bisect.bisect_left(self._keys, high)
+        return start, stop
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield row ids whose key falls in [low, high] (bounds optional)."""
+        start, stop = self._bounds(low, high, include_low, include_high)
         for pos in range(start, stop):
             yield from self._rowids[pos]
+
+    def estimate_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> int:
+        """Estimated row count in the range, from distinct-key positions.
+
+        O(log n): assumes entries are spread evenly across distinct keys
+        (``entries / distinct_keys`` rows per key).
+        """
+        start, stop = self._bounds(low, high, include_low, include_high)
+        span = max(0, stop - start)
+        if span == 0 or not self._keys:
+            return 0
+        return math.ceil(span * self._entries / len(self._keys))
 
     def min_key(self) -> Any:
         return self._keys[0] if self._keys else None
@@ -122,8 +191,12 @@ class SortedIndex:
     def max_key(self) -> Any:
         return self._keys[-1] if self._keys else None
 
+    def distinct_keys(self) -> int:
+        """Number of distinct keys currently stored (O(1))."""
+        return len(self._keys)
+
     def __len__(self) -> int:
-        return sum(len(s) for s in self._rowids)
+        return self._entries
 
 
 class IndexSet:
@@ -167,6 +240,16 @@ class IndexSet:
                 if best is None or len(index.columns) > len(best.columns):
                     best = index
         return best
+
+    def candidate_hash_indexes(
+        self, bound_columns: frozenset[str]
+    ) -> list[HashIndex]:
+        """Every hash index fully covered by the equality bindings."""
+        return [
+            index
+            for index in self._hash.values()
+            if set(index.columns) <= bound_columns
+        ]
 
     def sorted_index_on(self, column: str) -> SortedIndex | None:
         for index in self._sorted.values():

@@ -20,7 +20,15 @@ from __future__ import annotations
 import re
 from typing import Any, Callable, Iterable
 
-__all__ = ["Expr", "col", "lit"]
+__all__ = [
+    "Expr",
+    "col",
+    "lit",
+    "RangeBound",
+    "equality_bindings",
+    "range_bounds",
+    "predicate_cache_key",
+]
 
 
 class Expr:
@@ -375,6 +383,118 @@ def lit(value: Any) -> Literal:
 
 def _as_expr(value: object) -> Expr:
     return value if isinstance(value, Expr) else Literal(value)
+
+
+class RangeBound:
+    """Accumulated comparison bounds on one column, from top-level
+    AND conjuncts.  ``conjuncts`` records the source comparisons (as
+    reprs) for EXPLAIN output."""
+
+    __slots__ = ("column", "low", "high", "include_low", "include_high",
+                 "conjuncts")
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self.low: Any = None
+        self.high: Any = None
+        self.include_low = True
+        self.include_high = True
+        self.conjuncts: list[str] = []
+
+    def narrow_low(self, value: Any, inclusive: bool, conjunct: str) -> None:
+        if self.low is None or value > self.low or (
+            value == self.low and not inclusive
+        ):
+            self.low = value
+            self.include_low = inclusive
+        self.conjuncts.append(conjunct)
+
+    def narrow_high(self, value: Any, inclusive: bool, conjunct: str) -> None:
+        if self.high is None or value < self.high or (
+            value == self.high and not inclusive
+        ):
+            self.high = value
+            self.include_high = inclusive
+        self.conjuncts.append(conjunct)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo = "(" if not self.include_low else "["
+        hi = ")" if not self.include_high else "]"
+        return f"RangeBound({self.column}: {lo}{self.low!r}, {self.high!r}{hi})"
+
+
+# op -> (is_lower_bound, inclusive), as seen with the column on the LEFT.
+_RANGE_OPS = {
+    ">": (True, False),
+    ">=": (True, True),
+    "<": (False, False),
+    "<=": (False, True),
+}
+# Flip when the literal is on the left (``lit(5) < col("x")`` == ``x > 5``).
+_FLIPPED = {">": "<", ">=": "<=", "<": ">", "<=": ">="}
+
+
+def range_bounds(expr: Expr) -> dict[str, RangeBound]:
+    """Extract per-column comparison bounds from the top-level AND chain.
+
+    Collects ``column <op> literal`` conjuncts for ``<``, ``<=``, ``>``,
+    ``>=`` (BETWEEN-shaped pairs tighten both ends of one bound).  Only
+    conjunctions are walked — an OR branch can't guarantee the bound
+    holds — and ``None`` literals are skipped (they compare false
+    everywhere, so they give the planner nothing usable).  Used for
+    range-predicate pushdown into sorted indexes; candidates from a
+    pushed-down bound are a superset of matching rows, so the residual
+    filter preserves exactness.
+    """
+    bounds: dict[str, RangeBound] = {}
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, And):
+            stack.append(node.left)
+            stack.append(node.right)
+            continue
+        if not isinstance(node, Compare) or node.op not in _RANGE_OPS:
+            continue
+        left, right = node.left, node.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            column, value, op = left.name, right.value, node.op
+        elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+            column, value, op = right.name, left.value, _FLIPPED[node.op]
+        else:
+            continue
+        if value is None:
+            continue
+        bound = bounds.setdefault(column, RangeBound(column))
+        is_lower, inclusive = _RANGE_OPS[op]
+        conjunct = f"{column} {op} {value!r}"
+        if is_lower:
+            bound.narrow_low(value, inclusive, conjunct)
+        else:
+            bound.narrow_high(value, inclusive, conjunct)
+    return bounds
+
+
+def predicate_cache_key(expr: Expr | None) -> str | None:
+    """A stable structural key for result caching, or ``None`` when the
+    predicate embeds opaque callables (:class:`Apply`) and therefore
+    cannot be keyed safely.
+
+    Two structurally identical trees produce the same key; reprs of
+    every node type are deterministic (``In`` sorts its value reprs).
+    """
+    if expr is None:
+        return ""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Apply):
+            return None
+        for slot in getattr(type(node), "__slots__", ()):
+            child = getattr(node, slot, None)
+            if isinstance(child, Expr):
+                stack.append(child)
+    return repr(expr)
 
 
 def equality_bindings(expr: Expr) -> dict[str, Any]:

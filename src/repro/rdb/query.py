@@ -1,19 +1,33 @@
-"""Query execution: filtered scans, index selection, joins, aggregates.
+"""Query execution: cost-based access-path selection, joins, aggregates.
 
-The planner is intentionally small: if the WHERE clause binds all columns
-of some hash index through top-level equality conjuncts, probe that index
-and filter the residue; otherwise scan the heap.  ORDER BY sorts the
-result (a sorted index accelerates the common "range over one column"
-case via :func:`range_scan`).
+The planner is cost-based over incrementally-maintained statistics
+(:mod:`repro.rdb.stats`).  For a WHERE clause it costs every access
+path whose preconditions hold and picks the cheapest:
+
+* **hash probe** — a hash index fully covered by top-level equality
+  conjuncts; expected rows = ``entries / distinct_keys`` (selectivity),
+  so among several candidate indexes the most selective wins;
+* **sorted-range pushdown** — a top-level comparison conjunct (``<``,
+  ``<=``, ``>``, ``>=``, or a BETWEEN-shaped pair) over a column with a
+  sorted index probes :meth:`SortedIndex.range` instead of the heap;
+* **heap scan** — always available, cost = row count; candidates are
+  yielded lazily so a LIMIT-bounded select stops early.
+
+The residual WHERE filter is always re-applied, so any access path
+yielding a superset of matching rows is correct.  ORDER BY + LIMIT
+streams through a bounded heap (:func:`heapq.nsmallest`/``nlargest``)
+instead of sorting every matching row.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.rdb.errors import UnknownColumnError
-from repro.rdb.predicate import Expr, equality_bindings
+from repro.rdb.predicate import Expr, equality_bindings, range_bounds
+from repro.rdb.stats import TableStatistics
 from repro.rdb.table import Table
 
 __all__ = ["SelectPlan", "execute_select", "range_scan", "join_rows", "aggregate"]
@@ -21,31 +35,136 @@ __all__ = ["SelectPlan", "execute_select", "range_scan", "join_rows", "aggregate
 
 @dataclass(frozen=True, slots=True)
 class SelectPlan:
-    """How a select will run — exposed for tests and EXPLAIN-style output."""
+    """How a select will run — exposed for tests and EXPLAIN-style output.
+
+    ``access_path`` is ``"index:<name>"`` (hash probe or sorted-range
+    pushdown) or ``"scan"``.  ``estimated_cost`` is the planner's row
+    estimate for the chosen path; ``chosen_conjuncts`` are the WHERE
+    conjuncts the path consumed; ``pushdown`` describes a range pushed
+    into a sorted index (``None`` otherwise).
+    """
 
     table: str
-    access_path: str  # "index:<name>" or "scan"
+    access_path: str
     estimated_candidates: int
+    estimated_cost: float = 0.0
+    chosen_conjuncts: tuple[str, ...] = ()
+    pushdown: str | None = None
+
+    def describe(self) -> str:
+        """One-line EXPLAIN rendering."""
+        parts = [
+            f"{self.table}: {self.access_path} "
+            f"(~{self.estimated_candidates} rows, cost {self.estimated_cost:g})"
+        ]
+        if self.chosen_conjuncts:
+            parts.append("using " + " AND ".join(self.chosen_conjuncts))
+        if self.pushdown:
+            parts.append(f"pushdown {self.pushdown}")
+        return " ".join(parts)
 
 
-def plan_select(table: Table, where: Expr | None) -> tuple[SelectPlan, Iterable[int]]:
-    """Choose an access path; returns (plan, candidate rowids)."""
-    if where is not None:
-        bindings = equality_bindings(where)
-        index = table.indexes.best_hash_index(frozenset(bindings))
-        if index is not None:
-            key = tuple(bindings[c] for c in index.columns)
-            rowids = index.lookup(key)
-            plan = SelectPlan(
-                table=table.schema.name,
-                access_path=f"index:{index.name}",
-                estimated_candidates=len(rowids),
-            )
-            return plan, rowids
-    plan = SelectPlan(
-        table=table.schema.name, access_path="scan", estimated_candidates=len(table)
+@dataclass(slots=True)
+class _Candidate:
+    """One costed access path under consideration."""
+
+    cost: float
+    access_path: str
+    rowids: Callable[[], Iterable[int]]
+    estimated: int
+    conjuncts: tuple[str, ...] = ()
+    pushdown: str | None = None
+
+
+def plan_select(
+    table: Table, where: Expr | None
+) -> tuple[SelectPlan, Iterable[int]]:
+    """Choose the cheapest access path; returns (plan, candidate rowids).
+
+    Candidate row ids are produced lazily (index probes return their
+    snapshot, scans yield from the heap), so callers that stop early —
+    LIMIT without ORDER BY — never touch the rest of the table.
+    """
+    stats = table.statistics()
+    row_count = stats.row_count
+    best = _Candidate(
+        cost=float(row_count),
+        access_path="scan",
+        rowids=lambda: (rowid for rowid, _ in table.items()),
+        estimated=row_count,
     )
-    return plan, [rowid for rowid, _ in table.items()]
+    if where is not None:
+        for candidate in _index_candidates(table, where, stats):
+            # Strictly cheaper wins; on a tie an index path beats the
+            # scan (it can't be worse, and EXPLAIN output stays stable
+            # for tiny tables).
+            if candidate.cost < best.cost or (
+                candidate.cost == best.cost and best.access_path == "scan"
+            ):
+                best = candidate
+    plan = SelectPlan(
+        table=table.schema.name,
+        access_path=best.access_path,
+        estimated_candidates=best.estimated,
+        estimated_cost=best.cost,
+        chosen_conjuncts=best.conjuncts,
+        pushdown=best.pushdown,
+    )
+    return plan, best.rowids()
+
+
+def _index_candidates(
+    table: Table, where: Expr, stats: "TableStatistics"
+) -> Iterator[_Candidate]:
+    """Cost every index-backed access path the WHERE clause enables."""
+    row_count = stats.row_count
+    bindings = equality_bindings(where)
+    if bindings:
+        bound = frozenset(bindings)
+        for index in table.indexes.candidate_hash_indexes(bound):
+            key = tuple(bindings[c] for c in index.columns)
+            index_stats = stats.index(index.name)
+            expected = index_stats.rows_per_key if index_stats else row_count
+            # Exact probe counts are O(1), so sharpen the estimate; the
+            # selectivity figure still breaks ties among candidates that
+            # happen to probe equally (and is what EXPLAIN reports when
+            # the probe is empty).
+            exact = index.count(key)
+            yield _Candidate(
+                cost=min(expected, row_count) if exact else 0.0,
+                access_path=f"index:{index.name}",
+                rowids=lambda index=index, key=key: index.lookup(key),
+                estimated=exact,
+                conjuncts=tuple(
+                    f"{c} == {bindings[c]!r}" for c in index.columns
+                ),
+            )
+    for column, bound_spec in range_bounds(where).items():
+        index = table.indexes.sorted_index_on(column)
+        if index is None:
+            continue
+        estimated = index.estimate_range(
+            bound_spec.low,
+            bound_spec.high,
+            include_low=bound_spec.include_low,
+            include_high=bound_spec.include_high,
+        )
+        low_bracket = "[" if bound_spec.include_low else "("
+        high_bracket = "]" if bound_spec.include_high else ")"
+        yield _Candidate(
+            cost=float(estimated),
+            access_path=f"index:{index.name}",
+            rowids=lambda index=index, b=bound_spec: index.range(
+                b.low, b.high,
+                include_low=b.include_low, include_high=b.include_high,
+            ),
+            estimated=estimated,
+            conjuncts=tuple(bound_spec.conjuncts),
+            pushdown=(
+                f"{column} in {low_bracket}{bound_spec.low!r}, "
+                f"{bound_spec.high!r}{high_bracket}"
+            ),
+        )
 
 
 def execute_select(
@@ -69,43 +188,68 @@ def execute_select(
             if not table.schema.has_column(name):
                 raise UnknownColumnError(table.schema.name, name)
     _plan, rowids = plan_select(table, where)
-    rows: list[dict[str, Any]] = []
-    for rowid in rowids:
-        row = table.get(rowid)
-        if row is None:  # pragma: no cover - rowids come from live structures
-            continue
-        if where is None or where.eval(row):
-            rows.append(row)
+    matching = _matching_rows(table, rowids, where)
+    rows: Iterable[dict[str, Any]]
     if order_by is not None:
         keys = (order_by,) if isinstance(order_by, str) else tuple(order_by)
         for name in keys:
             if not table.schema.has_column(name):
                 raise UnknownColumnError(table.schema.name, name)
+
         # None sorts first (ascending) via the (is-not-none, value) trick.
-        rows.sort(
-            key=lambda r: tuple((r[k] is not None, r[k]) for k in keys),
-            reverse=descending,
-        )
+        def sort_key(r: dict[str, Any]) -> tuple:
+            return tuple((r[k] is not None, r[k]) for k in keys)
+
+        if limit is not None and not distinct:
+            # Streaming top-k: nsmallest/nlargest are documented as
+            # sorted(...)[:k] (stable on ties), so results match a full
+            # sort exactly while holding only limit+offset rows.
+            top = limit + offset
+            if descending:
+                rows = heapq.nlargest(top, matching, key=sort_key)
+            else:
+                rows = heapq.nsmallest(top, matching, key=sort_key)
+        else:
+            rows = sorted(matching, key=sort_key, reverse=descending)
     elif descending:
-        rows.reverse()
-    if columns is None:
-        out = [dict(row) for row in rows]
+        reversed_rows = list(matching)
+        reversed_rows.reverse()
+        rows = reversed_rows
     else:
-        out = [{name: row[name] for name in columns} for row in rows]
-    if distinct:
-        seen: set[tuple] = set()
-        deduped = []
-        for row in out:
-            key = tuple(_hashable(row[name]) for name in sorted(row))
-            if key not in seen:
-                seen.add(key)
-                deduped.append(row)
-        out = deduped
+        rows = matching  # stays lazy: LIMIT stops the scan early
+    out: list[dict[str, Any]] = []
+    seen: set[tuple] = set()
+    needed = None if limit is None else limit + offset
+    for row in rows:
+        projected = (
+            dict(row) if columns is None
+            else {name: row[name] for name in columns}
+        )
+        if distinct:
+            key = tuple(_hashable(projected[name]) for name in sorted(projected))
+            if key in seen:
+                continue
+            seen.add(key)
+        out.append(projected)
+        if needed is not None and len(out) >= needed:
+            break
     if offset:
         out = out[offset:]
     if limit is not None:
         out = out[:limit]
     return out
+
+
+def _matching_rows(
+    table: Table, rowids: Iterable[int], where: Expr | None
+) -> Iterator[dict[str, Any]]:
+    """Lazily yield candidate rows that pass the residual filter."""
+    for rowid in rowids:
+        row = table.get(rowid)
+        if row is None:  # pragma: no cover - rowids come from live structures
+            continue
+        if where is None or where.eval(row):
+            yield row
 
 
 def _hashable(value: Any) -> Any:

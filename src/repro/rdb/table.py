@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.rdb.index import HashIndex, IndexSet, SortedIndex
+from repro.rdb.stats import TableStatistics, collect_statistics
 from repro.rdb.types import Schema
 
 __all__ = ["Table"]
@@ -49,6 +50,10 @@ class Table:
 
     def get(self, rowid: int) -> dict[str, Any] | None:
         return self._rows.get(rowid)
+
+    def statistics(self) -> TableStatistics:
+        """Planner statistics snapshot (row count, per-index counters)."""
+        return collect_statistics(self)
 
     def rowid_for_pk(self, key: tuple) -> int | None:
         """Row id holding primary key ``key``, or None."""

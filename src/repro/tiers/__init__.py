@@ -9,6 +9,8 @@ the front end of the virtual course DBMS"), and the DBMS reached
 * :mod:`repro.tiers.protocol` — the request/response wire objects.
 * :mod:`repro.tiers.connection` — the ODBC-style connection adapter
   over :mod:`repro.rdb`.
+* :mod:`repro.tiers.cache` — the versioned read-through result cache
+  the class administrator puts in front of the DBMS.
 * :mod:`repro.tiers.server` — the class administrator: sessions, roles,
   admission records, registrations, transcripts, network bookkeeping,
   and routing into the Web document DB and the virtual library.
@@ -17,6 +19,7 @@ the front end of the virtual course DBMS"), and the DBMS reached
 """
 
 from repro.tiers.protocol import Request, Response, Role
+from repro.tiers.cache import QueryCache, TableVersions
 from repro.tiers.connection import OpenDatabaseConnection
 from repro.tiers.server import ClassAdministrator
 from repro.tiers.client import AdministratorClient, InstructorClient, StudentClient
@@ -28,6 +31,8 @@ __all__ = [
     "Request",
     "Response",
     "Role",
+    "QueryCache",
+    "TableVersions",
     "OpenDatabaseConnection",
     "ClassAdministrator",
     "AdministratorClient",

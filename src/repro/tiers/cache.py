@@ -1,0 +1,170 @@
+"""Versioned read-through result cache for the class administrator.
+
+The middle tier re-executes the same selects on every browser request
+(rosters, transcripts, course lookups) — the repeated-read pattern the
+BTeV web document database and the cellular content-management design
+solve with server-side caching in front of the DBMS.  This module adds
+that tier:
+
+* :class:`TableVersions` keeps a **monotonic version counter per
+  table**, bumped by AFTER INSERT/UPDATE/DELETE triggers wired through
+  the engine's existing trigger layer.
+* :class:`QueryCache` is an **LRU read-through cache** whose entries are
+  keyed by ``(table, normalized predicate, projection, order, limit,
+  offset, distinct, table version)``.  Because the current table
+  version is part of the key, any write implicitly invalidates every
+  cached result for that table — a stale read is impossible by
+  construction; old-version entries simply age out of the LRU.
+
+Version bumps fire when a row mutation applies, even if the enclosing
+transaction later rolls back.  That can only invalidate more than
+necessary (a spurious miss), never less, so correctness is unaffected.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Sequence
+
+from repro.rdb import Database, Expr, predicate_cache_key
+from repro.rdb.triggers import TriggerContext, TriggerEvent, TriggerTiming
+
+__all__ = ["TableVersions", "QueryCache"]
+
+_VERSION_TRIGGER_PREFIX = "__cache_version"
+
+
+class TableVersions:
+    """Per-table monotonic version counters maintained by triggers."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, int] = {}
+
+    def attach(self, db: Database) -> None:
+        """Track every table currently in ``db``."""
+        for name in db.table_names():
+            self.track(db, name)
+
+    def track(self, db: Database, table: str) -> None:
+        """Register version-bump triggers on one table (idempotent)."""
+        if table in self._versions:
+            return
+        self._versions[table] = 0
+
+        def bump(_ctx: TriggerContext, table: str = table) -> None:
+            self._versions[table] += 1
+
+        for event in (
+            TriggerEvent.INSERT, TriggerEvent.UPDATE, TriggerEvent.DELETE,
+        ):
+            db.register_trigger(
+                f"{_VERSION_TRIGGER_PREFIX}_{event.value}__",
+                table,
+                event,
+                TriggerTiming.AFTER,
+                bump,
+            )
+
+    def tracked(self, table: str) -> bool:
+        """True when ``table`` has version triggers installed."""
+        return table in self._versions
+
+    def version(self, table: str) -> int | None:
+        """Current version of ``table``, or None when untracked."""
+        return self._versions.get(table)
+
+
+class QueryCache:
+    """LRU read-through result cache over a versioned database.
+
+    ``select`` executes through the cache; hits return copies of the
+    stored rows (the same copy depth an uncached select provides), so
+    callers mutating result rows can never poison the cache.  Queries
+    that cannot be keyed — untracked tables, predicates embedding opaque
+    callables — bypass the cache entirely.
+    """
+
+    def __init__(self, versions: TableVersions, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.versions = versions
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, list[dict[str, Any]]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def select(
+        self,
+        db: Database,
+        table: str,
+        where: Expr | None = None,
+        order_by: str | Sequence[str] | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        offset: int = 0,
+        columns: Sequence[str] | None = None,
+        distinct: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Read-through select with the same contract as ``db.select``."""
+        key = self._key(
+            table, where, order_by, descending, limit, offset, columns, distinct
+        )
+        if key is None:
+            self.bypasses += 1
+            return db.select(
+                table, where=where, order_by=order_by, descending=descending,
+                limit=limit, offset=offset, columns=columns, distinct=distinct,
+            )
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return [dict(row) for row in cached]
+        self.misses += 1
+        rows = db.select(
+            table, where=where, order_by=order_by, descending=descending,
+            limit=limit, offset=offset, columns=columns, distinct=distinct,
+        )
+        self._entries[key] = rows
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return [dict(row) for row in rows]
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/bypass counters and current residency."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "entries": len(self._entries),
+        }
+
+    def _key(
+        self,
+        table: str,
+        where: Expr | None,
+        order_by: str | Sequence[str] | None,
+        descending: bool,
+        limit: int | None,
+        offset: int,
+        columns: Sequence[str] | None,
+        distinct: bool,
+    ) -> tuple | None:
+        version = self.versions.version(table)
+        if version is None:
+            return None
+        predicate = predicate_cache_key(where)
+        if predicate is None:
+            return None
+        order = (order_by,) if isinstance(order_by, str) else (
+            tuple(order_by) if order_by is not None else None
+        )
+        projection = tuple(columns) if columns is not None else None
+        return (
+            table, predicate, projection, order, descending,
+            limit, offset, distinct, version,
+        )

@@ -7,13 +7,20 @@ cursor facade over :class:`repro.rdb.Database`, so the middle tier
 depends only on the connection contract — swapping in a different
 engine means re-implementing this one adapter, exactly the paper's
 "adaptive to open architecture / database standard" goal.
+
+A connection may carry a :class:`~repro.tiers.cache.QueryCache`; cursor
+selects then read through it, and the cache's per-table version keys
+make every write an implicit invalidation (no stale reads).
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.rdb import Database, Expr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tiers.cache import QueryCache
 
 __all__ = ["OpenDatabaseConnection", "Cursor"]
 
@@ -21,8 +28,9 @@ __all__ = ["OpenDatabaseConnection", "Cursor"]
 class Cursor:
     """A DB-API-flavoured cursor: execute, fetchone/fetchall, rowcount."""
 
-    def __init__(self, db: Database) -> None:
+    def __init__(self, db: Database, cache: "QueryCache | None" = None) -> None:
         self._db = db
+        self._cache = cache
         self._results: list[dict[str, Any]] = []
         self._pos = 0
         self.rowcount = -1
@@ -36,9 +44,16 @@ class Cursor:
         limit: int | None = None,
         columns: Sequence[str] | None = None,
     ) -> "Cursor":
-        self._results = self._db.select(
-            table, where=where, order_by=order_by, limit=limit, columns=columns
-        )
+        if self._cache is not None:
+            self._results = self._cache.select(
+                self._db, table, where=where, order_by=order_by,
+                limit=limit, columns=columns,
+            )
+        else:
+            self._results = self._db.select(
+                table, where=where, order_by=order_by, limit=limit,
+                columns=columns,
+            )
         self._pos = 0
         self.rowcount = len(self._results)
         return self
@@ -84,11 +99,15 @@ class Cursor:
 
 
 class OpenDatabaseConnection:
-    """A connection to one engine, with transaction demarcation."""
+    """A connection to one engine, with transaction demarcation and an
+    optional read-through result cache."""
 
-    def __init__(self, db: Database) -> None:
+    def __init__(
+        self, db: Database, cache: "QueryCache | None" = None
+    ) -> None:
         self._db = db
         self._closed = False
+        self.cache = cache
         self.cursors_opened = 0
 
     @property
@@ -98,7 +117,7 @@ class OpenDatabaseConnection:
     def cursor(self) -> Cursor:
         self._check_open()
         self.cursors_opened += 1
-        return Cursor(self._db)
+        return Cursor(self._db, self.cache)
 
     def begin(self) -> None:
         self._check_open()

@@ -35,6 +35,7 @@ from repro.rdb import (
     Schema,
     col,
 )
+from repro.tiers.cache import QueryCache, TableVersions
 from repro.tiers.connection import OpenDatabaseConnection
 from repro.tiers.protocol import OPERATIONS, Request, Response, Role
 
@@ -120,7 +121,14 @@ class ClassAdministrator:
         admin_db = Database("class_admin")
         for schema in ADMIN_SCHEMAS:
             admin_db.create_table(schema)
-        self.connection = OpenDatabaseConnection(admin_db)
+        # Read-through result cache: table versions bump on every write
+        # (via AFTER triggers), so repeated browser reads (rosters,
+        # transcripts, login lookups) hit memory and writes invalidate
+        # implicitly.
+        self.table_versions = TableVersions()
+        self.table_versions.attach(admin_db)
+        self.query_cache = QueryCache(self.table_versions, max_entries=512)
+        self.connection = OpenDatabaseConnection(admin_db, cache=self.query_cache)
         self.wddb = wddb if wddb is not None else WebDocumentDatabase("server")
         self.library = library if library is not None else VirtualLibrary()
         self.desk = CirculationDesk(self.library)

@@ -65,6 +65,21 @@ class TestCourseSearch:
         hits = index.search(course="Drawing")
         assert [h.doc_id for h in hits] == ["d2"]
 
+    def test_title_word_prefix(self, index):
+        hits = index.search(course="Draw")
+        assert [h.doc_id for h in hits] == ["d2"]
+
+    def test_title_multiple_words(self, index):
+        hits = index.search(course="Engineering Drawing")
+        assert [h.doc_id for h in hits] == ["d2"]
+
+    def test_title_words_all_must_match(self, index):
+        assert index.search(course="Engineering Multimedia") == []
+
+    def test_course_axis_no_partial_mid_word(self, index):
+        # word-prefix matching: a mid-word fragment is not a hit
+        assert index.search(course="rawing") == []
+
 
 class TestCombinedAxes:
     def test_keyword_and_instructor_intersect(self, index):
@@ -100,3 +115,21 @@ class TestMaintenance:
     def test_postings_cleaned_after_remove(self, index):
         index.remove("d2")
         assert index.search(keywords="drawing") == []
+
+    def test_title_postings_cleaned_after_remove(self, index):
+        index.remove("d2")
+        assert index.search(course="Drawing") == []
+        assert index.search(course="Draw") == []
+
+    def test_remove_keeps_shared_terms_for_survivors(self, index):
+        # d1 and d3 share the "multimedia" title word; removing one must
+        # not disturb the other's postings.
+        index.remove("d1")
+        assert [h.doc_id for h in index.search(course="Multimedia")] == ["d3"]
+        assert {h.doc_id for h in index.search(keywords="multimedia")} == {"d3"}
+
+    def test_add_after_remove_reindexes(self, index):
+        index.remove("d2")
+        index.add("d2", keywords=("drawing",), instructor="Runhe Huang",
+                  course_number="ED150", title="Engineering Drawing")
+        assert [h.doc_id for h in index.search(course="Draw")] == ["d2"]

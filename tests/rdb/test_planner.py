@@ -1,0 +1,174 @@
+"""Tests for the cost-based planner: selectivity, pushdown, top-k."""
+
+import pytest
+
+from repro.rdb import Column, ColumnType, Database, Schema, col, lit
+from repro.rdb.query import plan_select
+
+T = ColumnType
+
+
+@pytest.fixture
+def catalog_db() -> Database:
+    """A course-catalog-ish table with skewed and selective columns."""
+    db = Database("catalog")
+    db.create_table(Schema(
+        name="courses",
+        columns=(
+            Column("course_id", T.INT, nullable=False),
+            Column("dept", T.TEXT, nullable=False),       # 4 distinct values
+            Column("code", T.TEXT, nullable=False),       # unique-ish
+            Column("credits", T.INT, nullable=False),
+        ),
+        primary_key=("course_id",),
+    ))
+    db.create_hash_index("courses", "by_dept", ["dept"])
+    db.create_hash_index("courses", "by_code", ["code"])
+    db.create_sorted_index("courses", "by_credits", "credits")
+    for i in range(200):
+        db.insert("courses", {
+            "course_id": i,
+            "dept": ("cs", "ee", "me", "ed")[i % 4],
+            "code": f"c{i:03d}",
+            "credits": i % 10,
+        })
+    return db
+
+
+class TestSelectivityChoice:
+    def test_picks_most_selective_hash_index(self, catalog_db):
+        # Both by_dept (50 rows/key) and by_code (1 row/key) are covered;
+        # the selective one must win regardless of registration order.
+        plan = catalog_db.explain_plan(
+            "courses",
+            (col("dept") == "cs") & (col("code") == "c017"),
+        )
+        assert plan.access_path == "index:by_code"
+        assert plan.estimated_candidates == 1
+
+    def test_conjuncts_recorded(self, catalog_db):
+        plan = catalog_db.explain_plan("courses", col("code") == "c017")
+        assert plan.chosen_conjuncts == ("code == 'c017'",)
+
+    def test_estimated_cost_tracks_selectivity(self, catalog_db):
+        selective = catalog_db.explain_plan("courses", col("code") == "c017")
+        skewed = catalog_db.explain_plan("courses", col("dept") == "cs")
+        assert selective.estimated_cost < skewed.estimated_cost
+        assert skewed.estimated_cost < 200  # still beats the scan
+
+    def test_empty_probe_costs_nothing(self, catalog_db):
+        plan = catalog_db.explain_plan("courses", col("code") == "missing")
+        assert plan.access_path == "index:by_code"
+        assert plan.estimated_candidates == 0
+        assert plan.estimated_cost == 0.0
+
+
+class TestRangePushdown:
+    def test_range_predicate_uses_sorted_index(self, catalog_db):
+        plan = catalog_db.explain_plan("courses", col("credits") >= 8)
+        assert plan.access_path == "index:by_credits"
+        assert plan.pushdown is not None
+        assert "credits" in plan.pushdown
+
+    def test_between_shape_tightens_both_ends(self, catalog_db):
+        where = (col("credits") >= 3) & (col("credits") <= 4)
+        plan = catalog_db.explain_plan("courses", where)
+        assert plan.access_path == "index:by_credits"
+        assert len(plan.chosen_conjuncts) == 2
+        rows = catalog_db.select("courses", where=where)
+        assert sorted({r["credits"] for r in rows}) == [3, 4]
+
+    def test_between_helper_is_pushed_down(self, catalog_db):
+        plan = catalog_db.explain_plan("courses", col("credits").between(3, 4))
+        assert plan.access_path == "index:by_credits"
+
+    def test_flipped_literal_side(self, catalog_db):
+        plan = catalog_db.explain_plan("courses", lit(8) <= col("credits"))
+        assert plan.access_path == "index:by_credits"
+        rows = catalog_db.select("courses", where=lit(8) <= col("credits"))
+        assert {r["credits"] for r in rows} == {8, 9}
+
+    def test_pushdown_results_match_scan(self, catalog_db):
+        where = (col("credits") > 6) & (col("credits") < 9)
+        via_index = catalog_db.select("courses", where=where,
+                                      order_by="course_id")
+        naive = [r for r in catalog_db.select("courses", order_by="course_id")
+                 if 6 < r["credits"] < 9]
+        assert via_index == naive
+
+    def test_none_literal_is_not_pushed_as_unbounded(self, catalog_db):
+        # col < None is false for every row; it must not become an
+        # unbounded range probe that returns everything.
+        where = col("credits") < lit(None)
+        assert catalog_db.select("courses", where=where) == []
+
+    def test_wide_range_falls_back_to_scan(self, catalog_db):
+        # A range covering everything is no cheaper than the heap scan.
+        plan = catalog_db.explain_plan("courses", col("credits") >= 0)
+        assert plan.estimated_cost >= 200 or plan.access_path == "scan"
+
+
+class TestLazyScan:
+    def test_scan_candidates_are_lazy(self, catalog_db):
+        plan, rowids = plan_select(catalog_db.table("courses"), None)
+        assert plan.access_path == "scan"
+        assert not isinstance(rowids, list)
+        assert iter(rowids) is rowids  # a generator, not a materialized list
+
+    def test_limit_without_order_stops_early(self, catalog_db):
+        rows = catalog_db.select("courses", limit=3)
+        assert len(rows) == 3
+
+    def test_equality_on_unindexed_int_still_scans_correctly(self, catalog_db):
+        rows = catalog_db.select("courses", where=col("course_id") == 7)
+        assert [r["code"] for r in rows] == ["c007"]
+
+
+class TestTopK:
+    def test_topk_matches_full_sort(self, catalog_db):
+        full = catalog_db.select("courses", order_by=("credits", "course_id"))
+        topk = catalog_db.select("courses", order_by=("credits", "course_id"),
+                                 limit=7)
+        assert topk == full[:7]
+
+    def test_topk_descending(self, catalog_db):
+        full = catalog_db.select("courses", order_by=("credits", "course_id"),
+                                 descending=True)
+        topk = catalog_db.select("courses", order_by=("credits", "course_id"),
+                                 descending=True, limit=5, offset=2)
+        assert topk == full[2:7]
+
+    def test_topk_ties_stable_like_sort(self, catalog_db):
+        # credits has heavy ties; heapq.nsmallest is documented as
+        # sorted(...)[:k], so ties must resolve identically.
+        full = catalog_db.select("courses", order_by="credits")
+        topk = catalog_db.select("courses", order_by="credits", limit=12)
+        assert topk == full[:12]
+
+    def test_distinct_with_limit_still_exact(self, catalog_db):
+        full = catalog_db.select("courses", columns=["credits"],
+                                 order_by="credits", distinct=True)
+        limited = catalog_db.select("courses", columns=["credits"],
+                                    order_by="credits", distinct=True, limit=4)
+        assert limited == full[:4]
+
+
+class TestExplainSurface:
+    def test_explain_mentions_cost(self, catalog_db):
+        text = catalog_db.explain("courses", col("code") == "c017")
+        assert "cost" in text and "index:by_code" in text
+
+    def test_explain_mentions_pushdown(self, catalog_db):
+        text = catalog_db.explain("courses", col("credits") > 7)
+        assert "pushdown" in text
+
+    def test_statistics_snapshot(self, catalog_db):
+        stats = catalog_db.statistics("courses")
+        assert stats.row_count == 200
+        by_code = stats.index("by_code")
+        assert by_code.entries == 200
+        assert by_code.distinct_keys == 200
+        assert by_code.rows_per_key == 1.0
+        by_dept = stats.index("by_dept")
+        assert by_dept.distinct_keys == 4
+        assert by_dept.rows_per_key == 50.0

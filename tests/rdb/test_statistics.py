@@ -1,0 +1,116 @@
+"""Tests for incremental index statistics and the probe-snapshot cache."""
+
+from repro.rdb import Column, ColumnType, Database, Schema
+from repro.rdb.index import HashIndex, SortedIndex
+
+T = ColumnType
+
+
+def _db() -> Database:
+    db = Database("stats")
+    db.create_table(Schema(
+        name="t",
+        columns=(
+            Column("id", T.INT, nullable=False),
+            Column("grp", T.TEXT, nullable=False),
+            Column("rank", T.INT),
+        ),
+        primary_key=("id",),
+    ))
+    db.create_hash_index("t", "by_grp", ["grp"])
+    db.create_sorted_index("t", "by_rank", "rank")
+    return db
+
+
+class TestIncrementalCounters:
+    def test_counters_track_inserts(self):
+        db = _db()
+        for i in range(10):
+            db.insert("t", {"id": i, "grp": "ab"[i % 2], "rank": i})
+        stats = db.statistics("t")
+        assert stats.row_count == 10
+        assert stats.index("by_grp").entries == 10
+        assert stats.index("by_grp").distinct_keys == 2
+        assert stats.index("by_rank").entries == 10
+        assert stats.index("by_rank").distinct_keys == 10
+
+    def test_counters_track_updates_and_deletes(self):
+        db = _db()
+        for i in range(6):
+            db.insert("t", {"id": i, "grp": "a", "rank": i})
+        db.update_pk("t", (0,), {"grp": "b"})
+        db.delete_pk("t", (5,))
+        stats = db.statistics("t")
+        assert stats.row_count == 5
+        assert stats.index("by_grp").entries == 5
+        assert stats.index("by_grp").distinct_keys == 2
+
+    def test_null_sorted_keys_not_counted(self):
+        db = _db()
+        db.insert("t", {"id": 1, "grp": "a", "rank": None})
+        db.insert("t", {"id": 2, "grp": "a", "rank": 3})
+        stats = db.statistics("t")
+        assert stats.index("by_rank").entries == 1
+        assert stats.index("by_rank").distinct_keys == 1
+
+    def test_rollback_restores_counters(self):
+        db = _db()
+        db.insert("t", {"id": 1, "grp": "a", "rank": 1})
+        db.begin()
+        db.insert("t", {"id": 2, "grp": "b", "rank": 2})
+        db.rollback()
+        stats = db.statistics("t")
+        assert stats.row_count == 1
+        assert stats.index("by_grp").entries == 1
+        assert stats.index("by_grp").distinct_keys == 1
+
+
+class TestHashLookupSnapshot:
+    def test_repeated_probe_reuses_snapshot(self):
+        index = HashIndex("i", ("a",))
+        index.insert((1,), 10)
+        first = index.lookup((1,))
+        second = index.lookup((1,))
+        assert first is second  # cached, no per-probe allocation
+
+    def test_mutation_after_lookup_does_not_alias(self):
+        index = HashIndex("i", ("a",))
+        index.insert((1,), 10)
+        before = index.lookup((1,))
+        index.insert((1,), 11)
+        index.remove((1,), 10)
+        assert before == {10}  # the old snapshot is untouched
+        assert index.lookup((1,)) == {11}
+
+    def test_missing_key_returns_shared_empty(self):
+        index = HashIndex("i", ("a",))
+        assert index.lookup((9,)) == frozenset()
+        # an empty probe must not pin an entry for the missing key
+        index.insert((9,), 1)
+        assert index.lookup((9,)) == {1}
+
+    def test_duplicate_insert_does_not_inflate_entries(self):
+        index = HashIndex("i", ("a",))
+        index.insert((1,), 10)
+        index.insert((1,), 10)
+        assert len(index) == 1
+        index.remove((1,), 10)
+        assert len(index) == 0
+
+
+class TestSortedEstimate:
+    def test_estimate_matches_exact_on_uniform_keys(self):
+        index = SortedIndex("s", "a")
+        for key in range(100):
+            index.insert(key, key)
+        assert index.estimate_range(10, 19) == 10
+        assert index.estimate_range(None, None) == 100
+        assert index.estimate_range(200, 300) == 0
+
+    def test_estimate_scales_with_duplicates(self):
+        index = SortedIndex("s", "a")
+        for rowid in range(40):
+            index.insert(rowid % 4, rowid)  # 4 keys x 10 rows
+        assert index.estimate_range(0, 1) == 20
+        assert index.distinct_keys() == 4
+        assert len(index) == 40
