@@ -1,0 +1,58 @@
+"""Correctness tooling for the WDDB core: lint + race detection.
+
+The paper's collaborative-authoring story rests on hierarchical locking
+and referential-integrity triggers being correct *under concurrency*.
+This package verifies those invariants mechanically, in two halves that
+share one findings model (:mod:`repro.analysis.findings`), one
+baseline/suppression mechanism and the same text/JSON reporters:
+
+* a **static AST lint framework** (:mod:`repro.analysis.linter`) with a
+  pluggable rule registry and domain-specific rules — transaction
+  discipline, trigger-recursion, nondeterminism, index invariants and
+  exception hygiene — run as ``python -m repro.analysis lint``;
+
+* a **dynamic lock-order race detector**
+  (:mod:`repro.analysis.lockorder`) that observes
+  :class:`repro.core.locking.LockManager` acquisitions, maintains a
+  global lock-order graph and reports potential deadlocks (cycles) and
+  lock-hierarchy violations at acquire time.  Opt in per manager with
+  :func:`attach_detector`, or process-wide with the
+  ``REPRO_LOCK_DETECTOR`` environment variable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.linter import LintResult, lint_paths, lint_source
+from repro.analysis.lockorder import (
+    LockOrderDetector,
+    attach_detector,
+    detach_detector,
+    detector_for,
+)
+from repro.analysis.registry import Rule, RuleRegistry, default_registry
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "LintResult",
+    "LockOrderDetector",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "apply_baseline",
+    "attach_detector",
+    "default_registry",
+    "detach_detector",
+    "detector_for",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_config",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

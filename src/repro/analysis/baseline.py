@@ -1,0 +1,91 @@
+"""Baseline files: accepted historical findings.
+
+A baseline is a JSON file of finding fingerprints (rule + path +
+message, line-independent).  ``lint --write-baseline`` records the
+current findings; later runs subtract baselined findings so CI only
+gates on *new* defects.  Strict mode also fails on unused baseline
+entries, forcing the file to shrink as debt is paid down.  The merged
+tree keeps a zero-finding (empty) baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "apply_baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted fingerprints plus enough context to audit them."""
+
+    entries: dict[str, str]  # fingerprint -> human-readable description
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.is_file():
+        return Baseline(entries={})
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    entries = {
+        str(entry["fingerprint"]): str(entry.get("description", ""))
+        for entry in data.get("findings", [])
+    }
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write the baseline for ``findings`` (sorted, stable output)."""
+    payload = {
+        "version": _VERSION,
+        "findings": sorted(
+            (
+                {
+                    "fingerprint": finding.fingerprint(),
+                    "rule": finding.rule,
+                    "description": f"{finding.location()}: {finding.message}",
+                }
+                for finding in findings
+            ),
+            key=lambda entry: (entry["rule"], entry["fingerprint"]),
+        ),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], int, list[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(new_findings, baselined_count, unused_fingerprints)``.
+    """
+    fresh: list[Finding] = []
+    used: set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in baseline:
+            used.add(fingerprint)
+        else:
+            fresh.append(finding)
+    unused = sorted(set(baseline.entries) - used)
+    return fresh, len(findings) - len(fresh), unused

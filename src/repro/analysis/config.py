@@ -1,0 +1,119 @@
+"""Configuration for the analysis subsystem.
+
+Defaults live here; a ``[tool.repro-analysis]`` block in
+``pyproject.toml`` overrides them.  All path-shaped options are matched
+against a file's *module-relative* path — the path from the ``repro``
+package root down, e.g. ``repro/rdb/table.py`` — so the configuration is
+independent of where the checkout lives.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any
+
+__all__ = ["AnalysisConfig", "load_config", "module_relpath"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Tunables for the lint rules and CLI defaults."""
+
+    #: Default scan roots when the CLI gets no path arguments.
+    paths: tuple[str, ...] = ("src/repro",)
+
+    #: Baseline file of accepted historical findings ("" disables).
+    baseline: str = "analysis-baseline.json"
+
+    #: Rule ids disabled outright.
+    disable: tuple[str, ...] = ()
+
+    #: Module-relative prefixes that count as simulation/experiment code
+    #: for the nondeterminism guard.
+    simulation_paths: tuple[str, ...] = (
+        "repro/net/",
+        "repro/workloads/",
+        "repro/distribution/",
+        "repro/fault/",
+    )
+
+    #: Modules allowed to call ``Table.apply_*`` without an undo record:
+    #: the table itself and the undo log that replays inverses.
+    mutation_allowlist: tuple[str, ...] = (
+        "repro/rdb/table.py",
+        "repro/rdb/transaction.py",
+    )
+
+    #: Modules that legitimately touch ``Table._rows`` / ``_next_rowid``
+    #: internals (the rest must go through the index-maintaining API).
+    index_internal_modules: tuple[str, ...] = ("repro/rdb/table.py",)
+
+    #: Module-relative prefixes where a silently-swallowed
+    #: ``LockConflictError`` is treated as a defect.
+    lock_sensitive_paths: tuple[str, ...] = (
+        "repro/core/",
+        "repro/fault/",
+        "repro/distribution/",
+        "repro/tiers/",
+    )
+
+    #: Extra rule modules to import (plugin hook): dotted module names
+    #: whose import registers rules against the default registry.
+    plugins: tuple[str, ...] = field(default_factory=tuple)
+
+    def is_disabled(self, rule_id: str) -> bool:
+        return rule_id in self.disable
+
+    def in_simulation_path(self, relpath: str) -> bool:
+        return relpath.startswith(tuple(self.simulation_paths))
+
+    def in_lock_sensitive_path(self, relpath: str) -> bool:
+        return relpath.startswith(tuple(self.lock_sensitive_paths))
+
+
+def load_config(pyproject: str | Path | None = None) -> AnalysisConfig:
+    """Read ``[tool.repro-analysis]`` from ``pyproject.toml``.
+
+    Missing file or missing block yields the defaults.  Unknown keys
+    raise — a typo in CI config should fail loudly, not silently lint
+    with defaults.
+    """
+    config = AnalysisConfig()
+    path = Path(pyproject) if pyproject is not None else Path("pyproject.toml")
+    if not path.is_file():
+        return config
+    with path.open("rb") as handle:
+        data = tomllib.load(handle)
+    block: dict[str, Any] = data.get("tool", {}).get("repro-analysis", {})
+    if not block:
+        return config
+    known = {f.name for f in fields(AnalysisConfig)}
+    unknown = set(block) - known
+    if unknown:
+        raise ValueError(
+            f"unknown [tool.repro-analysis] keys: {sorted(unknown)!r}"
+        )
+    updates: dict[str, Any] = {}
+    for key, value in block.items():
+        if isinstance(value, list):
+            updates[key] = tuple(str(item) for item in value)
+        else:
+            updates[key] = value
+    return replace(config, **updates)
+
+
+def module_relpath(path: str | Path) -> str:
+    """A file's path from the ``repro`` package root down.
+
+    Files outside any ``repro`` package (e.g. test fixtures in a temp
+    directory) fall back to their plain file name, so path-scoped rules
+    simply do not apply to them unless the fixture builds a
+    ``repro/...`` directory shape.
+    """
+    parts = Path(path).as_posix().split("/")
+    for position in range(len(parts) - 1, -1, -1):
+        if parts[position] == "repro":
+            return "/".join(parts[position:])
+    return parts[-1]

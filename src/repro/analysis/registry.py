@@ -1,0 +1,139 @@
+"""The pluggable lint-rule registry.
+
+A rule is a class with a stable ``id``, a one-line ``summary`` and a
+``check_module`` method; rules that need whole-program state (e.g. the
+trigger graph, which spans modules) accumulate it across calls and emit
+the cross-module findings from ``finalize``.  Rules register themselves
+with a :class:`RuleRegistry`; :func:`default_registry` returns the
+standard WDDB rule set, and external code may register more::
+
+    registry = default_registry()
+
+    @registry.register
+    class NoPrintRule(Rule):
+        id = "no-print"
+        summary = "print() in library code"
+        def check_module(self, ctx):
+            ...
+
+Registries hand out *fresh rule instances* per lint run, so rule state
+never leaks between runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.config import AnalysisConfig
+
+__all__ = ["ModuleContext", "Rule", "RuleRegistry", "default_registry"]
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule sees about one module under analysis."""
+
+    path: str  # path as given to the linter (for reporting)
+    relpath: str  # module-relative path, e.g. "repro/rdb/table.py"
+    source: str
+    tree: ast.Module
+    config: "AnalysisConfig"
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Severity | None = None,
+        detail: dict | None = None,
+    ) -> Finding:
+        """Build a finding attributed to ``node`` in this module."""
+        return Finding(
+            rule=rule.id,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            severity=severity if severity is not None else rule.severity,
+            source="lint",
+            detail=detail,
+        )
+
+
+class Rule:
+    """Base class for lint rules (subclass and override ``check_module``)."""
+
+    id: str = "abstract"
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+
+    def __init__(self, config: "AnalysisConfig") -> None:
+        self.config = config
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> Iterable[Finding]:
+        """Cross-module findings, emitted after every module was checked."""
+        return ()
+
+
+class RuleRegistry:
+    """Holds rule classes; instantiates a fresh set per lint run."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, type[Rule]] = {}
+
+    def register(self, rule_cls: type[Rule]) -> type[Rule]:
+        """Register a rule class (usable as a decorator)."""
+        rule_id = rule_cls.id
+        if not rule_id or rule_id == "abstract":
+            raise ValueError(f"rule {rule_cls.__name__} needs a stable id")
+        if rule_id in self._rules:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        self._rules[rule_id] = rule_cls
+        return rule_cls
+
+    def ids(self) -> list[str]:
+        return sorted(self._rules)
+
+    def catalogue(self) -> list[tuple[str, str, str]]:
+        """(id, severity, summary) rows for ``python -m repro.analysis rules``."""
+        return [
+            (rule_id, cls.severity.value, cls.summary)
+            for rule_id, cls in sorted(self._rules.items())
+        ]
+
+    def create_rules(
+        self, config: "AnalysisConfig", only: Iterable[str] | None = None
+    ) -> list[Rule]:
+        """Fresh instances of every enabled rule for one run."""
+        wanted = set(only) if only is not None else None
+        if wanted is not None:
+            unknown = wanted - set(self._rules)
+            if unknown:
+                raise ValueError(f"unknown rule ids: {sorted(unknown)!r}")
+        instances = []
+        for rule_id, cls in sorted(self._rules.items()):
+            if wanted is not None and rule_id not in wanted:
+                continue
+            if wanted is None and config.is_disabled(rule_id):
+                continue
+            instances.append(cls(config))
+        return instances
+
+
+def default_registry() -> RuleRegistry:
+    """The standard WDDB rule set (importing the rules registers them)."""
+    from repro.analysis.rules import standard_rules
+
+    registry = RuleRegistry()
+    for rule_cls in standard_rules():
+        registry.register(rule_cls)
+    return registry

@@ -1,0 +1,27 @@
+"""The standard WDDB rule set.
+
+Each module holds one rule family; :func:`standard_rules` is what
+:func:`repro.analysis.registry.default_registry` installs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import Rule
+from repro.analysis.rules.determinism import NondeterminismGuardRule
+from repro.analysis.rules.exceptions import BareExceptRule, SwallowedLockConflictRule
+from repro.analysis.rules.index_invariant import IndexInvariantRule
+from repro.analysis.rules.transactions import MutationOutsideTransactionRule
+from repro.analysis.rules.trigger_recursion import TriggerRecursionRule
+
+__all__ = ["standard_rules"]
+
+
+def standard_rules() -> list[type[Rule]]:
+    return [
+        MutationOutsideTransactionRule,
+        TriggerRecursionRule,
+        NondeterminismGuardRule,
+        IndexInvariantRule,
+        BareExceptRule,
+        SwallowedLockConflictRule,
+    ]

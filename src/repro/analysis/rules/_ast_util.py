@@ -1,0 +1,70 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "attr_chain",
+    "call_attr",
+    "enclosing_functions",
+    "literal_str",
+    "walk_calls",
+]
+
+
+def attr_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` → ``["a", "b", "c"]``; None when not a name/attr chain."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return list(reversed(parts))
+    return None
+
+
+def call_attr(call: ast.Call) -> str | None:
+    """The terminal method/function name of a call, if any."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def literal_str(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def walk_calls(root: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(root):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def enclosing_functions(
+    tree: ast.Module,
+) -> dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None]:
+    """Map every node to its innermost enclosing function (or None)."""
+    mapping: dict[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None] = {}
+
+    def visit(
+        node: ast.AST, scope: ast.FunctionDef | ast.AsyncFunctionDef | None
+    ) -> None:
+        mapping[node] = scope
+        child_scope = (
+            node if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else scope
+        )
+        for child in ast.iter_child_nodes(node):
+            visit(child, child_scope)
+
+    visit(tree, None)
+    return mapping

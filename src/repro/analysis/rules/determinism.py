@@ -1,0 +1,84 @@
+"""Rule: nondeterminism-guard.
+
+Simulation and experiment code must be bit-for-bit repeatable from an
+explicit seed (see :mod:`repro.util.rng`).  Inside the configured
+simulation paths this rule flags the ambient entropy sources that break
+that guarantee: the stdlib ``random`` module, wall-clock reads,
+``uuid4``, ``os.urandom``, the legacy global numpy RNG, and *unseeded*
+``numpy.random.default_rng()`` calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ModuleContext, Rule
+from repro.analysis.rules._ast_util import attr_chain, walk_calls
+
+__all__ = ["NondeterminismGuardRule"]
+
+_CLOCK_CALLS = frozenset(
+    {("time", "time"), ("time", "time_ns"), ("os", "urandom")}
+)
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+_NUMPY_ALIASES = frozenset({"numpy", "np"})
+
+
+class NondeterminismGuardRule(Rule):
+    id = "nondeterminism-guard"
+    summary = (
+        "ambient entropy (random/time/uuid4/global numpy RNG) in "
+        "simulation paths; derive streams from util.rng instead"
+    )
+    severity = Severity.ERROR
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.config.in_simulation_path(ctx.relpath):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._flag(ctx, node, "import random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self._flag(ctx, node, "from random import ...")
+        for call in walk_calls(ctx.tree):
+            chain = attr_chain(call.func)
+            if chain is None:
+                continue
+            reason = self._call_reason(chain, call)
+            if reason is not None:
+                yield self._flag(ctx, call, reason)
+
+    @staticmethod
+    def _call_reason(chain: list[str], call: ast.Call) -> str | None:
+        tail2 = tuple(chain[-2:])
+        if tail2 in _CLOCK_CALLS:
+            return f"{'.'.join(chain)}() is wall-clock/OS entropy"
+        if chain[-1] == "uuid4":
+            return "uuid4() is nondeterministic"
+        if len(chain) >= 2 and chain[-1] in _DATETIME_NOW and "datetime" in chain:
+            return f"{'.'.join(chain)}() reads the wall clock"
+        if len(chain) >= 2 and chain[-2] == "random" and chain[0] in _NUMPY_ALIASES:
+            if chain[-1] == "default_rng":
+                if not call.args and not call.keywords:
+                    return "default_rng() without a seed is nondeterministic"
+                return None
+            if chain[-1] in {"Generator", "SeedSequence", "PCG64"}:
+                return None
+            return (
+                f"{'.'.join(chain)}() uses numpy's global RNG; build a "
+                "seeded Generator via util.rng.make_rng"
+            )
+        return None
+
+    def _flag(self, ctx: ModuleContext, node: ast.AST, what: str) -> Finding:
+        return ctx.finding(
+            self,
+            node,
+            f"{what} — simulation code must derive randomness/clocks "
+            "from explicit seeds (repro.util.rng)",
+        )

@@ -1,0 +1,103 @@
+"""Rules: bare-except and swallowed-lock-conflict.
+
+``bare-except`` flags ``except:`` and ``except BaseException:`` handlers
+that do not re-raise — they eat ``KeyboardInterrupt``/``SystemExit`` and
+hide real faults (the engine's rollback wrappers catch ``BaseException``
+*and re-raise*, which is the sanctioned shape).
+
+``swallowed-lock-conflict`` is scoped to the lock-sensitive paths
+(core/fault/distribution/tiers): silently discarding a
+``LockConflictError`` there turns a concurrency-control signal into a
+lost update.  Handlers that return a value, log, retry or otherwise
+react are fine; only ``pass``-bodies are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleContext, Rule
+
+__all__ = ["BareExceptRule", "SwallowedLockConflictRule"]
+
+_LOCK_ERRORS = frozenset({"LockConflictError", "LockHierarchyError"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    """Exception class names a handler catches ([] for a bare except)."""
+    node = handler.type
+    if node is None:
+        return []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+class BareExceptRule(Rule):
+    id = "bare-except"
+    summary = "bare except / except BaseException without re-raise"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_names(node)
+            is_bare = node.type is None
+            is_base = "BaseException" in names
+            if (is_bare or is_base) and not _reraises(node):
+                what = "bare except:" if is_bare else "except BaseException:"
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{what} without re-raise swallows SystemExit/"
+                    "KeyboardInterrupt and hides faults; catch the specific "
+                    "error or re-raise",
+                )
+
+
+class SwallowedLockConflictRule(Rule):
+    id = "swallowed-lock-conflict"
+    summary = (
+        "LockConflictError silently discarded in lock-sensitive code"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.config.in_lock_sensitive_path(ctx.relpath):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _LOCK_ERRORS & set(_handler_names(node)):
+                continue
+            if _body_is_silent(node):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "LockConflictError swallowed with no reaction: a denied "
+                    "lock must surface (retry, report, or propagate), or the "
+                    "conflicting write is silently lost",
+                )

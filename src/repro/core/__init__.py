@@ -30,7 +30,13 @@ from repro.core.objects import (
 )
 from repro.core.wddb import WebDocumentDatabase
 from repro.core.integrity import Alert, IntegrityDiagram, Multiplicity
-from repro.core.locking import LockMode, LockManager, LockConflictError, ObjectTree
+from repro.core.locking import (
+    LockConflictError,
+    LockHierarchyError,
+    LockManager,
+    LockMode,
+    ObjectTree,
+)
 from repro.core.reuse import DocumentClass, DocumentInstance, DocumentReference, ReuseManager
 from repro.core.scm import CheckoutError, ConfigurationManager, VersionRecord
 from repro.core.complexity import CourseComplexity, measure_complexity
@@ -52,6 +58,7 @@ __all__ = [
     "LockMode",
     "LockManager",
     "LockConflictError",
+    "LockHierarchyError",
     "ObjectTree",
     "DocumentClass",
     "DocumentInstance",

@@ -35,17 +35,25 @@ hierarchy the compatibility rules quantify over.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Protocol
 
 __all__ = [
     "LockMode",
     "LockConflictError",
+    "LockHierarchyError",
+    "LockObserver",
     "ObjectTree",
     "HeldLock",
     "LockManager",
     "COMPATIBILITY",
 ]
+
+#: Environment variable that opts every new LockManager into the dynamic
+#: lock-order detector ("1"/"on" records findings; "strict" also raises
+#: LockHierarchyError at the violating acquire).
+DETECTOR_ENV_VAR = "REPRO_LOCK_DETECTOR"
 
 
 class LockMode(enum.Enum):
@@ -98,6 +106,49 @@ class LockConflictError(RuntimeError):
         self.holder = holder
         self.held_object = held_object
         self.held_mode = held_mode
+
+
+class LockHierarchyError(LockConflictError):
+    """A session locked a child SCI before its ancestor.
+
+    The paper's lock tables assume top-down acquisition (database →
+    script → implementation → files); acquiring an ancestor *after* a
+    descendant inverts that order and, combined with another session
+    doing the opposite, deadlocks.  Raised by the dynamic lock-order
+    detector in strict mode; typed (rather than a generic
+    ``RuntimeError``) so callers can distinguish a protocol violation
+    from an ordinary compatibility conflict.
+    """
+
+    def __init__(
+        self, user: str, object_id: str, mode: "LockMode",
+        held_descendant: str, held_mode: "LockMode",
+    ) -> None:
+        # Bypass LockConflictError.__init__: the message shape differs
+        # (same session on both sides), but the attributes stay parallel.
+        RuntimeError.__init__(
+            self,
+            f"lock-hierarchy violation: {user} acquired ancestor "
+            f"{object_id!r} ({mode.value}) while already holding descendant "
+            f"{held_descendant!r} ({held_mode.value}); acquire top-down",
+        )
+        self.user = user
+        self.object_id = object_id
+        self.mode = mode
+        self.holder = user
+        self.held_object = held_descendant
+        self.held_mode = held_mode
+
+
+class LockObserver(Protocol):
+    """What the lock-order detector (or any tracer) implements."""
+
+    def on_acquire(
+        self, user: str, object_id: str, mode: "LockMode", *,
+        already_held: bool,
+    ) -> None: ...
+
+    def on_release(self, user: str, object_id: str) -> None: ...
 
 
 class ObjectTree:
@@ -178,7 +229,27 @@ class LockManager:
     def __init__(self, tree: ObjectTree) -> None:
         self.tree = tree
         self._locks: dict[str, dict[str, LockMode]] = {}  # object -> user -> mode
+        self._held_order: dict[str, list[str]] = {}  # user -> objects, in
+        # acquisition order (what the lock-order detector reasons over)
+        self._observers: list[LockObserver] = []
         self.stats = LockStats()
+        detector_mode = os.environ.get(DETECTOR_ENV_VAR, "").strip().lower()
+        if detector_mode in {"1", "on", "true", "strict"}:
+            # Imported lazily: core must not depend on the analysis
+            # subsystem unless the detector was explicitly opted into.
+            from repro.analysis.lockorder import attach_detector
+
+            attach_detector(self, strict=detector_mode == "strict")
+
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: LockObserver) -> None:
+        """Attach a tracer notified on every grant and release."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: LockObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     def try_acquire(self, user: str, object_id: str, mode: LockMode) -> bool:
@@ -204,11 +275,19 @@ class LockManager:
             raise LockConflictError(
                 user, object_id, mode, holder, held_object, held_mode
             )
+        previous = self._locks.get(object_id, {}).get(user)
+        # Observers run before the grant: a strict lock-order detector
+        # may veto (raise LockHierarchyError), leaving state untouched.
+        for observer in list(self._observers):
+            observer.on_acquire(
+                user, object_id, mode, already_held=previous is not None
+            )
         holders = self._locks.setdefault(object_id, {})
-        previous = holders.get(user)
         if previous is LockMode.READ and mode is LockMode.WRITE:
             self.stats.upgrades += 1
         holders[user] = self._stronger(previous, mode)
+        if previous is None:
+            self._held_order.setdefault(user, []).append(object_id)
         self.stats.acquired += 1
         self.stats.by_user[user] = self.stats.by_user.get(user, 0) + 1
         return HeldLock(user, object_id, holders[user])
@@ -221,7 +300,14 @@ class LockManager:
         del holders[user]
         if not holders:
             del self._locks[object_id]
+        order = self._held_order.get(user)
+        if order is not None:
+            order.remove(object_id)
+            if not order:
+                del self._held_order[user]
         self.stats.released += 1
+        for observer in list(self._observers):
+            observer.on_release(user, object_id)
         return True
 
     def release_all(self, user: str) -> int:
@@ -255,6 +341,14 @@ class LockManager:
     # ------------------------------------------------------------------
     def holders(self, object_id: str) -> dict[str, LockMode]:
         return dict(self._locks.get(object_id, {}))
+
+    def held_by(self, user: str) -> tuple[str, ...]:
+        """Object ids ``user`` currently holds, in acquisition order.
+
+        The lock-order detector reasons over this sequence; reentrant
+        re-acquires and upgrades do not change a lock's position.
+        """
+        return tuple(self._held_order.get(user, ()))
 
     def locks_of(self, user: str) -> list[HeldLock]:
         return [

@@ -514,6 +514,7 @@ class WebDocumentDatabase:
         for table_schema in _schema.ALL_SCHEMAS:
             table = db.engine.table(table_schema.name)
             for row in snapshot.get(table_schema.name, ()):
+                # repro-analysis: ignore[mutation-outside-transaction] -- replaying a committed snapshot; no undo log exists to record into
                 table.apply_insert(table_schema.normalize_row(row))
         files_payload = json.loads(
             (directory / "files.json").read_text(encoding="utf-8")

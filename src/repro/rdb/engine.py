@@ -431,6 +431,7 @@ class Database:
                 for table_name, rows in read_snapshot(snapshot_path).items():
                     table = db._catalog.get(table_name)
                     for row in rows:
+                        # repro-analysis: ignore[mutation-outside-transaction] -- snapshot rows were committed before being dumped; replay needs no undo log
                         table.apply_insert(table.schema.normalize_row(row))
         if journal_path is not None:
             for record in Journal.read(journal_path):
@@ -598,6 +599,8 @@ class Database:
         self._wal_buffer = []
         self._wal_savepoints = {}
 
+    # Journal replay applies ops that committed before they were journaled.
+    # repro-analysis: ignore[mutation-outside-transaction] -- no undo log on replay
     def _replay_op(self, op: list[Any]) -> None:
         kind = op[0]
         table = self._catalog.get(op[1])

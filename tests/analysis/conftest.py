@@ -1,0 +1,47 @@
+"""Fixtures for the analysis-subsystem tests."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Callable
+
+import pytest
+
+from repro.analysis import AnalysisConfig, Finding, attach_detector, lint_source
+from repro.core.locking import LockManager, ObjectTree
+
+
+@pytest.fixture
+def lint() -> Callable[..., list[Finding]]:
+    """Lint a dedented source snippet as if it lived at ``relpath``."""
+
+    def run(
+        source: str,
+        relpath: str = "repro/somewhere/module.py",
+        **config_overrides,
+    ) -> list[Finding]:
+        config = AnalysisConfig(**config_overrides) if config_overrides else None
+        return lint_source(
+            textwrap.dedent(source), relpath, config=config
+        )
+
+    return run
+
+
+@pytest.fixture
+def sci_tree() -> ObjectTree:
+    """A two-level SCI hierarchy: databases -> scripts -> implementations."""
+    tree = ObjectTree()
+    tree.add("db:mmu", "root")
+    tree.add("script:cs101", "db:mmu")
+    tree.add("script:cs102", "db:mmu")
+    tree.add("impl:cs101/v1", "script:cs101")
+    tree.add("impl:cs102/v1", "script:cs102")
+    return tree
+
+
+@pytest.fixture
+def detector(sci_tree: ObjectTree):
+    """(manager, detector) pair with the detector attached, non-strict."""
+    manager = LockManager(sci_tree)
+    return manager, attach_detector(manager)

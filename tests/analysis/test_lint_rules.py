@@ -1,0 +1,319 @@
+"""Positive/negative fixtures for every lint rule, with line attribution."""
+
+from __future__ import annotations
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# mutation-outside-transaction
+# ---------------------------------------------------------------------------
+class TestMutationOutsideTransaction:
+    def test_flags_raw_mutation_without_undo_record(self, lint):
+        findings = lint(
+            """\
+            def load(table, rows):
+                for row in rows:
+                    table.apply_insert(row)
+            """,
+            "repro/storage/loader.py",
+        )
+        assert rules_of(findings) == ["mutation-outside-transaction"]
+        assert findings[0].line == 3
+
+    def test_accepts_mutation_paired_with_undo_record(self, lint):
+        findings = lint(
+            """\
+            def insert(self, table, row):
+                rowid = table.apply_insert(row)
+                self._txn.record(UndoRecord("insert", table, rowid, None))
+            """,
+            "repro/rdb/engine.py",
+        )
+        assert findings == []
+
+    def test_variable_named_record_is_not_discipline(self, lint):
+        findings = lint(
+            """\
+            def replay(table, journal):
+                for record in journal:
+                    table.apply_insert(record)
+            """,
+            "repro/rdb/engine.py",
+        )
+        assert rules_of(findings) == ["mutation-outside-transaction"]
+
+    def test_allowlisted_modules_are_exempt(self, lint):
+        source = """\
+            def undo(self):
+                self.table.apply_delete(self.rowid)
+            """
+        assert lint(source, "repro/rdb/transaction.py") == []
+        assert rules_of(lint(source, "repro/collab/presence.py")) == [
+            "mutation-outside-transaction"
+        ]
+
+
+# ---------------------------------------------------------------------------
+# trigger-recursion
+# ---------------------------------------------------------------------------
+class TestTriggerRecursion:
+    def test_flags_after_trigger_mutating_own_table(self, lint):
+        findings = lint(
+            """\
+            def audit(ctx):
+                db.insert("scripts", {"script_name": "x"})
+
+            db.register_trigger(
+                "aud", "scripts", TriggerEvent.INSERT, TriggerTiming.AFTER, audit
+            )
+            """,
+            "repro/core/hooks.py",
+        )
+        assert rules_of(findings) == ["trigger-recursion"]
+        assert findings[0].line == 4  # the registration site
+
+    def test_flags_cross_table_trigger_cycle(self, lint):
+        findings = lint(
+            """\
+            def bump_b(ctx):
+                db.update("b_table", {"n": 1})
+
+            def bump_a(ctx):
+                db.update("a_table", {"n": 1})
+
+            db.register_trigger(
+                "t1", "a_table", TriggerEvent.UPDATE, TriggerTiming.AFTER, bump_b
+            )
+            db.register_trigger(
+                "t2", "b_table", TriggerEvent.UPDATE, TriggerTiming.AFTER, bump_a
+            )
+            """,
+            "repro/core/hooks.py",
+        )
+        assert rules_of(findings) == ["trigger-recursion"]
+        assert set(findings[0].detail["cycle"]) == {"a_table", "b_table"}
+
+    def test_before_triggers_and_observers_are_fine(self, lint):
+        findings = lint(
+            """\
+            def veto(ctx):
+                db.insert("scripts", {"script_name": "x"})
+
+            def observe(ctx):
+                log.append(ctx.new_row)
+
+            db.register_trigger(
+                "v", "scripts", TriggerEvent.INSERT, TriggerTiming.BEFORE, veto
+            )
+            db.register_trigger(
+                "o", "scripts", TriggerEvent.INSERT, TriggerTiming.AFTER, observe
+            )
+            """,
+            "repro/core/hooks.py",
+        )
+        assert findings == []
+
+    def test_after_trigger_on_other_table_no_cycle(self, lint):
+        findings = lint(
+            """\
+            def touch_other(ctx):
+                db.update("audit_log", {"n": 1})
+
+            db.register_trigger(
+                "t", "scripts", TriggerEvent.UPDATE, TriggerTiming.AFTER,
+                touch_other,
+            )
+            """,
+            "repro/core/hooks.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# nondeterminism-guard
+# ---------------------------------------------------------------------------
+class TestNondeterminismGuard:
+    def test_flags_bare_random_and_wall_clock_in_sim_paths(self, lint):
+        findings = lint(
+            """\
+            import random
+            import time
+
+            def jitter():
+                return random.random() + time.time()
+            """,
+            "repro/net/jitter.py",
+        )
+        assert "nondeterminism-guard" in rules_of(findings)
+        lines = [f.line for f in findings]
+        assert 1 in lines  # the import
+        assert 5 in lines  # time.time()
+
+    def test_flags_unseeded_default_rng_and_global_numpy(self, lint):
+        findings = lint(
+            """\
+            import numpy as np
+
+            def sample():
+                a = np.random.default_rng()
+                b = np.random.normal()
+                return a, b
+            """,
+            "repro/workloads/gen.py",
+        )
+        assert rules_of(findings) == [
+            "nondeterminism-guard", "nondeterminism-guard",
+        ]
+
+    def test_seeded_generators_pass(self, lint):
+        findings = lint(
+            """\
+            import numpy as np
+            from repro.util.rng import make_rng
+
+            def sample(seed):
+                rng = make_rng(seed, "gen")
+                alt = np.random.default_rng(seed)
+                return rng.normal() + alt.normal()
+            """,
+            "repro/workloads/gen.py",
+        )
+        assert findings == []
+
+    def test_outside_simulation_paths_not_checked(self, lint):
+        findings = lint(
+            "import random\n", "repro/library/catalog.py"
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# index-invariant
+# ---------------------------------------------------------------------------
+class TestIndexInvariant:
+    def test_flags_direct_rows_write_and_pop(self, lint):
+        findings = lint(
+            """\
+            def patch(table, rowid, row):
+                table._rows[rowid] = row
+
+            def evict(table, rowid):
+                table._rows.pop(rowid)
+            """,
+            "repro/storage/hacks.py",
+        )
+        assert rules_of(findings) == ["index-invariant", "index-invariant"]
+        assert [f.line for f in findings] == [2, 5]
+
+    def test_flags_next_rowid_assignment(self, lint):
+        findings = lint(
+            """\
+            def reset(table):
+                table._next_rowid = 1
+            """,
+            "repro/storage/hacks.py",
+        )
+        assert rules_of(findings) == ["index-invariant"]
+
+    def test_reads_and_api_mutations_pass(self, lint):
+        findings = lint(
+            """\
+            def size(table):
+                return len(table._rows)
+
+            def insert(self, table, row):
+                rowid = table.apply_insert(row)
+                self._txn.record(UndoRecord("insert", table, rowid, None))
+                return rowid
+            """,
+            "repro/rdb/engine.py",
+        )
+        assert findings == []
+
+    def test_table_module_itself_is_exempt(self, lint):
+        findings = lint(
+            """\
+            def apply_insert(self, row):
+                self._rows[self._next_rowid] = row
+                self._next_rowid += 1
+            """,
+            "repro/rdb/table.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# bare-except / swallowed-lock-conflict
+# ---------------------------------------------------------------------------
+class TestExceptionHygiene:
+    def test_flags_bare_except_without_reraise(self, lint):
+        findings = lint(
+            """\
+            def risky():
+                try:
+                    work()
+                except:
+                    return None
+            """,
+            "repro/library/x.py",
+        )
+        assert rules_of(findings) == ["bare-except"]
+        assert findings[0].line == 4
+
+    def test_base_exception_with_reraise_passes(self, lint):
+        findings = lint(
+            """\
+            def guarded():
+                try:
+                    work()
+                except BaseException:
+                    rollback()
+                    raise
+            """,
+            "repro/rdb/engine.py",
+        )
+        assert findings == []
+
+    def test_flags_swallowed_lock_conflict_in_lock_sensitive_code(self, lint):
+        findings = lint(
+            """\
+            def push(locks, user, obj, mode):
+                try:
+                    locks.acquire(user, obj, mode)
+                except LockConflictError:
+                    pass
+            """,
+            "repro/fault/worker.py",
+        )
+        assert rules_of(findings) == ["swallowed-lock-conflict"]
+        assert findings[0].line == 4
+
+    def test_lock_conflict_with_reaction_passes(self, lint):
+        findings = lint(
+            """\
+            def try_push(locks, user, obj, mode):
+                try:
+                    locks.acquire(user, obj, mode)
+                    return True
+                except LockConflictError:
+                    return False
+            """,
+            "repro/core/scm.py",
+        )
+        assert findings == []
+
+    def test_swallowed_lock_conflict_elsewhere_not_flagged(self, lint):
+        findings = lint(
+            """\
+            def meh(locks, user, obj, mode):
+                try:
+                    locks.acquire(user, obj, mode)
+                except LockConflictError:
+                    pass
+            """,
+            "repro/library/x.py",
+        )
+        assert findings == []

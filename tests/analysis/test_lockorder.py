@@ -1,0 +1,199 @@
+"""The dynamic lock-order detector: cycles, hierarchy, strict mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import attach_detector, detach_detector, detector_for
+from repro.analysis.lockorder import LockOrderDetector
+from repro.core.locking import (
+    LockConflictError,
+    LockHierarchyError,
+    LockManager,
+    LockMode,
+    ObjectTree,
+)
+
+R, W = LockMode.READ, LockMode.WRITE
+
+
+class TestSeededInversion:
+    """The canonical two-session lock inversion the detector must flag."""
+
+    def test_inversion_across_sessions_reports_cycle(self, detector):
+        manager, det = detector
+        # Session 1: cs101 then cs102; sessions never overlap in time,
+        # but the *orders* are inverted - a latent deadly embrace.
+        manager.acquire("shih", "script:cs101", R)
+        manager.acquire("shih", "script:cs102", R)
+        manager.release_all("shih")
+        manager.acquire("ma", "script:cs102", R)
+        manager.acquire("ma", "script:cs101", R)
+
+        assert [f.rule for f in det.findings] == ["lock-order-cycle"]
+        finding = det.findings[0]
+        assert set(finding.detail["cycle"]) == {
+            "script:cs101", "script:cs102",
+        }
+        assert finding.detail["sessions"] == ["ma", "shih"]
+        assert finding.source == "detector"
+
+    def test_cycle_reported_once(self, detector):
+        manager, det = detector
+        manager.acquire("shih", "script:cs101", R)
+        manager.acquire("shih", "script:cs102", R)
+        manager.release_all("shih")
+        for _ in range(3):
+            manager.acquire("ma", "script:cs102", R)
+            manager.acquire("ma", "script:cs101", R)
+            manager.release_all("ma")
+        assert len(det.findings) == 1
+
+    def test_consistent_order_is_clean(self, detector):
+        manager, det = detector
+        for user in ("shih", "ma", "huang"):
+            manager.acquire(user, "db:mmu", R)
+            manager.acquire(user, "script:cs101", R)
+            manager.acquire(user, "impl:cs101/v1", R)
+            manager.release_all(user)
+        assert det.findings == []
+
+    def test_three_party_cycle(self, sci_tree):
+        manager = LockManager(sci_tree)
+        det = attach_detector(manager)
+        a, b, c = "script:cs101", "script:cs102", "impl:cs102/v1"
+        manager.acquire("u1", a, R); manager.acquire("u1", b, R)
+        manager.release_all("u1")
+        manager.acquire("u2", b, R); manager.acquire("u2", c, R)
+        manager.release_all("u2")
+        manager.acquire("u3", c, R); manager.acquire("u3", a, R)
+        cycles = [f for f in det.findings if f.rule == "lock-order-cycle"]
+        assert len(cycles) == 1
+        assert set(cycles[0].detail["cycle"]) == {a, b, c}
+
+
+class TestHierarchyViolations:
+    def test_child_before_ancestor_flagged(self, detector):
+        manager, det = detector
+        manager.acquire("shih", "impl:cs101/v1", R)
+        manager.acquire("shih", "script:cs101", R)
+        assert [f.rule for f in det.findings] == ["lock-hierarchy"]
+        detail = det.findings[0].detail
+        assert detail["ancestor"] == "script:cs101"
+        assert detail["descendant"] == "impl:cs101/v1"
+
+    def test_grandchild_before_database_flagged(self, detector):
+        manager, det = detector
+        manager.acquire("shih", "impl:cs101/v1", R)
+        manager.acquire("shih", "db:mmu", W)
+        assert [f.rule for f in det.findings] == ["lock-hierarchy"]
+
+    def test_sibling_subtrees_are_unordered(self, detector):
+        manager, det = detector
+        manager.acquire("shih", "impl:cs101/v1", R)
+        manager.acquire("shih", "script:cs102", R)
+        assert det.findings == []
+
+    def test_strict_mode_raises_and_denies_the_grant(self, sci_tree):
+        manager = LockManager(sci_tree)
+        attach_detector(manager, strict=True)
+        manager.acquire("shih", "impl:cs101/v1", W)
+        with pytest.raises(LockHierarchyError) as excinfo:
+            manager.acquire("shih", "script:cs101", W)
+        error = excinfo.value
+        assert isinstance(error, LockConflictError)  # typed subclass
+        assert error.user == "shih"
+        assert error.object_id == "script:cs101"
+        assert error.held_object == "impl:cs101/v1"
+        # The violating lock was never granted.
+        assert manager.holders("script:cs101") == {}
+        assert manager.held_by("shih") == ("impl:cs101/v1",)
+
+    def test_top_down_passes_strict(self, sci_tree):
+        manager = LockManager(sci_tree)
+        attach_detector(manager, strict=True)
+        manager.acquire("shih", "db:mmu", R)
+        manager.acquire("shih", "script:cs101", R)
+        manager.acquire("shih", "impl:cs101/v1", W)
+        assert detector_for(manager).findings == []
+
+
+class TestManagerInstrumentation:
+    def test_held_by_is_acquisition_ordered(self, sci_tree):
+        manager = LockManager(sci_tree)
+        manager.acquire("u", "db:mmu", R)
+        manager.acquire("u", "script:cs101", R)
+        manager.acquire("u", "impl:cs101/v1", R)
+        assert manager.held_by("u") == (
+            "db:mmu", "script:cs101", "impl:cs101/v1",
+        )
+        manager.release("u", "script:cs101")
+        assert manager.held_by("u") == ("db:mmu", "impl:cs101/v1")
+        manager.release_all("u")
+        assert manager.held_by("u") == ()
+
+    def test_reentrant_acquire_and_upgrade_keep_position(self, sci_tree):
+        manager = LockManager(sci_tree)
+        manager.acquire("u", "script:cs101", R)
+        manager.acquire("u", "script:cs102", R)
+        manager.acquire("u", "script:cs101", W)  # upgrade, not reorder
+        assert manager.held_by("u") == ("script:cs101", "script:cs102")
+
+    def test_reentrant_acquires_add_no_edges(self, detector):
+        manager, det = detector
+        manager.acquire("u", "script:cs101", R)
+        manager.acquire("u", "script:cs101", R)
+        manager.acquire("u", "script:cs101", W)
+        assert det.edge_count() == 0
+
+    def test_denied_acquire_records_nothing(self, detector):
+        manager, det = detector
+        manager.acquire("writer", "script:cs101", W)
+        with pytest.raises(LockConflictError):
+            manager.acquire("reader", "script:cs101", R)
+        assert det.edge_count() == 0
+        assert manager.held_by("reader") == ()
+
+    def test_attach_is_idempotent_and_detachable(self, sci_tree):
+        manager = LockManager(sci_tree)
+        det = attach_detector(manager)
+        assert attach_detector(manager, strict=True) is det
+        assert det.strict
+        assert detach_detector(manager) is det
+        assert detector_for(manager) is None
+        # After detaching, acquisitions are no longer observed.
+        manager.acquire("u", "impl:cs101/v1", R)
+        manager.acquire("u", "script:cs101", R)
+        assert det.findings == []
+
+    def test_env_var_opt_in(self, sci_tree, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_DETECTOR", "1")
+        manager = LockManager(sci_tree)
+        det = detector_for(manager)
+        assert isinstance(det, LockOrderDetector) and not det.strict
+        monkeypatch.setenv("REPRO_LOCK_DETECTOR", "strict")
+        assert detector_for(LockManager(sci_tree)).strict
+        monkeypatch.delenv("REPRO_LOCK_DETECTOR")
+        assert detector_for(LockManager(sci_tree)) is None
+
+
+class TestReporting:
+    def test_reports_render_in_both_formats(self, detector):
+        manager, det = detector
+        manager.acquire("u", "impl:cs101/v1", R)
+        manager.acquire("u", "script:cs101", R)
+        text = det.report()
+        assert "lock-hierarchy" in text and "<lock-order>" in text
+        payload = json.loads(det.report("json"))
+        assert payload["findings"][0]["rule"] == "lock-hierarchy"
+        assert payload["findings"][0]["source"] == "detector"
+
+    def test_edges_and_clear(self, detector):
+        manager, det = detector
+        manager.acquire("u", "db:mmu", R)
+        manager.acquire("u", "script:cs101", R)
+        assert det.edges() == {"db:mmu": {"script:cs101": 1}}
+        det.clear()
+        assert det.edges() == {} and det.findings == []

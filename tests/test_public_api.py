@@ -11,6 +11,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.annotations",
     "repro.collab",
     "repro.core",
