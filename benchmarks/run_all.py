@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1-E15) in one run.
+"""Regenerate every experiment table (E1-E16) in one run.
 
 Usage:  python benchmarks/run_all.py
 """
@@ -30,6 +30,7 @@ EXPERIMENTS = [
     "bench_e13_checkout",
     "bench_e14_fault_recovery",
     "bench_e15_query_planner",
+    "bench_e16_obs_overhead",
 ]
 
 

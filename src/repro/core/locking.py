@@ -37,7 +37,9 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field
-from typing import Iterator, Protocol
+from typing import Any, Iterator, Protocol
+
+from repro.obs.instrument import OBS
 
 __all__ = [
     "LockMode",
@@ -233,6 +235,7 @@ class LockManager:
         # acquisition order (what the lock-order detector reasons over)
         self._observers: list[LockObserver] = []
         self.stats = LockStats()
+        self._obs_cache: dict[str, Any] | None = None
         detector_mode = os.environ.get(DETECTOR_ENV_VAR, "").strip().lower()
         if detector_mode in {"1", "on", "true", "strict"}:
             # Imported lazily: core must not depend on the analysis
@@ -260,12 +263,45 @@ class LockManager:
         except LockConflictError:
             return False
 
+    def _obs(self) -> dict[str, Any]:
+        registry = OBS.registry
+        cache = self._obs_cache
+        if cache is None or cache["registry"] is not registry:
+            assert registry is not None
+            cache = self._obs_cache = {
+                "registry": registry,
+                "acquired": registry.counter("lock.acquired"),
+                "conflicts": registry.counter("lock.conflicts"),
+                "released": registry.counter("lock.released"),
+                "upgrades": registry.counter("lock.upgrades"),
+                "acquire_seconds": registry.histogram("lock.acquire_seconds"),
+            }
+        return cache
+
     def acquire(self, user: str, object_id: str, mode: LockMode) -> HeldLock:
         """Acquire or raise :class:`LockConflictError`.
 
         Reentrant per user; a READ holder may upgrade to WRITE when no
         other user's lock conflicts.
         """
+        if not OBS.enabled:
+            return self._acquire(user, object_id, mode)
+        handles = self._obs()
+        upgrades_before = self.stats.upgrades
+        start = OBS.clock()
+        try:
+            held = self._acquire(user, object_id, mode)
+        except LockConflictError:
+            handles["conflicts"].inc()
+            raise
+        finally:
+            handles["acquire_seconds"].observe(OBS.clock() - start)
+        handles["acquired"].inc()
+        if self.stats.upgrades != upgrades_before:
+            handles["upgrades"].inc()
+        return held
+
+    def _acquire(self, user: str, object_id: str, mode: LockMode) -> HeldLock:
         if object_id not in self.tree:
             raise LookupError(f"unknown object {object_id!r}")
         conflict = self._find_conflict(user, object_id, mode)
@@ -306,6 +342,8 @@ class LockManager:
             if not order:
                 del self._held_order[user]
         self.stats.released += 1
+        if OBS.enabled:
+            self._obs()["released"].inc()
         for observer in list(self._observers):
             observer.on_release(user, object_id)
         return True

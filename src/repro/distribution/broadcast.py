@@ -24,9 +24,10 @@ is exactly the fire-and-forget mechanism above — zero overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.distribution.mtree import MAryTree
+from repro.obs.instrument import OBS
 from repro.net.messages import Message
 from repro.net.station import Station
 from repro.net.transport import Network
@@ -123,8 +124,30 @@ class PreBroadcaster:
         self.redeliveries = 0
         #: bytes re-sent beyond the first delivery attempt
         self.bytes_redelivered = 0
+        self._obs_cache: dict[str, Any] | None = None
+        #: lecture_id -> {"root": Span, "hops": {name: Span},
+        #:                "first_at": {name: float}} while traced
+        self._obs_trace: dict[str, dict[str, Any]] = {}
         for station in network.stations():
             self._install(station)
+
+    def _obs(self) -> dict[str, Any]:
+        registry = OBS.registry
+        cache = self._obs_cache
+        if cache is None or cache["registry"] is not registry:
+            assert registry is not None
+            cache = self._obs_cache = {
+                "registry": registry,
+                "bytes_sent": registry.counter("broadcast.bytes_sent"),
+                "chunks_sent": registry.counter("broadcast.chunks_sent"),
+                "bytes_redelivered": registry.counter(
+                    "broadcast.bytes_redelivered"
+                ),
+                "stations_completed": registry.counter(
+                    "broadcast.stations_completed"
+                ),
+            }
+        return cache
 
     def _install(self, station: Station) -> None:
         if not station.handles(PUSH_KIND):
@@ -166,6 +189,15 @@ class PreBroadcaster:
         )
         self._reports[lecture_id] = report
         self._trees[lecture_id] = tree
+        if OBS.enabled and OBS.tracer is not None:
+            root_span = OBS.tracer.start_span(
+                "broadcast",
+                lecture=lecture_id, m=tree.m, n=tree.n,
+                bytes=size_bytes, chunks=n_chunks,
+            )
+            self._obs_trace[lecture_id] = {
+                "root": root_span, "hops": {}, "first_at": {},
+            }
 
         root_name = tree.name_of(1)
         root = self.network.station(root_name)
@@ -190,6 +222,10 @@ class PreBroadcaster:
             )
             for child in tree.children_names(root_name):
                 self.network.send(root_name, child, PUSH_KIND, payload, chunk)
+                if OBS.enabled:
+                    handles = self._obs()
+                    handles["bytes_sent"].inc(chunk)
+                    handles["chunks_sent"].inc()
         if retry_policy is not None and retry_policy.allows(0):
             self.network.sim.schedule(
                 retry_policy.timeout_for(0),
@@ -215,6 +251,10 @@ class PreBroadcaster:
             self.network.send(
                 station.name, child, PUSH_KIND, payload, payload.chunk_bytes
             )
+            if OBS.enabled:
+                handles = self._obs()
+                handles["bytes_sent"].inc(payload.chunk_bytes)
+                handles["chunks_sent"].inc()
 
     def receive_chunk(
         self,
@@ -233,6 +273,9 @@ class PreBroadcaster:
         report = self._reports[lecture_id]
         state = self._station_state(station)
         entry = state.setdefault(lecture_id, {"chunks": set()})
+        trace = self._obs_trace.get(lecture_id)
+        if trace is not None and not entry["chunks"]:
+            trace["first_at"].setdefault(station.name, self.network.sim.now)
         was_complete = len(entry["chunks"]) == report.n_chunks
         entry["chunks"].add(chunk_index)
         if was_complete or len(entry["chunks"]) < report.n_chunks:
@@ -243,7 +286,56 @@ class PreBroadcaster:
         report.arrival_times[station.name] = self.network.sim.now
         if not stored:
             report.reference_only.add(station.name)
+        if OBS.enabled:
+            self._obs()["stations_completed"].inc()
+            self._trace_completion(lecture_id, station.name)
         return True
+
+    def _trace_completion(self, lecture_id: str, station_name: str) -> None:
+        """Record one finished tree hop as a span.
+
+        The span's parent is the nearest *up-tree* ancestor's hop span
+        (falling back to the broadcast root span), and every ancestor
+        is stretched to cover this completion so the trace stays
+        well-nested even though chunk pipelining means descendants
+        finish after the instant their ancestor went complete.
+        """
+        trace = self._obs_trace.get(lecture_id)
+        tracer = OBS.tracer
+        if trace is None or tracer is None:
+            return
+        now = self.network.sim.now
+        tree = self._trees[lecture_id]
+        report = self._reports[lecture_id]
+        parent_of = getattr(tree, "parent_name", None)
+        chain: list[str] = []  # up-tree ancestors, nearest first
+        if parent_of is not None and station_name in tree:
+            name = parent_of(station_name)
+            while name is not None:
+                chain.append(name)
+                name = parent_of(name)
+        parent_span = trace["root"]
+        for name in chain:
+            hop = trace["hops"].get(name)
+            if hop is not None:
+                parent_span = hop
+                break
+        span = tracer.start_span(
+            f"hop:{station_name}",
+            parent=parent_span,
+            start=trace["first_at"].get(station_name, now),
+            station=station_name,
+            depth=len(chain),
+            bytes=report.total_bytes,
+            completed=now,  # own completion; end stretches over descendants
+        )
+        tracer.end_span(span, end=now)
+        trace["hops"][station_name] = span
+        for name in chain:
+            hop = trace["hops"].get(name)
+            if hop is not None:
+                tracer.extend(hop, now)
+        tracer.extend(trace["root"], now)
 
     # ------------------------------------------------------------------
     # Completion tracking and policy-driven redelivery
@@ -296,6 +388,8 @@ class PreBroadcaster:
             self.network.send(src, dst, PUSH_KIND, payload, chunk)
             sent += chunk
         self.bytes_redelivered += sent
+        if OBS.enabled:
+            self._obs()["bytes_redelivered"].inc(sent)
         return sent
 
     def _check_completion(
@@ -354,6 +448,15 @@ class PreBroadcaster:
         )
         self._reports[lecture_id] = report
         self._trees[lecture_id] = _NO_FORWARD_TREE
+        if OBS.enabled and OBS.tracer is not None:
+            root_span = OBS.tracer.start_span(
+                "broadcast",
+                lecture=lecture_id, m=report.m, n=report.n_stations,
+                bytes=size_bytes, chunks=1,
+            )
+            self._obs_trace[lecture_id] = {
+                "root": root_span, "hops": {}, "first_at": {},
+            }
         root = self.network.station(root_name)
         if not self._store_lecture(root, lecture_id, size_bytes, kind):
             report.reference_only.add(root_name)
@@ -373,6 +476,10 @@ class PreBroadcaster:
             if name == root_name:
                 continue
             self.network.send(root_name, name, PUSH_KIND, payload, size_bytes)
+            if OBS.enabled:
+                handles = self._obs()
+                handles["bytes_sent"].inc(size_bytes)
+                handles["chunks_sent"].inc()
         return report
 
     # ------------------------------------------------------------------

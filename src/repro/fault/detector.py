@@ -7,9 +7,17 @@ through the existing :class:`~repro.collab.presence.PresenceDaemon`
 (the detector joins each *station* to a reserved cluster course), and a
 periodic sweep on the simulator clock classifies silence:
 
-* quiet past ``suspect_timeout_s``  -> **suspect** (may just be slow),
-* quiet past ``confirm_timeout_s``  -> **confirmed dead** (hand the
-  station to the tree-repair layer).
+* quiet for ``suspect_timeout_s`` or more  -> **suspect** (may just be
+  slow),
+* quiet for ``confirm_timeout_s`` or more  -> **confirmed dead** (hand
+  the station to the tree-repair layer).
+
+Window semantics are **closed-open**: with silence ``s``, a station is
+alive while ``s`` is in ``[0, suspect)``, suspect in ``[suspect,
+confirm)`` and dead in ``[confirm, inf)``.  A sweep landing exactly on
+a boundary tick therefore escalates — the timeout has elapsed in full —
+rather than deferring to the next sweep, and a recovery requires
+silence strictly below ``suspect_timeout_s``.
 
 A station heard from again after suspicion **recovers**.  All three
 transitions are emitted to registered listeners and recorded in
@@ -23,6 +31,7 @@ from typing import Callable, Sequence
 
 from repro.collab.presence import PresenceDaemon
 from repro.net.transport import Network
+from repro.obs.instrument import OBS
 from repro.util.validation import check_positive
 
 __all__ = ["DetectionEvent", "FailureDetector"]
@@ -174,18 +183,21 @@ class FailureDetector:
                 self.missed_heartbeats.get(station, 0),
                 int(silence // self.heartbeat_interval_s),
             )
+            # Closed-open windows: alive [0, suspect), suspect
+            # [suspect, confirm), dead [confirm, inf).  A boundary tick
+            # escalates; it never waits one extra sweep.
             if station in self.confirmed_dead:
-                if silence <= self.suspect_timeout_s:
+                if silence < self.suspect_timeout_s:
                     self._emit(RECOVER, station, now)
                     self.confirmed_dead.discard(station)
                     self.suspected.discard(station)
-            elif silence > self.confirm_timeout_s:
+            elif silence >= self.confirm_timeout_s:
                 if station not in self.suspected:
                     self._emit(SUSPECT, station, now)
                     self.suspected.add(station)
                 self._emit(CONFIRM, station, now)
                 self.confirmed_dead.add(station)
-            elif silence > self.suspect_timeout_s:
+            elif silence >= self.suspect_timeout_s:
                 if station not in self.suspected:
                     self._emit(SUSPECT, station, now)
                     self.suspected.add(station)
@@ -198,6 +210,8 @@ class FailureDetector:
     def _emit(self, kind: str, station: str, time: float) -> None:
         self.events.append(DetectionEvent(time=time, kind=kind,
                                           station=station))
+        if OBS.enabled:
+            OBS.registry.counter("fault.detector_events", kind=kind).inc()
         for listener in self._listeners[kind]:
             listener(station, time)
 

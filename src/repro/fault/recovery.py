@@ -31,6 +31,7 @@ from repro.distribution.syncdb import MetadataReplicator
 from repro.distribution.vector import BroadcastVector
 from repro.fault.policy import RetryPolicy
 from repro.net.transport import Network
+from repro.obs.instrument import OBS
 from repro.rdb import Database, Schema
 
 __all__ = ["RedeliveryReport", "RedeliveryService", "RejoinReport",
@@ -114,6 +115,11 @@ class RedeliveryService:
             )
             report.bytes_redelivered += sent
             report.chunks_redelivered += len(missing)
+            if OBS.enabled:
+                OBS.registry.counter("fault.redeliveries").inc()
+                OBS.registry.counter(
+                    "fault.chunks_redelivered"
+                ).inc(len(missing))
             report.chunks_by_station[name] = (
                 report.chunks_by_station.get(name, 0) + len(missing)
             )
@@ -242,4 +248,6 @@ class RecoveryManager:
             delta_ops=delta_ops,
         )
         self.rejoins.append(report)
+        if OBS.enabled:
+            OBS.registry.counter("fault.rejoins").inc()
         return report

@@ -19,6 +19,7 @@ from typing import Iterable
 
 from repro.distribution.mtree import MAryTree
 from repro.distribution.vector import BroadcastVector
+from repro.obs.instrument import OBS
 from repro.util.validation import check_positive
 
 __all__ = ["Reparenting", "RepairReport", "TreeRepairer"]
@@ -112,6 +113,8 @@ class TreeRepairer:
                         new_parent=new_parent,
                     ))
         self.repairs.append(report)
+        if OBS.enabled:
+            OBS.registry.counter("fault.repairs").inc()
         return report
 
     # ------------------------------------------------------------------

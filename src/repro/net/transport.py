@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from repro.net.link import schedule_transfer
+from repro.obs.instrument import OBS
 from repro.net.messages import Message
 from repro.net.sim import Simulator
 from repro.net.station import Station
@@ -56,6 +57,20 @@ class Network:
         self.total_bytes = 0
         self.total_messages = 0
         self.messages_dropped = 0
+        self._obs_cache: dict[str, Any] | None = None
+
+    def _obs(self) -> dict[str, Any]:
+        registry = OBS.registry
+        cache = self._obs_cache
+        if cache is None or cache["registry"] is not registry:
+            assert registry is not None
+            cache = self._obs_cache = {
+                "registry": registry,
+                "messages": registry.counter("net.messages"),
+                "bytes": registry.counter("net.bytes"),
+                "dropped": registry.counter("net.dropped"),
+            }
+        return cache
 
     # -- membership ----------------------------------------------------------
     def add(self, station: Station) -> Station:
@@ -187,10 +202,14 @@ class Network:
         )
         sender.messages_sent += 1
         self.total_messages += 1
+        if OBS.enabled:
+            self._obs()["messages"].inc()
         if self._should_drop(src, dst):
             # The bytes never make it; a down/ lossy path costs the
             # sender nothing observable (fire-and-forget datagrams).
             self.messages_dropped += 1
+            if OBS.enabled:
+                self._obs()["dropped"].inc()
             return message
         timing = schedule_transfer(
             self.sim.now,
@@ -200,6 +219,8 @@ class Network:
             self.latency(src, dst),
         )
         self.total_bytes += size_bytes
+        if OBS.enabled:
+            self._obs()["bytes"].inc(size_bytes)
         # A station may crash while the message is in flight; check
         # again at delivery time.
         self.sim.schedule_at(timing.arrival, self._deliver, receiver, message)
@@ -208,6 +229,8 @@ class Network:
     def _deliver(self, receiver: Station, message: Message) -> None:
         if receiver.name in self._down:
             self.messages_dropped += 1
+            if OBS.enabled:
+                self._obs()["dropped"].inc()
             return
         receiver.deliver(message)
 

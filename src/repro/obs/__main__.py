@@ -1,0 +1,149 @@
+"""``python -m repro.obs`` — snapshot dump/diff and a traced demo.
+
+Subcommands:
+
+* ``demo``  — run a small instrumented scenario (an m-ary course
+  broadcast plus a library session through the class administrator),
+  print the metric snapshot and the broadcast span tree; ``--json``
+  writes the snapshot for later ``dump``/``diff``.
+* ``dump SNAPSHOT.json``          — pretty-print a saved snapshot.
+* ``diff BEFORE.json AFTER.json`` — counter/histogram deltas.
+* ``points``                      — list the instrument-point catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs import (
+    INSTRUMENT_POINTS,
+    MetricsRegistry,
+    Tracer,
+    disable,
+    enable,
+    read_snapshot,
+    render_diff,
+    render_span_tree,
+    render_text,
+    write_snapshot,
+)
+
+__all__ = ["main"]
+
+
+def _demo(args: argparse.Namespace) -> int:
+    from repro.distribution.broadcast import PreBroadcaster
+    from repro.distribution.mtree import MAryTree
+    from repro.net import Network, Simulator, Station
+    from repro.net.link import DuplexLink
+    from repro.tiers import (
+        AdministratorClient, ClassAdministrator, InstructorClient,
+        StudentClient,
+    )
+
+    sim = Simulator()
+    network = Network(sim, default_latency_s=0.05)
+    for position in range(1, args.stations + 1):
+        network.add(Station(f"s{position}", DuplexLink.symmetric_mbps(10.0)))
+
+    registry, tracer = enable(
+        registry=MetricsRegistry(), tracer=Tracer(clock=lambda: sim.now)
+    )
+    try:
+        # 1. Pre-broadcast one lecture down the m-ary tree.
+        tree = MAryTree(args.stations, args.m, names=network.names())
+        broadcaster = PreBroadcaster(network)
+        broadcaster.broadcast(
+            "demo-lecture", 4_000_000, tree, chunk_size_bytes=1_000_000
+        )
+        network.quiesce()
+
+        # 2. A browser session against the class administrator.
+        server = ClassAdministrator()
+        admin = AdministratorClient(server, "registrar")
+        admin.login()
+        admin.register_course("mm101", "multimedia systems",
+                              instructor="shih")
+        instructor = InstructorClient(server, "shih")
+        instructor.login()
+        instructor.publish(
+            "mm101-notes", "lecture notes", "mm101",
+            keywords=("multimedia",), size_bytes=1_000_000,
+        )
+        for index in range(1, 4):
+            user = f"stu{index}"
+            admin.admit_student(user, name=f"student {index}")
+            student = StudentClient(server, user)
+            student.login()
+            student.enroll("mm101")
+            student.check_out("mm101-notes", time=float(index))
+            student.check_in("mm101-notes", time=float(index) + 0.5)
+
+        snapshot = registry.snapshot()
+        print("== metrics ==")
+        print(render_text(snapshot))
+        print()
+        print("== broadcast span tree ==")
+        print(render_span_tree(tracer.spans()))
+        if args.json:
+            write_snapshot(args.json, snapshot)
+            print(f"\nsnapshot written to {args.json}")
+    finally:
+        disable()
+    return 0
+
+
+def _dump(args: argparse.Namespace) -> int:
+    print(render_text(read_snapshot(args.path)))
+    return 0
+
+
+def _diff(args: argparse.Namespace) -> int:
+    before = read_snapshot(args.before)
+    after = read_snapshot(args.after)
+    print(render_diff(after, before))
+    return 0
+
+
+def _points(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in INSTRUMENT_POINTS)
+    for name in sorted(INSTRUMENT_POINTS):
+        print(f"{name.ljust(width)}  {INSTRUMENT_POINTS[name]}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability snapshots: demo, dump, diff, points",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a traced broadcast + library demo")
+    demo.add_argument("--stations", type=int, default=13)
+    demo.add_argument("--m", type=int, default=3)
+    demo.add_argument("--json", help="also write the snapshot to this path")
+    demo.set_defaults(fn=_demo)
+
+    dump = sub.add_parser("dump", help="pretty-print a snapshot JSON file")
+    dump.add_argument("path")
+    dump.set_defaults(fn=_dump)
+
+    diff = sub.add_parser("diff", help="delta between two snapshots")
+    diff.add_argument("before")
+    diff.add_argument("after")
+    diff.set_defaults(fn=_diff)
+
+    points = sub.add_parser("points", help="list the instrument catalogue")
+    points.set_defaults(fn=_points)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head` closed our stdout
+        sys.exit(0)

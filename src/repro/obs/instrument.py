@@ -1,0 +1,224 @@
+"""The global observability switch and the instrument-point helpers.
+
+Hot paths across the reproduction are pre-instrumented but **dark by
+default**: every instrument point is guarded by a single attribute read
+(``OBS.enabled``), so a disabled build pays one boolean check and
+nothing else — no handle lookups, no clock reads, no allocations.
+
+Enabling (programmatically via :func:`enable`, or process-wide with
+``REPRO_OBS=1``) installs a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.trace.Tracer` behind that flag.  The tracer's
+clock (and the clock used for metric latency timings) is injectable, so
+components running on :mod:`repro.net.sim` virtual time produce
+deterministic traces.
+
+:data:`INSTRUMENT_POINTS` is the audited catalogue of every metric name
+the subsystems emit; the test suite asserts no instrumented code path
+invents names outside it (typos in metric names would otherwise split
+series silently).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import os
+import time
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ENV_VAR",
+    "INSTRUMENT_POINTS",
+    "OBS",
+    "enable",
+    "disable",
+    "is_enabled",
+    "active_registry",
+    "active_tracer",
+    "enabled",
+    "timed",
+    "instrumented",
+]
+
+ENV_VAR = "REPRO_OBS"
+
+#: Every metric name an instrumented subsystem may emit, with its home.
+#: Keep sorted; tests fail on names outside this catalogue.
+INSTRUMENT_POINTS: dict[str, str] = {
+    # rdb.engine / rdb.query — the relational substrate
+    "rdb.plan": "access-path choices by table and path kind",
+    "rdb.rows_returned": "rows a select handed back, by table",
+    "rdb.rows_scanned": "candidate rows examined by the access path",
+    "rdb.statement_seconds": "latency of one DML statement (autocommit unit)",
+    "rdb.statements": "DML/select statements by kind",
+    "rdb.txn_seconds": "explicit transaction open→commit/rollback latency",
+    # tiers.server / tiers.cache — the class administrator
+    "tiers.cache": "result-cache outcomes (hit/miss/bypass)",
+    "tiers.request_seconds": "request latency by operation",
+    "tiers.requests": "requests by operation and status",
+    # net.transport — bytes on the wire
+    "net.bytes": "payload bytes accepted onto links",
+    "net.messages": "messages sent (including dropped)",
+    "net.dropped": "messages lost to crashes, partitions or loss",
+    # distribution.broadcast — the m-ary tree
+    "broadcast.bytes_sent": "lecture bytes pushed down tree edges",
+    "broadcast.chunks_sent": "lecture chunks pushed down tree edges",
+    "broadcast.bytes_redelivered": "redundant bytes re-sent by healing",
+    "broadcast.stations_completed": "stations that hold the full lecture",
+    # core.locking — the compatibility table
+    "lock.acquired": "granted lock requests",
+    "lock.conflicts": "denied lock requests (compatibility conflicts)",
+    "lock.released": "explicit releases",
+    "lock.upgrades": "READ→WRITE upgrades",
+    "lock.acquire_seconds": "time spent inside acquire (grant or deny)",
+    # fault.* — detection, repair, redelivery
+    "fault.detector_events": "suspect/confirm/recover transitions",
+    "fault.redeliveries": "healing passes that re-sent chunks",
+    "fault.chunks_redelivered": "chunks re-sent by the redelivery service",
+    "fault.repairs": "tree repairs after confirmed failures",
+    "fault.rejoins": "crashed stations brought back into membership",
+}
+
+
+class _ObsState:
+    """The process-wide switch; mutated only by enable()/disable()."""
+
+    __slots__ = ("enabled", "registry", "tracer", "clock")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry: MetricsRegistry | None = None
+        self.tracer: Tracer | None = None
+        self.clock: Callable[[], float] = time.perf_counter
+
+
+OBS = _ObsState()
+
+
+def enable(
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    clock: Callable[[], float] | None = None,
+) -> tuple[MetricsRegistry, Tracer]:
+    """Turn instrumentation on; returns the active (registry, tracer).
+
+    Arguments left as None keep whatever is already installed (so a
+    test can bind a simulated-time tracer without discarding the metric
+    registry another fixture installed), creating fresh defaults when
+    nothing is.  ``clock`` feeds metric latency timings; the tracer
+    keeps its own clock.
+    """
+    if registry is not None:
+        OBS.registry = registry
+    elif OBS.registry is None:
+        OBS.registry = MetricsRegistry()
+    if tracer is not None:
+        OBS.tracer = tracer
+    elif OBS.tracer is None:
+        OBS.tracer = Tracer()
+    if clock is not None:
+        OBS.clock = clock
+    OBS.enabled = True
+    return OBS.registry, OBS.tracer
+
+
+def disable() -> None:
+    """Turn instrumentation off and drop the installed registry/tracer.
+
+    Already-captured snapshots and span lists stay valid (callers hold
+    their own references); instrumented code reverts to the single
+    boolean check.
+    """
+    OBS.enabled = False
+    OBS.registry = None
+    OBS.tracer = None
+    OBS.clock = time.perf_counter
+
+
+def is_enabled() -> bool:
+    return OBS.enabled
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The live registry, or None while disabled."""
+    return OBS.registry if OBS.enabled else None
+
+
+def active_tracer() -> Tracer | None:
+    """The live tracer, or None while disabled."""
+    return OBS.tracer if OBS.enabled else None
+
+
+@contextlib.contextmanager
+def enabled(
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    clock: Callable[[], float] | None = None,
+) -> Iterator[tuple[MetricsRegistry, Tracer]]:
+    """``with obs.enabled() as (registry, tracer):`` — scoped switch-on.
+
+    Restores the previous state (including a previously-enabled
+    registry/tracer pair) on exit, so nesting is safe.
+    """
+    previous = (OBS.enabled, OBS.registry, OBS.tracer, OBS.clock)
+    try:
+        yield enable(registry=registry, tracer=tracer, clock=clock)
+    finally:
+        OBS.enabled, OBS.registry, OBS.tracer, OBS.clock = previous
+
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@contextlib.contextmanager
+def timed(name: str, **labels: Any) -> Iterator[None]:
+    """Time a block into histogram ``name`` (no-op while disabled)."""
+    if not OBS.enabled:
+        yield
+        return
+    clock = OBS.clock
+    start = clock()
+    try:
+        yield
+    finally:
+        registry = OBS.registry
+        if registry is not None:
+            registry.histogram(name, **labels).observe(clock() - start)
+
+
+def instrumented(name: str, **labels: Any) -> Callable[[F], F]:
+    """Decorator form of :func:`timed` for opt-in profiling hooks.
+
+    The wrapper's disabled-path cost is one attribute read and the
+    delegated call — cheap enough for warm paths, though the hottest
+    loops inline their own ``if OBS.enabled:`` guard instead.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not OBS.enabled:
+                return fn(*args, **kwargs)
+            clock = OBS.clock
+            start = clock()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                registry = OBS.registry
+                if registry is not None:
+                    registry.histogram(name, **labels).observe(
+                        clock() - start
+                    )
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+if os.environ.get(ENV_VAR, "").strip().lower() in {"1", "on", "true"}:
+    enable()

@@ -1,0 +1,59 @@
+"""ASCII rendering of span trees.
+
+Turns a list of spans (typically one lecture broadcast) into the tree
+the paper draws: the instructor at the root, each hop indented under
+its up-tree parent, with virtual-time intervals and per-hop byte
+counts::
+
+    broadcast:lec-1  [0.000s .. 3.414s]  bytes=4,000,000 chunks=4 m=3 n=13
+    |- hop:s2  [0.854s .. 1.707s]  depth=1 bytes=4,000,000
+    |  |- hop:s5  [1.707s .. 2.561s]  depth=2 bytes=4,000,000
+    ...
+
+Rendering is pure (spans in, string out), so it works on live tracer
+output and on spans re-read from a JSON export alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.trace import Span, iter_tree
+
+__all__ = ["render_span_tree"]
+
+_SHOWN_ATTRS = ("depth", "bytes", "chunks", "m", "n", "station", "op")
+
+
+def _attrs(span: Span) -> str:
+    parts = []
+    for key in _SHOWN_ATTRS:
+        if key in span.attributes:
+            value = span.attributes[key]
+            parts.append(
+                f"{key}={value:,}" if isinstance(value, int)
+                else f"{key}={value}"
+            )
+    for key in sorted(span.attributes):
+        if key not in _SHOWN_ATTRS:
+            parts.append(f"{key}={span.attributes[key]}")
+    return "  " + " ".join(parts) if parts else ""
+
+
+def render_span_tree(spans: Iterable[Span]) -> str:
+    """Render a span forest as an indented ASCII tree."""
+    span_list = list(spans)
+    if not span_list:
+        return "(no spans recorded)"
+    lines: list[str] = []
+    for depth, span in iter_tree(span_list):
+        prefix = "|  " * max(0, depth - 1) + ("|- " if depth else "")
+        if span.end is None:
+            interval = f"[{span.start:.3f}s .. open]"
+        else:
+            interval = f"[{span.start:.3f}s .. {span.end:.3f}s]"
+        status = "" if span.status == "ok" else f"  !{span.status}"
+        lines.append(
+            f"{prefix}{span.name}  {interval}{status}{_attrs(span)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""A structured tracer: nested spans on an injectable clock.
+
+Two ways to produce spans:
+
+* :meth:`Tracer.span` — a context manager that opens a child of the
+  current span (stack discipline).  Because entry/exit bracket the
+  work, any interleaving of context-managed operations yields a
+  **well-nested** tree: every child's ``[start, end]`` interval lies
+  within its parent's.
+* :meth:`Tracer.start_span` / :meth:`Tracer.end_span` (or the one-shot
+  :meth:`Tracer.record_span`) — manual spans with an explicit parent,
+  used where the tree structure comes from topology rather than call
+  stack: the broadcast layer records one span per tree hop, parented on
+  the up-tree station's span.
+
+The clock is injectable so traces are deterministic under simulated
+time: bind ``clock=lambda: network.sim.now`` and every span timestamp
+is virtual time.  The default is ``time.perf_counter`` (wall profiling).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed operation; ``end`` is None while the span is open."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    status: str = STATUS_OK
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+
+class Tracer:
+    """Produces spans; owns the clock and the current-span stack."""
+
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.clock = clock
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- stack-based spans -------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> "_SpanContext":
+        """``with tracer.span("name"):`` — child of the current span."""
+        return _SpanContext(self, name, attributes)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open context-managed span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- manual spans ------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        start: float | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span with an explicit parent (no stack involvement)."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start=self.clock() if start is None else start,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def end_span(
+        self, span: Span, *, end: float | None = None, status: str = STATUS_OK
+    ) -> Span:
+        """Close a manual span (idempotent: a later end extends it)."""
+        stamp = self.clock() if end is None else end
+        if span.end is None or stamp > span.end:
+            span.end = stamp
+        if status != STATUS_OK:
+            span.status = status
+        return span
+
+    def extend(self, span: Span, end: float) -> None:
+        """Stretch ``span`` (and nothing else) to cover ``end``."""
+        if span.end is None or end > span.end:
+            span.end = end
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        status: str = STATUS_OK,
+        **attributes: Any,
+    ) -> Span:
+        """One-shot: record an already-finished interval."""
+        span = self.start_span(name, parent=parent, start=start, **attributes)
+        span.end = end
+        span.status = status
+        return span
+
+    # -- queries -----------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Every span recorded so far, in creation order."""
+        return list(self._spans)
+
+    def finished(self) -> list[Span]:
+        """Closed spans only."""
+        return [s for s in self._spans if s.end is not None]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with exactly this name."""
+        return [s for s in self._spans if s.name == name]
+
+    def clear(self) -> None:
+        if self._stack:
+            raise RuntimeError("cannot clear a tracer with open spans")
+        self._spans.clear()
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class _SpanContext:
+    """Context manager backing :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(
+        self, tracer: Tracer, name: str, attributes: dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        parent = tracer._stack[-1] if tracer._stack else None
+        self.span = tracer.start_span(
+            self._name, parent=parent, **self._attributes
+        )
+        tracer._stack.append(self.span)
+        return self.span
+
+    def __exit__(self, exc_type: type | None, _exc: object, _tb: object) -> None:
+        tracer = self._tracer
+        span = tracer._stack.pop()
+        assert span is self.span, "span stack corrupted"
+        span.end = tracer.clock()
+        if exc_type is not None:
+            span.status = STATUS_ERROR
+        return None
+
+
+def iter_tree(
+    spans: list[Span],
+) -> Iterator[tuple[int, Span]]:
+    """Depth-first ``(depth, span)`` walk over a span forest.
+
+    Orphans (parent not in ``spans``) are treated as roots so partial
+    traces still render.
+    """
+    by_id = {s.span_id: s for s in spans}
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for group in children.values():
+        group.sort(key=lambda s: (s.start, s.span_id))
+
+    def walk(parent: int | None, depth: int) -> Iterator[tuple[int, Span]]:
+        for span in children.get(parent, ()):
+            yield depth, span
+            yield from walk(span.span_id, depth + 1)
+
+    yield from walk(None, 0)

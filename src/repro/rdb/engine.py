@@ -20,6 +20,7 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.obs.instrument import OBS
 from repro.rdb.catalog import Catalog
 from repro.rdb.constraints import Action, ConstraintChecker, ForeignKey
 from repro.rdb.errors import (
@@ -63,6 +64,8 @@ class Database:
         self._wal_buffer: list[list[Any]] = []
         self._wal_savepoints: dict[str, int] = {}
         self.statements = 0
+        self._obs_cache: dict[str, Any] | None = None
+        self._txn_began_at: float | None = None
 
     # ------------------------------------------------------------------
     # DDL
@@ -124,16 +127,20 @@ class Database:
     def begin(self) -> None:
         """Open an explicit transaction."""
         self._txn.begin()
+        if OBS.enabled:
+            self._txn_began_at = OBS.clock()
 
     def commit(self) -> None:
         """Commit the explicit transaction (journals its ops)."""
         self._txn.commit()
+        self._observe_txn("commit")
 
     def rollback(self) -> None:
         """Roll back the explicit transaction (undoes its ops)."""
         self._txn.rollback()
         self._wal_buffer.clear()
         self._wal_savepoints.clear()
+        self._observe_txn("rollback")
 
     def savepoint(self, name: str) -> None:
         """Mark a named savepoint inside the open transaction."""
@@ -178,6 +185,8 @@ class Database:
         """Insert one row; returns its primary-key tuple."""
         table = self._catalog.get(table_name)
         row = table.schema.normalize_row(values)
+        if OBS.enabled:
+            self._obs()["insert"].inc()
         with self._statement():
             self._triggers.fire(
                 table_name, TriggerEvent.INSERT, TriggerTiming.BEFORE, None, row
@@ -255,6 +264,8 @@ class Database:
     ) -> list[dict[str, Any]]:
         """Select rows; see :func:`repro.rdb.query.execute_select`."""
         table = self._catalog.get(table_name)
+        if OBS.enabled:
+            self._obs()["select"].inc()
         return execute_select(
             table,
             where=where,
@@ -345,6 +356,8 @@ class Database:
             for rowid, row in list(table.items())
             if where is None or where.eval(row)
         ]
+        if OBS.enabled:
+            self._obs()["update"].inc()
         with self._statement():
             for rowid in target_rowids:
                 self._update_rowid(table, rowid, changes)
@@ -356,6 +369,8 @@ class Database:
         rowid = table.rowid_for_pk(_as_pk(pk))
         if rowid is None:
             return False
+        if OBS.enabled:
+            self._obs()["update"].inc()
         with self._statement():
             self._update_rowid(table, rowid, changes)
         return True
@@ -368,6 +383,8 @@ class Database:
             for rowid, row in list(table.items())
             if where is None or where.eval(row)
         ]
+        if OBS.enabled:
+            self._obs()["delete"].inc()
         with self._statement():
             deleted = 0
             for rowid in target_rowids:
@@ -382,6 +399,8 @@ class Database:
         rowid = table.rowid_for_pk(_as_pk(pk))
         if rowid is None:
             return False
+        if OBS.enabled:
+            self._obs()["delete"].inc()
         with self._statement():
             self._delete_rowid(table, rowid, _seen=set())
         return True
@@ -468,23 +487,64 @@ class Database:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _obs(self) -> dict[str, Any]:
+        """Cached metric handles, re-resolved when the registry changes.
+
+        Steady-state instrumented cost is one dict hit plus an integer
+        add; only the first statement after enable() pays the lookups.
+        """
+        registry = OBS.registry
+        cache = self._obs_cache
+        if cache is None or cache["registry"] is not registry:
+            assert registry is not None
+            cache = self._obs_cache = {
+                "registry": registry,
+                "insert": registry.counter("rdb.statements", kind="insert"),
+                "update": registry.counter("rdb.statements", kind="update"),
+                "delete": registry.counter("rdb.statements", kind="delete"),
+                "select": registry.counter("rdb.statements", kind="select"),
+                "statement_seconds": registry.histogram(
+                    "rdb.statement_seconds"
+                ),
+                "commit": registry.histogram(
+                    "rdb.txn_seconds", outcome="commit"
+                ),
+                "rollback": registry.histogram(
+                    "rdb.txn_seconds", outcome="rollback"
+                ),
+            }
+        return cache
+
+    def _observe_txn(self, outcome: str) -> None:
+        began = self._txn_began_at
+        self._txn_began_at = None
+        if began is not None and OBS.enabled:
+            self._obs()[outcome].observe(OBS.clock() - began)
+
     @contextlib.contextmanager
     def _statement(self) -> Iterator[None]:
         """Wrap a statement: reuse the open transaction, or autocommit a
         scratch one so multi-row statements stay atomic."""
         self.statements += 1
-        if self._txn.in_transaction:
-            yield
-            return
-        self._txn.begin()
+        started_at = OBS.clock() if OBS.enabled else None
         try:
-            yield
-        except BaseException:
-            self._txn.rollback()
-            self._wal_buffer.clear()
-            raise
-        else:
-            self._txn.commit()
+            if self._txn.in_transaction:
+                yield
+                return
+            self._txn.begin()
+            try:
+                yield
+            except BaseException:
+                self._txn.rollback()
+                self._wal_buffer.clear()
+                raise
+            else:
+                self._txn.commit()
+        finally:
+            if started_at is not None and OBS.enabled:
+                self._obs()["statement_seconds"].observe(
+                    OBS.clock() - started_at
+                )
 
     def _update_rowid(
         self, table: Table, rowid: int, changes: dict[str, Any]

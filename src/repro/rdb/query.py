@@ -25,6 +25,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.obs.instrument import OBS
 from repro.rdb.errors import UnknownColumnError
 from repro.rdb.predicate import Expr, equality_bindings, range_bounds
 from repro.rdb.stats import TableStatistics
@@ -188,6 +189,28 @@ def execute_select(
             if not table.schema.has_column(name):
                 raise UnknownColumnError(table.schema.name, name)
     _plan, rowids = plan_select(table, where)
+    counted: _CountingIterator | None = None
+    handles: tuple | None = None
+    scanned = 0
+    if OBS.enabled:
+        handles = _obs_handles(table.schema.name, _plan.access_path)
+        handles[0].inc()
+        if limit is not None and order_by is None:
+            # The only lazy early-exit path: count rows actually
+            # examined (a full-scan figure would overstate the work).
+            counted = _CountingIterator(rowids)
+            rowids = counted
+        elif _plan.access_path == "scan":
+            # Full consumption of the heap: the row count is exact, and
+            # a per-row counting wrapper would tax every row scanned.
+            scanned = _plan.estimated_candidates
+        elif hasattr(rowids, "__len__"):
+            scanned = len(rowids)  # type: ignore[arg-type]  # probe snapshot
+        else:
+            # Sorted-range pushdown yields lazily and its cardinality
+            # is only estimated — count what it actually yields.
+            counted = _CountingIterator(rowids)
+            rowids = counted
     matching = _matching_rows(table, rowids, where)
     rows: Iterable[dict[str, Any]]
     if order_by is not None:
@@ -237,7 +260,59 @@ def execute_select(
         out = out[offset:]
     if limit is not None:
         out = out[:limit]
+    if handles is not None and OBS.enabled:
+        handles[1].inc(counted.count if counted is not None else scanned)
+        handles[2].inc(len(out))
     return out
+
+
+#: (registry, {(table, path): (plan, rows_scanned, rows_returned)}) —
+#: handles re-resolved whenever the active registry object changes, so
+#: the steady-state enabled cost per select is three dict hits.
+_OBS_HANDLES: list = [None, {}]
+
+
+def _obs_handles(table_name: str, access_path: str) -> tuple:
+    registry = OBS.registry
+    if _OBS_HANDLES[0] is not registry:
+        _OBS_HANDLES[0] = registry
+        _OBS_HANDLES[1] = {}
+    cache = _OBS_HANDLES[1]
+    key = (table_name, access_path)
+    handles = cache.get(key)
+    if handles is None:
+        assert registry is not None
+        handles = cache[key] = (
+            registry.counter("rdb.plan", table=table_name, path=access_path),
+            registry.counter("rdb.rows_scanned", table=table_name),
+            registry.counter("rdb.rows_returned", table=table_name),
+        )
+    return handles
+
+
+class _CountingIterator:
+    """Counts candidate rowids as the access path yields them.
+
+    Only interposed when observability is enabled AND the select can
+    stop early (LIMIT without ORDER BY), so large scans never pay a
+    per-row dispatch; stays lazy, so bounded scans still stop early
+    (and the count reflects rows actually examined, not the table
+    size).
+    """
+
+    __slots__ = ("_it", "count")
+
+    def __init__(self, iterable: Iterable[int]) -> None:
+        self._it = iter(iterable)
+        self.count = 0
+
+    def __iter__(self) -> "_CountingIterator":
+        return self
+
+    def __next__(self) -> int:
+        value = next(self._it)
+        self.count += 1
+        return value
 
 
 def _matching_rows(

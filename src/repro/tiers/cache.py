@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Sequence
 
+from repro.obs.instrument import OBS
 from repro.rdb import Database, Expr, predicate_cache_key
 from repro.rdb.triggers import TriggerContext, TriggerEvent, TriggerTiming
 
@@ -93,9 +94,23 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
+        self._obs_cache: dict[str, Any] | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _obs(self) -> dict[str, Any]:
+        registry = OBS.registry
+        cache = self._obs_cache
+        if cache is None or cache["registry"] is not registry:
+            assert registry is not None
+            cache = self._obs_cache = {
+                "registry": registry,
+                "hit": registry.counter("tiers.cache", outcome="hit"),
+                "miss": registry.counter("tiers.cache", outcome="miss"),
+                "bypass": registry.counter("tiers.cache", outcome="bypass"),
+            }
+        return cache
 
     def select(
         self,
@@ -115,6 +130,8 @@ class QueryCache:
         )
         if key is None:
             self.bypasses += 1
+            if OBS.enabled:
+                self._obs()["bypass"].inc()
             return db.select(
                 table, where=where, order_by=order_by, descending=descending,
                 limit=limit, offset=offset, columns=columns, distinct=distinct,
@@ -122,9 +139,13 @@ class QueryCache:
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
+            if OBS.enabled:
+                self._obs()["hit"].inc()
             self._entries.move_to_end(key)
             return [dict(row) for row in cached]
         self.misses += 1
+        if OBS.enabled:
+            self._obs()["miss"].inc()
         rows = db.select(
             table, where=where, order_by=order_by, descending=descending,
             limit=limit, offset=offset, columns=columns, distinct=distinct,

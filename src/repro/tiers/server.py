@@ -22,6 +22,7 @@ import itertools
 from typing import Any, Callable
 
 from repro.core.wddb import WebDocumentDatabase
+from repro.obs.instrument import OBS
 from repro.library.assessment import assess
 from repro.library.catalog import CatalogEntry, VirtualLibrary
 from repro.library.circulation import CirculationDesk
@@ -156,6 +157,25 @@ class ClassAdministrator:
     # Dispatch
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Response:
+        """Authorize and execute one request (timed when obs is on)."""
+        if not OBS.enabled:
+            return self._handle(request)
+        clock = OBS.clock
+        start = clock()
+        response = self._handle(request)
+        registry = OBS.registry
+        if registry is not None:
+            registry.histogram(
+                "tiers.request_seconds", op=request.op
+            ).observe(clock() - start)
+            registry.counter(
+                "tiers.requests",
+                op=request.op,
+                status="ok" if response.ok else "error",
+            ).inc()
+        return response
+
+    def _handle(self, request: Request) -> Response:
         """Authorize and execute one request."""
         self.requests_served += 1
         allowed = OPERATIONS.get(request.op)

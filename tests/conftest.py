@@ -107,6 +107,55 @@ def net16() -> Network:
 
 
 # ---------------------------------------------------------------------------
+# Observability fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def metrics_registry():
+    """A fresh registry installed as the active one for this test.
+
+    Teardown asserts every metric the test produced is a catalogued
+    instrument point (see ``repro.obs.INSTRUMENT_POINTS``) — a typo'd
+    metric name fails the test that emitted it instead of silently
+    splitting a series — and always disables instrumentation again.
+    """
+    from repro.obs import INSTRUMENT_POINTS, MetricsRegistry, Tracer
+    from repro.obs import disable, enable
+
+    registry, _ = enable(registry=MetricsRegistry(), tracer=Tracer())
+    try:
+        yield registry
+        unexpected = sorted(set(registry.names()) - set(INSTRUMENT_POINTS))
+        assert not unexpected, (
+            f"metrics emitted outside INSTRUMENT_POINTS: {unexpected}"
+        )
+    finally:
+        disable()
+
+
+@pytest.fixture
+def sim_tracer():
+    """Factory binding the active tracer to a simulator's virtual clock.
+
+    ``tracer = sim_tracer(network.sim)`` turns instrumentation on with a
+    tracer whose clock reads ``sim.now``, so spans from the instrumented
+    layers carry deterministic virtual timestamps.  Composes with
+    ``metrics_registry`` (whichever runs second keeps the other's half).
+    """
+    from repro.obs import Tracer, disable, enable
+
+    def bind(sim):
+        _, tracer = enable(
+            tracer=Tracer(clock=lambda: sim.now), clock=lambda: sim.now
+        )
+        return tracer
+
+    try:
+        yield bind
+    finally:
+        disable()
+
+
+# ---------------------------------------------------------------------------
 # Web document database fixtures
 # ---------------------------------------------------------------------------
 @pytest.fixture

@@ -13,13 +13,17 @@ def _names(n: int) -> list[str]:
 
 
 class TestTreeBroadcast:
-    def test_all_stations_receive(self):
+    def test_all_stations_receive(self, metrics_registry):
         net = build_network(16)
         broadcaster = PreBroadcaster(net)
         tree = MAryTree(16, 2, names=_names(16))
         report = broadcaster.broadcast("lec", 2 * MIB, tree)
         net.quiesce()
         assert len(report.arrival_times) == 16
+        snap = metrics_registry.snapshot()
+        assert snap.counter_total("broadcast.stations_completed") == 15
+        assert snap.counter_total("broadcast.bytes_sent") == 15 * 2 * MIB
+        assert snap.counter_total("net.bytes") == net.total_bytes
 
     def test_lecture_stored_in_blob_stores(self):
         net = build_network(4)
@@ -31,15 +35,27 @@ class TestTreeBroadcast:
             assert "lec" in station.state["lectures"]
             assert station.disk.used_in("buffer") == MIB
 
-    def test_children_receive_after_parents(self):
+    def test_children_receive_after_parents(self, metrics_registry,
+                                            sim_tracer):
         net = build_network(15)
+        tracer = sim_tracer(net.sim)
         tree = MAryTree(15, 2, names=_names(15))
-        report = PreBroadcaster(net).broadcast("lec", MIB, tree)
+        PreBroadcaster(net).broadcast("lec", MIB, tree)
         net.quiesce()
+        # The trace carries the ordering: every hop span's own
+        # completion instant lies strictly after its tree parent's.
+        completed = {
+            s.attributes["station"]: s.attributes["completed"]
+            for s in tracer.spans() if s.name.startswith("hop:")
+        }
+        root_name = tree.name_of(1)
         for k in range(2, 16):
             parent = tree.name_of(tree.parent(k))
             child = tree.name_of(k)
-            assert report.arrival_times[child] > report.arrival_times[parent]
+            if parent == root_name:
+                assert completed[child] > 0.0
+            else:
+                assert completed[child] > completed[parent]
 
     def test_root_arrival_is_start(self):
         net = build_network(4)

@@ -60,6 +60,53 @@ class TestCrashDetection:
         assert "s3" in detector.confirmed_dead
         assert "s3" not in detector.alive()
 
+    def test_boundary_tick_escalates_closed_open(self, net8):
+        """A sweep landing exactly on a timeout escalates, never defers.
+
+        Windows are closed-open — alive [0, suspect), suspect [suspect,
+        confirm), dead [confirm, inf).  With the station dark from t=0,
+        last_seen=0 and sweeps every 5s, the silence at t=10 is exactly
+        ``suspect_timeout_s`` and at t=20 exactly ``confirm_timeout_s``;
+        both must fire on that very tick (the regression was ``>``
+        comparisons deferring each transition one full sweep).
+        """
+        net8.set_down("s3")  # dark before the first heartbeat
+        detector = _detector(
+            net8, heartbeat_interval_s=5.0, suspect_timeout_s=10.0,
+            confirm_timeout_s=20.0, sweep_interval_s=5.0,
+        )
+        detector.start(until=40.0)
+        net8.quiesce()
+        events = [(e.kind, e.time) for e in detector.events
+                  if e.station == "s3"]
+        assert ("suspect", 10.0) in events
+        assert ("confirm", 20.0) in events
+        # And nothing fired a sweep early.
+        assert all(t >= 10.0 for _, t in events)
+
+    def test_recovery_requires_silence_strictly_below_suspect(self, net8):
+        """At silence == suspect_timeout_s a suspect does NOT recover."""
+        detector = _detector(
+            net8, heartbeat_interval_s=5.0, suspect_timeout_s=10.0,
+            confirm_timeout_s=20.0, sweep_interval_s=5.0,
+        )
+        detector.start(until=40.0)
+        net8.quiesce()
+        # Healthy run first to prove the strict window admits normal
+        # heartbeats (silence < 10 at every sweep).
+        assert detector.events == []
+        # Closed-open recovery check, driven directly: a confirmed-dead
+        # station whose silence equals the suspect bound stays dead.
+        detector.confirmed_dead.add("s2")
+        detector.suspected.add("s2")
+        detector._last_seen["s2"] = net8.sim.now - 10.0
+        detector._sweep()
+        assert "s2" in detector.confirmed_dead
+        detector._last_seen["s2"] = net8.sim.now - 9.999
+        detector._sweep()
+        assert "s2" not in detector.confirmed_dead
+        assert detector.events[-1].kind == "recover"
+
     def test_other_stations_stay_alive(self, net8):
         injector = FaultInjector(net8)
         injector.arm(FaultSchedule().crash(10.0, "s3"))

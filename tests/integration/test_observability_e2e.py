@@ -1,0 +1,147 @@
+"""End-to-end observability: one traced broadcast plus a library day.
+
+Everything observable must reconcile *exactly* against the model's own
+ground truth: the span tree is the m-ary tree, metric byte counts equal
+the network's byte counts, and request counters equal the circulation
+desk's ledger.  Virtual time makes all of it deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.distribution import MAryTree, PreBroadcaster
+from repro.obs import render_span_tree
+from repro.tiers import (
+    AdministratorClient,
+    ClassAdministrator,
+    InstructorClient,
+    StudentClient,
+)
+from repro.util.units import MIB
+
+from tests.conftest import build_network
+
+N, M = 13, 3
+NAMES = [f"s{k}" for k in range(1, N + 1)]
+
+
+class TestTracedBroadcast:
+    def _run(self, sim_tracer, *, chunk=1 * MIB, size=4 * MIB):
+        net = build_network(N)
+        tracer = sim_tracer(net.sim)
+        tree = MAryTree(N, M, names=NAMES)
+        broadcaster = PreBroadcaster(net)
+        report = broadcaster.broadcast(
+            "lec", size, tree, chunk_size_bytes=chunk
+        )
+        net.quiesce()
+        return net, tree, report, tracer
+
+    def test_span_tree_matches_mary_topology(self, metrics_registry,
+                                             sim_tracer):
+        net, tree, report, tracer = self._run(sim_tracer)
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["broadcast"]
+        root = roots[0]
+        assert root.attributes["m"] == M and root.attributes["n"] == N
+
+        hops = {
+            s.attributes["station"]: s
+            for s in tracer.spans() if s.name.startswith("hop:")
+        }
+        # One hop span per non-root station, no more.
+        assert set(hops) == set(NAMES) - {tree.name_of(1)}
+        by_id = {s.span_id: s for s in tracer.spans()}
+        for name, span in hops.items():
+            parent_station = tree.parent_name(name)
+            expected = (
+                root if parent_station == tree.name_of(1)
+                else hops[parent_station]
+            )
+            assert span.parent_id == expected.span_id
+            # Well-nested under the parent span on virtual time.
+            parent = by_id[span.parent_id]
+            assert parent.start <= span.start
+            assert span.end <= parent.end
+            # The station's own completion instant is the report's; the
+            # span end stretches over its whole subtree (well-nesting
+            # despite chunk pipelining).
+            assert span.attributes["completed"] == report.arrival_times[name]
+            subtree = [
+                tree.name_of(p)
+                for p in tree.subtree(tree.position_of(name))
+            ]
+            assert span.end == max(report.arrival_times[s] for s in subtree)
+        assert root.end == max(report.arrival_times.values())
+        # And the renderer shows the whole forest.
+        assert render_span_tree(tracer.spans()).count("hop:") == N - 1
+
+    def test_metric_totals_reconcile_with_network_ground_truth(
+        self, metrics_registry, sim_tracer
+    ):
+        net, tree, report, _tracer = self._run(sim_tracer)
+        snap = metrics_registry.snapshot()
+
+        # Every station but the root pulls the full lecture across one
+        # tree edge: bytes on the wire == sum of per-hop bytes.
+        per_hop = report.total_bytes
+        assert snap.counter_total("broadcast.bytes_sent") == per_hop * (N - 1)
+        assert snap.counter_total("net.bytes") == net.total_bytes
+        assert snap.counter_total("broadcast.bytes_sent") == net.total_bytes
+        assert (
+            snap.counter_total("broadcast.chunks_sent")
+            == snap.counter_total("net.messages")
+            == net.total_messages
+        )
+        assert snap.counter_total("broadcast.stations_completed") == N - 1
+        assert snap.counter_total("net.dropped") == 0
+        assert snap.counter_total("broadcast.bytes_redelivered") == 0
+
+    def test_single_chunk_broadcast_also_traces(self, metrics_registry,
+                                                sim_tracer):
+        _net, tree, report, tracer = self._run(sim_tracer, chunk=4 * MIB)
+        assert report.n_chunks == 1
+        hops = [s for s in tracer.spans() if s.name.startswith("hop:")]
+        assert len(hops) == N - 1
+        for span in hops:
+            # One chunk: receipt and completion coincide at every hop.
+            assert span.start == span.attributes["completed"]
+            if not tree.children_names(span.attributes["station"]):
+                assert span.start == span.end  # leaves have no subtree
+
+
+class TestTracedLibraryDay:
+    def test_request_counters_reconcile_with_circulation_ledger(
+        self, metrics_registry
+    ):
+        server = ClassAdministrator()
+        admin = AdministratorClient(server, "registrar")
+        admin.login()
+        instructor = InstructorClient(server, "shih")
+        instructor.login()
+        instructor.register_course("CS101", "Intro")
+        instructor.publish("d1", "Lecture 1", "CS101", keywords=("intro",))
+
+        students = [f"stu{k}" for k in range(1, 5)]
+        for index, user in enumerate(students, start=1):
+            admin.admit_student(user)
+            client = StudentClient(server, user)
+            client.login()
+            admin.enroll(user, "CS101")
+            client.check_out("d1", time=float(index))
+            if index % 2 == 0:
+                client.check_in("d1", time=float(index) + 0.5)
+
+        snap = metrics_registry.snapshot()
+        ok = ("tiers.requests", (("op", "check_out"), ("status", "ok")))
+        assert snap.counters[ok] == server.desk.total_checkouts == 4
+        ins = ("tiers.requests", (("op", "check_in"), ("status", "ok")))
+        assert snap.counters[ins] == 2
+        # Latency histograms saw exactly the ok+error request volume.
+        total_requests = snap.counter_total("tiers.requests")
+        assert sum(
+            h.count
+            for (name, _), h in snap.histograms.items()
+            if name == "tiers.request_seconds"
+        ) == total_requests
+        # The relational substrate underneath was counted too.
+        assert snap.counter_total("rdb.statements") > 0

@@ -1,0 +1,114 @@
+"""Unit tests for the tracer: stack spans, manual spans, tree walks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import STATUS_ERROR, STATUS_OK, Tracer, iter_tree
+
+
+class FakeClock:
+    """A manually-advanced clock (virtual time stand-in)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def test_context_manager_spans_nest_by_stack():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer", op="a") as outer:
+        assert tracer.current is outer
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+    assert tracer.current is None
+    assert outer.parent_id is None
+    assert inner.start >= outer.start and inner.end <= outer.end
+    assert outer.attributes == {"op": "a"}
+    assert outer.duration > 0
+
+
+def test_exception_marks_span_error_and_unwinds_stack():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom") as span:
+            raise RuntimeError("x")
+    assert span.status == STATUS_ERROR
+    assert span.end is not None
+    assert tracer.current is None
+
+
+def test_manual_spans_take_explicit_parent_and_times():
+    tracer = Tracer(clock=FakeClock())
+    root = tracer.start_span("root", start=0.0)
+    child = tracer.start_span("child", parent=root, start=1.0, station="s2")
+    tracer.end_span(child, end=3.0)
+    tracer.end_span(root, end=4.0)
+    assert child.parent_id == root.span_id
+    assert child.attributes == {"station": "s2"}
+    assert (child.start, child.end) == (1.0, 3.0)
+    assert tracer.children(root) == [child]
+    assert tracer.roots() == [root]
+
+
+def test_end_span_is_idempotent_and_only_extends():
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.start_span("s", start=0.0)
+    tracer.end_span(span, end=5.0)
+    tracer.end_span(span, end=3.0)  # earlier end never shrinks
+    assert span.end == 5.0
+    tracer.end_span(span, end=9.0, status=STATUS_ERROR)
+    assert span.end == 9.0 and span.status == STATUS_ERROR
+    tracer.extend(span, 4.0)
+    assert span.end == 9.0
+    tracer.extend(span, 12.0)
+    assert span.end == 12.0
+
+
+def test_record_span_one_shot_and_find():
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.record_span("hop", start=1.0, end=2.0, bytes=10)
+    assert span.end == 2.0
+    assert tracer.find("hop") == [span]
+    assert tracer.finished() == [span]
+    assert len(tracer) == 1
+
+
+def test_duration_zero_while_open():
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.start_span("open", start=5.0)
+    assert span.duration == 0.0
+    assert tracer.finished() == []
+
+
+def test_clear_refuses_with_open_stack_spans():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("open"):
+        with pytest.raises(RuntimeError):
+            tracer.clear()
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_iter_tree_walks_depth_first_orphans_as_roots():
+    tracer = Tracer(clock=FakeClock())
+    root = tracer.start_span("root", start=0.0)
+    a = tracer.start_span("a", parent=root, start=1.0)
+    tracer.start_span("b", parent=root, start=2.0)
+    tracer.start_span("a1", parent=a, start=3.0)
+    walk = [(depth, span.name) for depth, span in iter_tree(tracer.spans())]
+    assert walk == [(0, "root"), (1, "a"), (2, "a1"), (1, "b")]
+    # A subtree without its parent still renders, rooted at the orphan.
+    partial = [s for s in tracer.spans() if s.name != "root"]
+    orphan_walk = [(d, s.name) for d, s in iter_tree(partial)]
+    assert orphan_walk == [(0, "a"), (1, "a1"), (0, "b")]
+
+
+def test_set_chains_attributes():
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.start_span("s").set(x=1).set(y=2, x=3)
+    assert span.attributes == {"x": 3, "y": 2}
+    assert span.status == STATUS_OK

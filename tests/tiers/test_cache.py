@@ -160,7 +160,7 @@ class TestServerIntegration:
         }))
         return server, login.data["session_id"]
 
-    def test_repeated_roster_hits_cache(self):
+    def test_repeated_roster_hits_cache(self, metrics_registry):
         server, sess = self._admin()
         server.handle(Request(op="register_course", session_id=sess, params={
             "course_number": "cs101", "title": "Intro", "instructor": "shih",
@@ -177,6 +177,12 @@ class TestServerIntegration:
                                        params={"course_number": "cs101"}))
         assert first.data == second.data == ["s1"]
         assert server.query_cache.hits > baseline
+        # The instrumented counters agree with the cache's own ledger.
+        snap = metrics_registry.snapshot()
+        hit_key = ("tiers.cache", (("outcome", "hit"),))
+        miss_key = ("tiers.cache", (("outcome", "miss"),))
+        assert snap.counters[hit_key] == server.query_cache.hits
+        assert snap.counters[miss_key] == server.query_cache.misses
 
     def test_enroll_between_rosters_never_stale(self):
         server, sess = self._admin()

@@ -31,6 +31,23 @@ def instructor_session(server) -> str:
     return _login(server, "shih", "instructor")
 
 
+class TestRequestMetrics:
+    def test_requests_counted_by_op_and_status(self, server,
+                                               metrics_registry):
+        _login(server, "registrar", "administrator")
+        denied = server.handle(Request(op="login", session_id=None,
+                                       params={"user": "x"}))
+        assert not denied.ok
+        snap = metrics_registry.snapshot()
+        ok_key = ("tiers.requests", (("op", "login"), ("status", "ok")))
+        err_key = ("tiers.requests", (("op", "login"), ("status", "error")))
+        assert snap.counters[ok_key] == 1
+        assert snap.counters[err_key] == 1
+        # Each handled request was timed exactly once.
+        latency = ("tiers.request_seconds", (("op", "login"),))
+        assert snap.histograms[latency].count == 2
+
+
 class TestSessions:
     def test_login_creates_session(self, server):
         session = _login(server, "registrar", "administrator")
