@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1-E16) in one run.
+"""Regenerate every experiment table (E1-E17) in one run.
 
 Usage:  python benchmarks/run_all.py
 """
@@ -31,6 +31,7 @@ EXPERIMENTS = [
     "bench_e14_fault_recovery",
     "bench_e15_query_planner",
     "bench_e16_obs_overhead",
+    "bench_e17_crash_recovery",
 ]
 
 

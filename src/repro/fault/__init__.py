@@ -20,7 +20,11 @@ the order a real failure unfolds:
 * :mod:`repro.fault.policy` — the shared retry/timeout/backoff
   schedules the broadcast and on-demand layers also adopt;
 * :mod:`repro.fault.health` — per-station health reports folding the
-  above into one table.
+  above into one table;
+* :mod:`repro.fault.crashsim` — a deterministic crash-injection
+  harness for the storage engine's journal: failpoint file wrappers
+  kill the write stream at exact byte offsets, and an exhaustive
+  kill-at-point matrix proves recovery's committed-prefix guarantee.
 
 With no schedule armed and no detector started, nothing here touches
 the healthy path: experiments E1–E13 are byte-identical with or
@@ -38,6 +42,19 @@ from repro.fault.recovery import (
     RejoinReport,
 )
 from repro.fault.health import HealthMonitor, StationHealth
+from repro.fault.crashsim import (
+    CRASH_SCHEMAS,
+    AckedTxn,
+    CrashCase,
+    CrashMatrixReport,
+    CrashWorkload,
+    FailpointFile,
+    SimulatedCrashError,
+    crash_points,
+    run_crash_matrix,
+    run_crash_workload,
+    verify_database,
+)
 
 __all__ = [
     "RetryPolicy",
@@ -55,4 +72,15 @@ __all__ = [
     "RecoveryManager",
     "HealthMonitor",
     "StationHealth",
+    "SimulatedCrashError",
+    "FailpointFile",
+    "CRASH_SCHEMAS",
+    "AckedTxn",
+    "CrashWorkload",
+    "CrashCase",
+    "CrashMatrixReport",
+    "crash_points",
+    "run_crash_workload",
+    "run_crash_matrix",
+    "verify_database",
 ]

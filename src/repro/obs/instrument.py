@@ -55,6 +55,12 @@ INSTRUMENT_POINTS: dict[str, str] = {
     "rdb.statement_seconds": "latency of one DML statement (autocommit unit)",
     "rdb.statements": "DML/select statements by kind",
     "rdb.txn_seconds": "explicit transaction open→commit/rollback latency",
+    # rdb.wal — journal durability and crash recovery
+    "wal.records_recovered": "journal records replayed during recovery",
+    "wal.torn_tails": "torn journal tails tolerated (crash mid-append)",
+    "wal.checksum_failures": "corrupt journal records skipped in salvage",
+    "wal.sync_batches": "fsync batches flushed, by sync policy",
+    "wal.checkpoint_seconds": "snapshot + journal checkpoint latency",
     # tiers.server / tiers.cache — the class administrator
     "tiers.cache": "result-cache outcomes (hit/miss/bypass)",
     "tiers.request_seconds": "request latency by operation",

@@ -34,6 +34,7 @@ from repro.rdb.errors import (
     ConstraintError,
     DuplicateKeyError,
     ForeignKeyError,
+    JournalCorruptError,
     NotNullError,
     RdbError,
     SchemaError,
@@ -41,6 +42,7 @@ from repro.rdb.errors import (
     UnknownColumnError,
     UnknownTableError,
 )
+from repro.rdb.wal import Journal, RecoveryStats, SyncPolicy
 from repro.rdb.triggers import TriggerEvent, TriggerTiming
 
 __all__ = [
@@ -59,6 +61,10 @@ __all__ = [
     "Database",
     "RdbError",
     "SchemaError",
+    "JournalCorruptError",
+    "Journal",
+    "RecoveryStats",
+    "SyncPolicy",
     "CheckError",
     "ConstraintError",
     "DuplicateKeyError",

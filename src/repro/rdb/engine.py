@@ -35,7 +35,14 @@ from repro.rdb.table import Table
 from repro.rdb.transaction import Transaction, TransactionManager, UndoRecord
 from repro.rdb.triggers import TriggerEvent, TriggerRegistry, TriggerTiming
 from repro.rdb.types import Schema
-from repro.rdb.wal import Journal, decode_row, encode_row, read_snapshot, write_snapshot
+from repro.rdb.wal import (
+    Journal,
+    RecoveryStats,
+    decode_row,
+    encode_row,
+    read_snapshot_info,
+    write_snapshot,
+)
 from repro.util.validation import check_identifier
 
 __all__ = ["Database"]
@@ -66,6 +73,8 @@ class Database:
         self.statements = 0
         self._obs_cache: dict[str, Any] | None = None
         self._txn_began_at: float | None = None
+        #: Filled in by :meth:`recover`; None for a fresh database.
+        self.recovery_stats: RecoveryStats | None = None
 
     # ------------------------------------------------------------------
     # DDL
@@ -176,7 +185,14 @@ class Database:
             self.rollback()
             raise
         else:
-            self.commit()
+            try:
+                self.commit()
+            except BaseException:
+                # A failed journal append leaves the transaction open
+                # (durability-first commit); undo its effects so the
+                # in-memory state matches the journal before re-raising.
+                self.rollback()
+                raise
 
     # ------------------------------------------------------------------
     # DML
@@ -413,16 +429,29 @@ class Database:
         self._journal = journal
 
     def snapshot(self, path: str) -> None:
-        """Dump all rows to ``path`` and truncate the journal (if any)."""
+        """Dump all rows to ``path`` and checkpoint the journal (if any).
+
+        The snapshot records the journal's last applied LSN as a
+        watermark and the journal truncation is staged through an
+        atomic marker file, so a crash at any point in the sequence can
+        neither lose committed transactions nor double-apply them on
+        recovery.
+        """
         if self.in_transaction:
             raise TransactionError("cannot snapshot inside a transaction")
+        started = OBS.clock() if OBS.enabled else None
         dump = {
             name: [dict(row) for row in self._catalog.get(name).rows()]
             for name in self._catalog.names()
         }
-        write_snapshot(path, dump)
+        last_lsn = self._journal.last_lsn if self._journal is not None else 0
+        write_snapshot(path, dump, last_lsn=last_lsn)
         if self._journal is not None:
-            self._journal.truncate()
+            self._journal.checkpoint(last_lsn)
+        if started is not None and OBS.enabled and OBS.registry is not None:
+            OBS.registry.histogram("wal.checkpoint_seconds").observe(
+                OBS.clock() - started
+            )
 
     @classmethod
     def recover(
@@ -432,6 +461,7 @@ class Database:
         *,
         snapshot_path: str | None = None,
         journal_path: str | None = None,
+        salvage: bool = False,
     ) -> "Database":
         """Rebuild a database from a snapshot plus journal replay.
 
@@ -439,23 +469,56 @@ class Database:
         same order used to create the original database.  Replay trusts
         the log: constraints were checked before the ops were journaled,
         and triggers do not re-fire.
+
+        Only journal records above the snapshot's LSN watermark are
+        replayed, so a journal that survived a crash between snapshot
+        and truncation cannot double-apply transactions.  A torn final
+        journal record is tolerated; earlier corruption raises
+        :class:`~repro.rdb.errors.JournalCorruptError` unless
+        ``salvage`` is set, in which case damaged records are skipped.
+        What happened is recorded on the returned database as
+        ``recovery_stats`` and mirrored into ``repro.obs`` counters
+        when instrumentation is on.
         """
+        import os
+
         db = cls(name)
         for schema in schemas:
             db.create_table(schema)
-        if snapshot_path is not None:
-            import os
-
-            if os.path.exists(snapshot_path):
-                for table_name, rows in read_snapshot(snapshot_path).items():
-                    table = db._catalog.get(table_name)
-                    for row in rows:
-                        # repro-analysis: ignore[mutation-outside-transaction] -- snapshot rows were committed before being dumped; replay needs no undo log
-                        table.apply_insert(table.schema.normalize_row(row))
+        stats = RecoveryStats(salvaged=salvage)
+        watermark = 0
+        if snapshot_path is not None and os.path.exists(snapshot_path):
+            tables, watermark = read_snapshot_info(snapshot_path)
+            for table_name, rows in tables.items():
+                table = db._catalog.get(table_name)
+                for row in rows:
+                    # repro-analysis: ignore[mutation-outside-transaction] -- snapshot rows were committed before being dumped; replay needs no undo log
+                    table.apply_insert(table.schema.normalize_row(row))
+        stats.watermark = watermark
+        max_txn_id = 0
         if journal_path is not None:
-            for record in Journal.read(journal_path):
+            for record in Journal.read(
+                journal_path, salvage=salvage, start_lsn=watermark,
+                stats=stats,
+            ):
                 for op in record["ops"]:
                     db._replay_op(op)
+                if isinstance(record["txn"], int):
+                    max_txn_id = max(max_txn_id, record["txn"])
+        db._txn.advance_past(max_txn_id)
+        db.recovery_stats = stats
+        if OBS.enabled and OBS.registry is not None:
+            registry = OBS.registry
+            if stats.records_recovered:
+                registry.counter("wal.records_recovered").inc(
+                    stats.records_recovered
+                )
+            if stats.torn_tails:
+                registry.counter("wal.torn_tails").inc(stats.torn_tails)
+            if stats.checksum_failures:
+                registry.counter("wal.checksum_failures").inc(
+                    stats.checksum_failures
+                )
         return db
 
     # ------------------------------------------------------------------
@@ -539,7 +602,12 @@ class Database:
                 self._wal_buffer.clear()
                 raise
             else:
-                self._txn.commit()
+                try:
+                    self._txn.commit()
+                except BaseException:
+                    self._txn.rollback()
+                    self._wal_buffer.clear()
+                    raise
         finally:
             if started_at is not None and OBS.enabled:
                 self._obs()["statement_seconds"].observe(

@@ -19,6 +19,7 @@ __all__ = [
     "ForeignKeyError",
     "CheckError",
     "TransactionError",
+    "JournalCorruptError",
 ]
 
 
@@ -96,3 +97,26 @@ class CheckError(ConstraintError):
 
 class TransactionError(RdbError):
     """Transaction API misuse (commit without begin, unknown savepoint)."""
+
+
+class JournalCorruptError(RdbError):
+    """The journal is damaged *before* its final record.
+
+    A torn final record is the expected signature of a crash mid-append
+    and is tolerated silently; corruption anywhere earlier means bytes
+    that were acknowledged as durable have been altered or lost, which
+    recovery must surface rather than silently truncate the history at
+    the damage point.  ``offset`` is the byte position of the damaged
+    record, ``reason`` the parse failure observed there.  Callers that
+    prefer availability over strictness can re-run recovery in salvage
+    mode, which skips damaged records and keeps going.
+    """
+
+    def __init__(self, path: object, offset: int, reason: str) -> None:
+        super().__init__(
+            f"journal {str(path)!r} corrupt at byte {offset}: {reason} "
+            f"(valid records follow the damage; pass salvage=True to skip it)"
+        )
+        self.path = str(path)
+        self.offset = offset
+        self.reason = reason

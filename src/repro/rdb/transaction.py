@@ -122,10 +122,14 @@ class TransactionManager:
         if self._active is None:
             raise TransactionError("commit without begin")
         txn = self._active
-        self._active = None
-        self.commits += 1
+        # Durability first: the commit hook journals the transaction, and
+        # a journal-append failure (disk full, simulated crash) must leave
+        # the transaction open so the caller can still roll it back —
+        # nothing may become "committed" that was never made durable.
         if self._on_commit is not None:
             self._on_commit(txn)
+        self._active = None
+        self.commits += 1
 
     def rollback(self) -> None:
         if self._active is None:
@@ -134,6 +138,15 @@ class TransactionManager:
         txn.rollback_all()
         self._active = None
         self.rollbacks += 1
+
+    def advance_past(self, txn_id: int) -> None:
+        """Ensure future transaction ids are greater than ``txn_id``.
+
+        Called after journal replay so a recovered engine never reissues
+        an id that already appears in the journal it will append to.
+        """
+        if txn_id >= self._next_id:
+            self._next_id = txn_id + 1
 
     def record(self, record: UndoRecord) -> None:
         """Record an undo entry if a transaction is open (no-op otherwise:

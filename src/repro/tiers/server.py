@@ -19,6 +19,8 @@ server never leaks engine objects to clients.
 from __future__ import annotations
 
 import itertools
+import os
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.wddb import WebDocumentDatabase
@@ -32,8 +34,11 @@ from repro.rdb import (
     ColumnType,
     Database,
     ForeignKey,
+    Journal,
+    JournalCorruptError,
     RdbError,
     Schema,
+    SyncPolicy,
     col,
 )
 from repro.tiers.cache import QueryCache, TableVersions
@@ -112,16 +117,35 @@ ADMIN_SCHEMAS = (STUDENTS, COURSES, ENROLLMENTS, TRANSCRIPTS, STATIONS)
 
 
 class ClassAdministrator:
-    """The middle tier: sessions, administration, routing."""
+    """The middle tier: sessions, administration, routing.
+
+    Pass ``data_dir`` to run durably: the administration tables are
+    recovered from ``<data_dir>/class_admin.snapshot`` plus journal
+    replay on startup, and every committed write is journaled under the
+    given ``sync_policy`` (``"commit"`` by default — an acknowledged
+    request survives a crash).  Without ``data_dir`` the server is
+    purely in-memory, exactly as before.
+    """
 
     def __init__(
         self,
         wddb: WebDocumentDatabase | None = None,
         library: VirtualLibrary | None = None,
+        *,
+        data_dir: str | os.PathLike[str] | None = None,
+        sync_policy: SyncPolicy | str = "commit",
     ) -> None:
-        admin_db = Database("class_admin")
-        for schema in ADMIN_SCHEMAS:
-            admin_db.create_table(schema)
+        self._data_dir = Path(data_dir) if data_dir is not None else None
+        self._sync_policy = SyncPolicy.parse(sync_policy)
+        #: What journal replay observed on startup; None in-memory mode.
+        self.recovery_stats = None
+        if self._data_dir is None:
+            admin_db = Database("class_admin")
+            for schema in ADMIN_SCHEMAS:
+                admin_db.create_table(schema)
+        else:
+            admin_db = self._recover_admin_db()
+        self.admin_db = admin_db
         # Read-through result cache: table versions bump on every write
         # (via AFTER triggers), so repeated browser reads (rosters,
         # transcripts, login lookups) hit memory and writes invalidate
@@ -152,6 +176,67 @@ class ClassAdministrator:
             "check_in": self._op_check_in,
             "assessment_report": self._op_assessment,
         }
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def _snapshot_path(self) -> Path:
+        assert self._data_dir is not None
+        return self._data_dir / "class_admin.snapshot"
+
+    @property
+    def _journal_path(self) -> Path:
+        assert self._data_dir is not None
+        return self._data_dir / "class_admin.wal"
+
+    def _recover_admin_db(self) -> Database:
+        """Rebuild the administration database from the data directory.
+
+        Strict recovery first: a torn journal tail (crash mid-append) is
+        tolerated, but corruption *before* the final record raises.  On
+        :class:`~repro.rdb.JournalCorruptError` the server falls back to
+        salvage mode — damaged records are skipped, the journal is
+        compacted, and the server still comes up serving the surviving
+        data; :meth:`recovery_report` says exactly what was lost.
+        """
+        assert self._data_dir is not None
+        self._data_dir.mkdir(parents=True, exist_ok=True)
+        snapshot = str(self._snapshot_path)
+        wal = str(self._journal_path)
+        salvaged = False
+        try:
+            db = Database.recover(
+                "class_admin", ADMIN_SCHEMAS,
+                snapshot_path=snapshot, journal_path=wal,
+            )
+        except JournalCorruptError:
+            salvaged = True
+            db = Database.recover(
+                "class_admin", ADMIN_SCHEMAS,
+                snapshot_path=snapshot, journal_path=wal, salvage=True,
+            )
+        # Opening the journal in salvage mode compacts it so the damage
+        # cannot resurface on the next restart.
+        journal = Journal(wal, sync=self._sync_policy, salvage=salvaged)
+        db.attach_journal(journal)
+        self.recovery_stats = db.recovery_stats
+        return db
+
+    def checkpoint(self) -> None:
+        """Snapshot the administration tables and truncate the journal
+        (crash-safe at every step; no-op for an in-memory server)."""
+        if self._data_dir is None:
+            return
+        self.admin_db.snapshot(str(self._snapshot_path))
+
+    def recovery_report(self) -> dict[str, Any]:
+        """What startup recovery observed, for operators and tests."""
+        if self.recovery_stats is None:
+            return {"durable": False}
+        report: dict[str, Any] = {"durable": True}
+        report.update(self.recovery_stats.as_dict())
+        return report
 
     # ------------------------------------------------------------------
     # Dispatch

@@ -104,7 +104,7 @@ def test_instrument_points_catalogue_is_sane():
     for name, description in INSTRUMENT_POINTS.items():
         prefix = name.split(".", 1)[0]
         assert prefix in {
-            "rdb", "tiers", "net", "broadcast", "lock", "fault",
+            "rdb", "wal", "tiers", "net", "broadcast", "lock", "fault",
         }, name
         assert description
 

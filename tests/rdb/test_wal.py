@@ -8,6 +8,7 @@ import pytest
 from repro.rdb import Column, ColumnType, Database, Schema
 from repro.rdb.wal import (
     Journal,
+    RecoveryStats,
     decode_value,
     encode_value,
     read_snapshot,
@@ -185,3 +186,397 @@ class TestRecovery:
             journal_path=str(tmp_path / "ghost.jsonl"),
         )
         assert recovered.count("events") == 0
+
+
+# ---------------------------------------------------------------------------
+# Format v2: frames, LSNs, torn tails, corruption
+# ---------------------------------------------------------------------------
+class TestFramedFormat:
+    def test_lsns_are_monotonic_and_returned(self, tmp_path):
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            lsns = [
+                journal.append(i, [["insert", "events", {"k": i}]])
+                for i in range(1, 5)
+            ]
+        assert lsns == [1, 2, 3, 4]
+        records = list(Journal.read(path))
+        assert [r["lsn"] for r in records] == [1, 2, 3, 4]
+
+    def test_reopen_resumes_lsn_sequence(self, tmp_path):
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+        with Journal(path) as journal:
+            assert journal.last_lsn == 1
+            assert journal.append(2, [["insert", "events", {"k": 2}]]) == 2
+        assert [r["lsn"] for r in Journal.read(path)] == [1, 2]
+
+    def test_tell_reports_byte_extent(self, tmp_path):
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            assert journal.tell() == 0
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            assert journal.tell() == path.stat().st_size
+
+    def test_torn_tail_tolerated_and_counted(self, tmp_path):
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # crash mid-append of record 2
+        stats = RecoveryStats()
+        records = list(Journal.read(path, stats=stats))
+        assert [r["txn"] for r in records] == [1]
+        assert stats.torn_tails == 1
+        assert stats.checksum_failures == 0
+
+    def test_open_trims_torn_tail(self, tmp_path):
+        """Appending after a torn tail must not bury the garbage."""
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            end = journal.tell()
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        path.write_bytes(path.read_bytes()[:-5])
+        with Journal(path) as journal:
+            assert path.stat().st_size == end  # tail trimmed on open
+            journal.append(3, [["insert", "events", {"k": 3}]])
+        assert [r["txn"] for r in Journal.read(path)] == [1, 3]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        from repro.rdb import JournalCorruptError
+
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            first_end = journal.tell()
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        data = bytearray(path.read_bytes())
+        data[first_end // 2] ^= 0xFF  # damage record 1; record 2 intact
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalCorruptError) as excinfo:
+            list(Journal.read(path))
+        assert "salvage" in str(excinfo.value)
+        with pytest.raises(JournalCorruptError):
+            Journal(path)  # strict open refuses the damage too
+
+    def test_salvage_skips_damage_and_counts(self, tmp_path):
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            first_end = journal.tell()
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        data = bytearray(path.read_bytes())
+        data[first_end // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        stats = RecoveryStats()
+        records = list(Journal.read(path, salvage=True, stats=stats))
+        assert [r["txn"] for r in records] == [2]
+        assert stats.checksum_failures >= 1
+        assert stats.bytes_skipped > 0
+
+    def test_salvage_open_compacts_journal(self, tmp_path):
+        path = tmp_path / "wal.v2"
+        with Journal(path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            first_end = journal.tell()
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        data = bytearray(path.read_bytes())
+        data[first_end // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with Journal(path, salvage=True) as journal:
+            journal.append(3, [["insert", "events", {"k": 3}]])
+        # After compaction a plain strict read succeeds: no damage left.
+        assert [r["txn"] for r in Journal.read(path)] == [2, 3]
+
+
+class TestLegacyV1:
+    def _v1_line(self, txn, k):
+        return json.dumps(
+            {"txn": txn, "ops": [["insert", "events", {"k": k}]]}
+        ) + "\n"
+
+    def test_v1_journal_read_transparently(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(self._v1_line(1, 1) + self._v1_line(2, 2))
+        records = list(Journal.read(path))
+        assert [r["txn"] for r in records] == [1, 2]
+        assert [r["lsn"] for r in records] == [1, 2]  # implicit LSNs
+
+    def test_mixed_v1_then_v2_file(self, tmp_path):
+        path = tmp_path / "wal.mixed"
+        path.write_text(self._v1_line(1, 1))
+        with Journal(path) as journal:  # resumes after the v1 line
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        records = list(Journal.read(path))
+        assert [r["txn"] for r in records] == [1, 2]
+        assert records[1]["lsn"] > records[0]["lsn"]
+
+    def test_v1_journal_replays_into_engine(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(self._v1_line(1, 1) + self._v1_line(2, 2))
+        recovered = Database.recover("r", [EVENTS], journal_path=str(path))
+        assert sorted(r["k"] for r in recovered.select("events")) == [1, 2]
+
+
+class TestSyncPolicy:
+    def test_parse_specs(self):
+        from repro.rdb.wal import SyncPolicy
+
+        assert SyncPolicy.parse("none").name == "none"
+        assert SyncPolicy.parse("commit").name == "commit"
+        policy = SyncPolicy.parse("interval-8")
+        assert policy.name == "interval-8"
+        assert policy.interval == 8
+        assert SyncPolicy.parse(policy) is policy
+        with pytest.raises(ValueError):
+            SyncPolicy.parse("sometimes")
+        with pytest.raises(ValueError):
+            SyncPolicy.parse("interval-0")
+
+    def test_group_commit_batches_fsyncs(self, tmp_path):
+        from repro.rdb.wal import SyncPolicy
+
+        syncs = []
+        policy = SyncPolicy("interval", 3, fsync=syncs.append)
+        journal = Journal(tmp_path / "wal", sync=policy)
+        for i in range(1, 8):
+            journal.append(i, [["insert", "events", {"k": i}]])
+        assert len(syncs) == 2  # after records 3 and 6
+        journal.close()  # flushes the final partial batch
+        assert len(syncs) == 3
+
+    def test_commit_policy_syncs_every_append(self, tmp_path):
+        from repro.rdb.wal import SyncPolicy
+
+        syncs = []
+        policy = SyncPolicy("commit", fsync=syncs.append)
+        with Journal(tmp_path / "wal", sync=policy) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        assert len(syncs) == 2
+
+    def test_none_policy_never_syncs(self, tmp_path):
+        from repro.rdb.wal import SyncPolicy
+
+        syncs = []
+        policy = SyncPolicy("none", fsync=syncs.append)
+        with Journal(tmp_path / "wal", sync=policy) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+        assert syncs == []
+
+    def test_sync_batches_metric(self, tmp_path, metrics_registry):
+        from repro.rdb.wal import SyncPolicy
+
+        policy = SyncPolicy("commit", fsync=lambda fd: None)
+        with Journal(tmp_path / "wal", sync=policy) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+        snap = metrics_registry.snapshot()
+        assert snap.counter_total("wal.sync_batches") == 1
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint watermarks
+# ---------------------------------------------------------------------------
+class TestCheckpointWatermark:
+    def test_snapshot_records_watermark(self, tmp_path):
+        from repro.rdb.wal import read_snapshot_info
+
+        wal_path = tmp_path / "wal"
+        snap_path = tmp_path / "snap.json"
+        db = _make_db(Journal(wal_path))
+        db.insert("events", {"k": 1})
+        db.insert("events", {"k": 2})
+        db.snapshot(str(snap_path))
+        tables, watermark = read_snapshot_info(snap_path)
+        assert watermark == 2
+        assert len(tables["events"]) == 2
+
+    def test_legacy_snapshot_reads_with_zero_watermark(self, tmp_path):
+        from repro.rdb.wal import read_snapshot_info
+
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"events": [{"k": 1}]}))
+        tables, watermark = read_snapshot_info(path)
+        assert watermark == 0
+        assert tables == {"events": [{"k": 1}]}
+
+    def test_crash_between_snapshot_and_truncate_no_double_apply(
+        self, tmp_path
+    ):
+        """The double-apply regression: snapshot written, truncate never
+        ran (crash in between), full journal still on disk."""
+        wal_path = tmp_path / "wal"
+        snap_path = tmp_path / "snap.json"
+        journal = Journal(wal_path)
+        db = _make_db(journal)
+        db.insert("events", {"k": 1, "label": "one"})
+        db.insert("events", {"k": 2, "label": "two"})
+        # Crash window: dump the snapshot exactly as Database.snapshot
+        # does, then "crash" before Journal.checkpoint runs.
+        dump = {
+            "events": [dict(r) for r in db.table("events").rows()]
+        }
+        write_snapshot(snap_path, dump, last_lsn=journal.last_lsn)
+        recovered = Database.recover(
+            "r", [EVENTS],
+            snapshot_path=str(snap_path), journal_path=str(wal_path),
+        )
+        rows = recovered.select("events")
+        assert sorted(r["k"] for r in rows) == [1, 2]  # not [1, 1, 2, 2]
+        assert recovered.recovery_stats is not None
+        assert recovered.recovery_stats.records_skipped_watermark == 2
+
+    def test_checkpoint_marker_completed_on_next_open(self, tmp_path):
+        """A crash after the marker is durable but before the truncate
+        finishes must complete the truncation on the next open."""
+        wal_path = tmp_path / "wal"
+        with Journal(wal_path) as journal:
+            journal.append(1, [["insert", "events", {"k": 1}]])
+            journal.append(2, [["insert", "events", {"k": 2}]])
+        marker = wal_path.with_name(wal_path.name + ".ckpt")
+        marker.write_text(json.dumps({"last_lsn": 2}))
+        with Journal(wal_path) as journal:
+            assert journal.last_lsn == 2  # sequence resumes above marker
+            journal.append(3, [["insert", "events", {"k": 3}]])
+        assert not marker.exists()
+        records = list(Journal.read(wal_path))
+        assert [r["txn"] for r in records] == [3]
+        assert records[0]["lsn"] == 3
+
+    def test_lsn_monotonic_across_checkpoints(self, tmp_path):
+        wal_path = tmp_path / "wal"
+        journal = Journal(wal_path)
+        journal.append(1, [["insert", "events", {"k": 1}]])
+        journal.checkpoint()
+        lsn = journal.append(2, [["insert", "events", {"k": 2}]])
+        journal.close()
+        assert lsn == 2
+        records = list(Journal.read(wal_path))
+        assert [r["lsn"] for r in records] == [2]
+        # And a reader honouring the watermark skips nothing new.
+        assert [r["txn"] for r in Journal.read(wal_path, start_lsn=1)] == [2]
+
+    def test_recovery_stats_attached_to_database(self, tmp_path):
+        wal_path = tmp_path / "wal"
+        db = _make_db(Journal(wal_path))
+        db.insert("events", {"k": 1})
+        recovered = Database.recover("r", [EVENTS], journal_path=str(wal_path))
+        stats = recovered.recovery_stats
+        assert stats is not None
+        assert stats.records_recovered == 1
+        assert stats.as_dict()["records_recovered"] == 1
+
+    def test_recovery_metrics_emitted(self, tmp_path, metrics_registry):
+        wal_path = tmp_path / "wal"
+        db = _make_db(Journal(wal_path))
+        db.insert("events", {"k": 1})
+        db.insert("events", {"k": 2})
+        Database.recover("r", [EVENTS], journal_path=str(wal_path))
+        snap = metrics_registry.snapshot()
+        assert snap.counter_total("wal.records_recovered") == 2
+
+    def test_txn_ids_advance_past_journal(self, tmp_path):
+        """A recovered engine must not reuse txn ids already journaled."""
+        wal_path = tmp_path / "wal"
+        db = _make_db(Journal(wal_path))
+        db.insert("events", {"k": 1})
+        db.insert("events", {"k": 2})
+        recovered = Database.recover("r", [EVENTS], journal_path=str(wal_path))
+        recovered.attach_journal(Journal(wal_path))
+        recovered.insert("events", {"k": 3})
+        txn_ids = [r["txn"] for r in Journal.read(wal_path)]
+        assert len(txn_ids) == len(set(txn_ids))
+
+
+class TestCommitDurabilityOrdering:
+    def test_failed_append_rolls_back_autocommit(self, tmp_path):
+        class ExplodingJournal(Journal):
+            def append(self, txn_id, ops):
+                raise OSError("disk full")
+
+        db = _make_db(ExplodingJournal(tmp_path / "wal"))
+        with pytest.raises(OSError):
+            db.insert("events", {"k": 1})
+        assert db.count("events") == 0
+        assert not db.in_transaction
+
+    def test_failed_append_rolls_back_explicit_txn(self, tmp_path):
+        class ExplodingJournal(Journal):
+            def append(self, txn_id, ops):
+                raise OSError("disk full")
+
+        db = _make_db(ExplodingJournal(tmp_path / "wal"))
+        with pytest.raises(OSError):
+            with db.transaction():
+                db.insert("events", {"k": 1})
+        assert db.count("events") == 0
+        assert not db.in_transaction
+
+
+# ---------------------------------------------------------------------------
+# Codec property tests (hypothesis)
+# ---------------------------------------------------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.datetimes(
+        min_value=dt.datetime(1970, 1, 1),
+        max_value=dt.datetime(2100, 1, 1),
+        timezones=st.one_of(
+            st.none(),
+            st.just(dt.timezone.utc),
+            st.just(dt.timezone(dt.timedelta(hours=-7))),
+        ),
+    ),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCodecProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(value=_values)
+    def test_roundtrip_through_json(self, value):
+        encoded = encode_value(value)
+        wire = json.loads(json.dumps(encoded))
+        assert decode_value(wire) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(inner=st.one_of(
+        st.text(max_size=20), st.integers(),
+        st.dictionaries(st.text(max_size=5), st.integers(), max_size=3),
+    ), marker=st.sampled_from(["$dt", "$b64", "$esc"]))
+    def test_marker_shaped_dicts_survive(self, inner, marker):
+        """A user dict whose only key collides with a codec marker must
+        round-trip as itself, not decode into a datetime/bytes value."""
+        value = {marker: inner}
+        wire = json.loads(json.dumps(encode_value(value)))
+        assert decode_value(wire) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(when=st.datetimes(
+        min_value=dt.datetime(1970, 1, 1),
+        max_value=dt.datetime(2100, 1, 1),
+        timezones=st.just(dt.timezone(dt.timedelta(hours=5, minutes=30))),
+    ))
+    def test_tz_aware_datetimes_keep_offset(self, when):
+        decoded = decode_value(json.loads(json.dumps(encode_value(when))))
+        assert decoded == when
+        assert decoded.utcoffset() == when.utcoffset()
