@@ -32,6 +32,7 @@ EXPERIMENTS = [
     "bench_e15_query_planner",
     "bench_e16_obs_overhead",
     "bench_e17_crash_recovery",
+    "bench_e18_replication",
 ]
 
 

@@ -14,6 +14,13 @@ the station's :class:`~repro.storage.accounting.DiskAccountant`
 lecture-duration after each presentation, and maintains the broadcast
 vector of references ("References to the instance are broadcasted and
 stored in many remote stations").
+
+Not to be confused with the repo's two other replication layers: this
+module replicates *course-document BLOBs* onto stations;
+:mod:`repro.replication` replicates the class administrator's
+*relational database* by WAL shipping (read replicas + failover); and
+:mod:`repro.distribution.syncdb` replicates *document-layer metadata
+rows* via operation logs.  See DESIGN.md §11 for the comparison table.
 """
 
 from __future__ import annotations

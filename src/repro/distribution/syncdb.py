@@ -18,6 +18,13 @@ Replication is asynchronous: replicas converge once the network drains.
 :meth:`MetadataReplicator.divergence` measures how far a replica
 currently is from the master — the consistency metric experiment E11
 sweeps.
+
+Not to be confused with the repo's two other replication layers: this
+module fans out *document-layer metadata rows* as logical op-logs;
+:mod:`repro.replication` ships the class administrator's physical WAL
+frames to byte-identical follower journals (read replicas + failover);
+and :mod:`repro.distribution.replication` replicates *course-document
+BLOBs*.  See DESIGN.md §11 for the comparison table.
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ course number and title.  Only instructors may add or delete entries
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.library.search import SearchIndex, SearchResult
 
@@ -74,6 +74,31 @@ class VirtualLibrary:
             return False
         self._index.remove(doc_id)
         return True
+
+    def reload(self, entries: "Iterable[CatalogEntry]") -> int:
+        """Rebuild the catalog and search index from ``entries``.
+
+        The recovery/replication path: entries come from the durable
+        ``catalog_docs`` table (authoritative; privilege was enforced
+        when they were first published), so no instructor check applies
+        here — but each entry's publisher is re-granted the privilege,
+        matching the state a live server would have.  Returns the entry
+        count.  In-place, so the circulation desk's reference stays
+        valid.
+        """
+        self._entries.clear()
+        self._index = SearchIndex()
+        for entry in entries:
+            self._entries[entry.doc_id] = entry
+            self.instructors.add(entry.instructor)
+            self._index.add(
+                entry.doc_id,
+                keywords=entry.keywords,
+                instructor=entry.instructor,
+                course_number=entry.course_number,
+                title=entry.title,
+            )
+        return len(self._entries)
 
     def _require_instructor(self, user: str) -> None:
         if user not in self.instructors:

@@ -20,9 +20,37 @@ the cost the paper's full m-ary tree amortizes.
 """
 
 from repro.net.sim import Simulator
-from repro.net.messages import Message
+from repro.net.messages import (
+    Message,
+    REPL_FRAMES,
+    REPL_SNAPSHOT_CHUNK,
+    REPL_SNAPSHOT_META,
+    REPL_STATUS,
+    REPL_SUBSCRIBE,
+    ReplFrameBatch,
+    ReplSnapshotChunk,
+    ReplSnapshotMeta,
+    ReplStatus,
+    ReplSubscribe,
+)
 from repro.net.link import DuplexLink
 from repro.net.station import Station
 from repro.net.transport import Network
 
-__all__ = ["Simulator", "Message", "DuplexLink", "Station", "Network"]
+__all__ = [
+    "Simulator",
+    "Message",
+    "DuplexLink",
+    "Station",
+    "Network",
+    "REPL_FRAMES",
+    "REPL_SNAPSHOT_CHUNK",
+    "REPL_SNAPSHOT_META",
+    "REPL_STATUS",
+    "REPL_SUBSCRIBE",
+    "ReplFrameBatch",
+    "ReplSnapshotChunk",
+    "ReplSnapshotMeta",
+    "ReplStatus",
+    "ReplSubscribe",
+]

@@ -4,6 +4,14 @@ Everything that crosses the simulated network is a :class:`Message`:
 a source, destination, kind tag (dispatch key), an arbitrary payload
 object (never serialized — this is a simulation) and the byte size that
 *would* cross the wire, which is what the link model charges for.
+
+This module also defines the **replication stream** payloads — the
+typed envelopes :mod:`repro.replication` exchanges between a primary's
+:class:`~repro.replication.shipper.WalShipper` and a follower's
+:class:`~repro.replication.recoverer.Recoverer`.  They live here, with
+the message plumbing, because they are wire vocabulary rather than
+replication logic: any station can relay or inspect them without
+importing the replication subsystem.
 """
 
 from __future__ import annotations
@@ -14,7 +22,19 @@ from typing import Any
 
 from repro.util.validation import check_non_negative
 
-__all__ = ["Message"]
+__all__ = [
+    "Message",
+    "REPL_SUBSCRIBE",
+    "REPL_SNAPSHOT_META",
+    "REPL_SNAPSHOT_CHUNK",
+    "REPL_FRAMES",
+    "REPL_STATUS",
+    "ReplSubscribe",
+    "ReplSnapshotMeta",
+    "ReplSnapshotChunk",
+    "ReplFrameBatch",
+    "ReplStatus",
+]
 
 _msg_counter = itertools.count(1)
 
@@ -42,3 +62,79 @@ class Message:
     def reply_kind(self) -> str:
         """Conventional kind tag for a response to this message."""
         return f"{self.kind}.reply"
+
+
+# ---------------------------------------------------------------------------
+# Replication stream vocabulary (used by repro.replication)
+# ---------------------------------------------------------------------------
+#: follower -> primary: (re)subscribe to the WAL stream
+REPL_SUBSCRIBE = "repl.subscribe"
+#: primary -> follower: a snapshot transfer is starting
+REPL_SNAPSHOT_META = "repl.snapshot.meta"
+#: primary -> follower: one chunk of snapshot bytes
+REPL_SNAPSHOT_CHUNK = "repl.snapshot.chunk"
+#: primary -> follower: a batch of WAL frames
+REPL_FRAMES = "repl.frames"
+#: follower -> primary: applied-LSN progress report
+REPL_STATUS = "repl.status"
+
+
+@dataclass(frozen=True, slots=True)
+class ReplSubscribe:
+    """A follower announcing itself and where its history ends.
+
+    ``applied_lsn`` is the last LSN durably applied locally; the
+    primary resumes the stream just above it, or falls back to a full
+    snapshot when that history has been checkpointed away (or the
+    follower has diverged past the primary — a stale-epoch rejoin).
+    """
+
+    follower: str
+    applied_lsn: int
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReplSnapshotMeta:
+    """Header of a chunked snapshot transfer."""
+
+    epoch: int
+    snapshot_lsn: int
+    size_bytes: int
+    chunks: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReplSnapshotChunk:
+    """One run of snapshot bytes (``seq`` counts from 0)."""
+
+    epoch: int
+    snapshot_lsn: int
+    seq: int
+    data: bytes
+    last: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ReplFrameBatch:
+    """A batch of WAL frames plus the primary's current horizon.
+
+    ``frames`` is a list of ``(lsn, frame_bytes)`` pairs — the exact
+    bytes the primary journaled, CRC and all.  ``primary_lsn`` lets the
+    follower judge whether it has caught up; ``epoch`` fences batches
+    from a deposed primary after a failover.
+    """
+
+    epoch: int
+    frames: list[tuple[int, bytes]]
+    primary_lsn: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReplStatus:
+    """Follower progress report (drives replica-lag accounting)."""
+
+    follower: str
+    epoch: int
+    applied_lsn: int
+    stage: str

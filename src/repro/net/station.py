@@ -60,6 +60,16 @@ class Station:
             )
         self._handlers[kind] = handler
 
+    def off(self, kind: str) -> bool:
+        """Remove the handler for ``kind``; False when none was bound.
+
+        Lets a daemon that restarts on the same station (e.g. a
+        replication follower re-entering catch-up after a crash)
+        re-register its handler table without tripping the
+        one-handler-per-kind rule.
+        """
+        return self._handlers.pop(kind, None) is not None
+
     def on_default(self, handler: Handler) -> None:
         """Handler for kinds with no specific registration."""
         self._default_handler = handler

@@ -86,6 +86,17 @@ INSTRUMENT_POINTS: dict[str, str] = {
     "fault.chunks_redelivered": "chunks re-sent by the redelivery service",
     "fault.repairs": "tree repairs after confirmed failures",
     "fault.rejoins": "crashed stations brought back into membership",
+    # replication.* — WAL shipping, recovery staging, failover
+    "replication.frames_shipped": "WAL frames streamed to followers",
+    "replication.bytes_shipped": "journal bytes streamed to followers",
+    "replication.snapshot_chunks": "snapshot chunks served to syncing followers",
+    "replication.resyncs": "followers resynced via full snapshot",
+    "replication.stage_transitions": "follower recovery-stage entries, by stage",
+    "replication.promotions": "failover promotions to primary",
+    # replica.* — follower progress and replica-tier reads
+    "replica.applied_lsn": "last LSN a follower durably applied (gauge)",
+    "replica.lag_records": "primary-to-follower LSN lag at status time",
+    "replica.reads": "read requests served, by target (primary/replica)",
 }
 
 

@@ -42,7 +42,15 @@ from repro.rdb.errors import (
     UnknownColumnError,
     UnknownTableError,
 )
-from repro.rdb.wal import Journal, RecoveryStats, SyncPolicy
+from repro.rdb.wal import (
+    Journal,
+    JournalTailer,
+    RecoveryStats,
+    SyncPolicy,
+    WalFrame,
+    parse_frame,
+    read_frames,
+)
 from repro.rdb.triggers import TriggerEvent, TriggerTiming
 
 __all__ = [
@@ -63,8 +71,12 @@ __all__ = [
     "SchemaError",
     "JournalCorruptError",
     "Journal",
+    "JournalTailer",
     "RecoveryStats",
     "SyncPolicy",
+    "WalFrame",
+    "parse_frame",
+    "read_frames",
     "CheckError",
     "ConstraintError",
     "DuplicateKeyError",

@@ -428,6 +428,11 @@ class Database:
         """Journal every committed statement from now on."""
         self._journal = journal
 
+    @property
+    def journal(self) -> Journal | None:
+        """The attached journal, if any (replication reads its LSNs)."""
+        return self._journal
+
     def snapshot(self, path: str) -> None:
         """Dump all rows to ``path`` and checkpoint the journal (if any).
 
@@ -452,6 +457,26 @@ class Database:
             OBS.registry.histogram("wal.checkpoint_seconds").observe(
                 OBS.clock() - started
             )
+
+    def apply_replicated(self, record: dict[str, Any]) -> None:
+        """Apply one journal record shipped from a replication primary.
+
+        The follower-side twin of journal replay during
+        :meth:`recover`: ops are applied verbatim with no constraint
+        re-checks and no trigger re-fires (the primary already did
+        both before journaling), and nothing is re-journaled here —
+        the replication layer persists the shipped frame bytes to the
+        follower's own journal before calling this, so crash recovery
+        and live apply see the identical history.
+        """
+        if self.in_transaction:
+            raise TransactionError(
+                "cannot apply replicated records inside a transaction"
+            )
+        for op in record["ops"]:
+            self._replay_op(op)
+        if isinstance(record.get("txn"), int):
+            self._txn.advance_past(record["txn"])
 
     @classmethod
     def recover(

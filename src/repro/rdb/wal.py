@@ -55,6 +55,10 @@ __all__ = [
     "decode_value",
     "SyncPolicy",
     "RecoveryStats",
+    "WalFrame",
+    "read_frames",
+    "parse_frame",
+    "JournalTailer",
     "Journal",
     "write_snapshot",
     "read_snapshot",
@@ -384,6 +388,162 @@ def _scan_entries(
 
 
 # ---------------------------------------------------------------------------
+# Frame streaming (replication substrate)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class WalFrame:
+    """One complete journal frame, parsed *and* in wire form.
+
+    ``data`` is the exact v2 frame bytes (legacy v1 lines are re-framed
+    on read), so a frame can be shipped to a follower and appended to
+    its local journal verbatim — the CRC travels with it end to end.
+    """
+
+    kind: str  # "txn" | "ckpt"
+    lsn: int
+    txn_id: int | None
+    ops: list[Any] | None
+    data: bytes
+
+    def record(self) -> dict[str, Any]:
+        """The replay-shaped dict (same shape :meth:`Journal.read` yields)."""
+        return {"txn": self.txn_id, "ops": self.ops, "lsn": self.lsn}
+
+
+def _entry_frame(entry: _Entry, data: bytes) -> WalFrame:
+    """Build a :class:`WalFrame` for ``entry`` parsed out of ``data``."""
+    raw = data[entry.start:entry.end]
+    if not raw.startswith(MAGIC):
+        # Legacy v1 line: re-frame as v2 so consumers ship one format.
+        if entry.kind == "ckpt":  # pragma: no cover - v1 had no ckpt
+            payload = json.dumps({"ckpt": entry.lsn},
+                                 separators=(",", ":")).encode("utf-8")
+        else:
+            payload = json.dumps({"txn": entry.txn_id, "ops": entry.ops},
+                                 separators=(",", ":")).encode("utf-8")
+        raw = _frame(entry.lsn, payload)
+    return WalFrame(entry.kind, entry.lsn, entry.txn_id, entry.ops, raw)
+
+
+def read_frames(
+    path: str | os.PathLike[str],
+    *,
+    from_lsn: int = 0,
+    stats: RecoveryStats | None = None,
+) -> Iterator[WalFrame]:
+    """Yield every complete frame with ``lsn > from_lsn``, in order.
+
+    The resumable form of :meth:`Journal.read`: callers remember the
+    last LSN they consumed and pass it back to continue where they
+    stopped.  Checkpoint frames are yielded too (their LSN is the
+    checkpoint watermark) so consumers can detect epoch boundaries.  A
+    torn final frame — the signature of reading concurrently with an
+    append — is never yielded; mid-file corruption raises
+    :class:`~repro.rdb.errors.JournalCorruptError`.
+    """
+    path = Path(path)
+    if stats is None:
+        stats = RecoveryStats()
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    for entry in _scan_entries(data, salvage=False, stats=stats, path=path):
+        if entry.lsn <= from_lsn:
+            if entry.kind == "txn":
+                stats.records_skipped_watermark += 1
+            continue
+        yield _entry_frame(entry, data)
+
+
+def parse_frame(data: bytes) -> WalFrame:
+    """Parse one standalone v2 frame (e.g. shipped over the network).
+
+    The CRC is verified, so a frame that survived the trip parses to
+    exactly what the primary journaled; damage raises
+    :class:`~repro.rdb.errors.JournalCorruptError`.
+    """
+    if not data.startswith(MAGIC):
+        raise JournalCorruptError("<frame>", 0, "missing frame magic")
+    entry, _end, problem = _parse_frame(data, 0, 0)
+    if problem is not None or entry is None:
+        raise JournalCorruptError("<frame>", 0, problem or "unparseable")
+    return WalFrame(entry.kind, entry.lsn, entry.txn_id, entry.ops,
+                    data[entry.start:entry.end])
+
+
+class JournalTailer:
+    """Incrementally follow a live journal without whole-file replay.
+
+    Keeps the byte offset of the last complete frame consumed, so each
+    :meth:`poll` reads only the bytes appended since.  Two liveness
+    properties the replication layer depends on:
+
+    * **never a torn frame** — a frame still being appended (header or
+      payload short of its declared length, or CRC not yet valid) is
+      left for the next poll rather than yielded;
+    * **epoch restarts survive** — when the journal is checkpointed
+      (the file is atomically rewritten to a single checkpoint frame)
+      the tailer detects the rewrite, rescans from the top and resumes
+      above ``last_lsn``, so frames are never re-yielded or lost.
+
+    Mid-file corruption in newly appended bytes raises
+    :class:`~repro.rdb.errors.JournalCorruptError` — a shipping primary
+    must not stream damaged history.
+    """
+
+    #: bytes of the file head used to detect an atomic rewrite
+    _TOKEN_LEN = len(MAGIC) + _HEADER.size + _CRC.size
+
+    def __init__(
+        self, path: str | os.PathLike[str], *, from_lsn: int = 0
+    ) -> None:
+        self.path = Path(path)
+        self.last_lsn = from_lsn
+        self._pos = 0
+        self._head_token = b""
+
+    def poll(self) -> list[WalFrame]:
+        """All complete frames appended since the last poll."""
+        if not self.path.exists():
+            return []
+        size = self.path.stat().st_size
+        with self.path.open("rb") as fh:
+            head = fh.read(self._TOKEN_LEN)
+            if size < self._pos or head != self._head_token:
+                # The file was rewritten under us (checkpoint/compaction)
+                # or this is the first poll: rescan from the top.  The
+                # last_lsn filter below deduplicates anything re-read.
+                self._pos = 0
+                self._head_token = head
+            fh.seek(self._pos)
+            data = fh.read()
+        frames: list[WalFrame] = []
+        pos = 0
+        scan_lsn = 0  # monotonicity is re-checked against last_lsn below
+        while pos < len(data):
+            if data.startswith(MAGIC, pos):
+                entry, next_pos, problem = _parse_frame(data, pos, scan_lsn)
+            else:
+                entry, next_pos, problem = _parse_v1_line(data, pos, scan_lsn)
+            if problem is not None:
+                if _has_later_record(data, pos):
+                    raise JournalCorruptError(
+                        self.path, self._pos + pos, problem
+                    )
+                break  # torn tail: an append in flight — retry next poll
+            if entry is None:  # blank v1 line
+                pos = next_pos
+                continue
+            scan_lsn = entry.lsn
+            if entry.lsn > self.last_lsn:
+                frames.append(_entry_frame(entry, data))
+                self.last_lsn = entry.lsn
+            pos = next_pos
+        self._pos += pos
+        return frames
+
+
+# ---------------------------------------------------------------------------
 # Journal
 # ---------------------------------------------------------------------------
 class Journal:
@@ -495,6 +655,30 @@ class Journal:
         payload = json.dumps({"txn": txn_id, "ops": ops},
                              separators=(",", ":")).encode("utf-8")
         self._fh.write(_frame(lsn, payload))
+        self._fh.flush()
+        self.last_lsn = lsn
+        self.records_written += 1
+        self._pending_sync += 1
+        if self.sync_policy.due(self._pending_sync):
+            self.sync()
+        return lsn
+
+    def append_raw(self, lsn: int, data: bytes) -> int:
+        """Append one pre-built frame verbatim, adopting its LSN.
+
+        The replication follower's append path: frames arrive from the
+        primary already framed and checksummed (:class:`WalFrame.data`)
+        and are written byte-for-byte, so the follower's journal is a
+        prefix-identical copy of the primary's and the same recovery
+        machinery applies after a follower crash.  The LSN must advance
+        the local sequence.
+        """
+        assert self._fh is not None
+        if lsn <= self.last_lsn:
+            raise ValueError(
+                f"append_raw LSN {lsn} does not advance past {self.last_lsn}"
+            )
+        self._fh.write(data)
         self._fh.flush()
         self.last_lsn = lsn
         self.records_written += 1

@@ -16,18 +16,24 @@ the front end of the virtual course DBMS"), and the DBMS reached
   and routing into the Web document DB and the virtual library.
 * :mod:`repro.tiers.client` — typed student / instructor /
   administrator clients.
+* :mod:`repro.tiers.replicaset` — read routing across a primary and
+  WAL-shipped read replicas (:mod:`repro.replication`).
 """
 
-from repro.tiers.protocol import Request, Response, Role
+from repro.tiers.protocol import REPLICA_SAFE_OPS, Request, Response, Role
 from repro.tiers.cache import QueryCache, TableVersions
 from repro.tiers.connection import OpenDatabaseConnection
 from repro.tiers.server import ClassAdministrator
 from repro.tiers.client import AdministratorClient, InstructorClient, StudentClient
 from repro.tiers.remote import RemoteTierClient, RemoteTierServer
+from repro.tiers.replicaset import ReplicaSet, catalog_refresher
 
 __all__ = [
+    "REPLICA_SAFE_OPS",
     "RemoteTierClient",
     "RemoteTierServer",
+    "ReplicaSet",
+    "catalog_refresher",
     "Request",
     "Response",
     "Role",

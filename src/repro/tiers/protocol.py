@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Role", "Request", "Response", "OPERATIONS"]
+__all__ = ["Role", "Request", "Response", "OPERATIONS", "REPLICA_SAFE_OPS"]
 
 
 class Role(enum.Enum):
@@ -47,6 +47,17 @@ OPERATIONS: dict[str, frozenset[Role]] = {
     "check_in": frozenset({Role.STUDENT}),
     "assessment_report": frozenset({Role.INSTRUCTOR, Role.ADMINISTRATOR}),
 }
+
+#: Operations a read-only replica may serve.  Everything here reads
+#: only state that WAL-shipping replication carries to followers — the
+#: administration tables plus the catalog-backed library search index.
+#: Circulation (check_out/check_in) and assessment read loan state that
+#: lives only on the primary, so they are deliberately absent.
+REPLICA_SAFE_OPS: frozenset[str] = frozenset({
+    "search_library",
+    "transcript",
+    "roster",
+})
 
 _request_ids = itertools.count(1)
 

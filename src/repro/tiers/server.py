@@ -43,7 +43,13 @@ from repro.rdb import (
 )
 from repro.tiers.cache import QueryCache, TableVersions
 from repro.tiers.connection import OpenDatabaseConnection
-from repro.tiers.protocol import OPERATIONS, Request, Response, Role
+from repro.tiers.protocol import (
+    OPERATIONS,
+    REPLICA_SAFE_OPS,
+    Request,
+    Response,
+    Role,
+)
 
 __all__ = ["ClassAdministrator"]
 
@@ -113,7 +119,27 @@ STATIONS = Schema(
     primary_key=("user_id",),
 )
 
-ADMIN_SCHEMAS = (STUDENTS, COURSES, ENROLLMENTS, TRANSCRIPTS, STATIONS)
+#: The library catalog, as a durable administration table.  The
+#: in-memory :class:`~repro.library.catalog.VirtualLibrary` (and its
+#: search index) is a derived view rebuilt from these rows, so the
+#: catalog survives restarts and rides the WAL to read replicas.
+CATALOG_DOCS = Schema(
+    name="catalog_docs",
+    columns=(
+        Column("doc_id", T.TEXT, nullable=False),
+        Column("title", T.TEXT, nullable=False),
+        Column("course_number", T.TEXT, nullable=False),
+        Column("instructor", T.TEXT, nullable=False),
+        Column("keywords", T.TEXT, nullable=False, default=""),
+        Column("starting_url", T.TEXT),
+        Column("size_bytes", T.INT, nullable=False, default=0),
+    ),
+    primary_key=("doc_id",),
+)
+
+ADMIN_SCHEMAS = (
+    STUDENTS, COURSES, ENROLLMENTS, TRANSCRIPTS, STATIONS, CATALOG_DOCS,
+)
 
 
 class ClassAdministrator:
@@ -157,6 +183,13 @@ class ClassAdministrator:
         self.wddb = wddb if wddb is not None else WebDocumentDatabase("server")
         self.library = library if library is not None else VirtualLibrary()
         self.desk = CirculationDesk(self.library)
+        #: A read-only replica refuses every op outside
+        #: :data:`~repro.tiers.protocol.REPLICA_SAFE_OPS`.
+        self.read_only = False
+        if self._data_dir is not None:
+            # The library is a derived view over catalog_docs; rebuild
+            # it from whatever the journal replay restored.
+            self.refresh_catalog()
         self._sessions: dict[str, tuple[str, Role]] = {}
         self._session_counter = itertools.count(1)
         self.requests_served = 0
@@ -230,6 +263,80 @@ class ClassAdministrator:
             return
         self.admin_db.snapshot(str(self._snapshot_path))
 
+    @property
+    def journal(self) -> Journal | None:
+        """The administration database's journal (None in-memory).
+
+        Replication taps this: a :class:`repro.replication.shipper
+        .WalShipper` streams exactly the frames this journal appends.
+        """
+        return self.admin_db.journal
+
+    @property
+    def snapshot_path(self) -> Path | None:
+        """Where :meth:`checkpoint` stages snapshots (None in-memory)."""
+        return self._snapshot_path if self._data_dir is not None else None
+
+    # ------------------------------------------------------------------
+    # Replication support
+    # ------------------------------------------------------------------
+    def refresh_catalog(self) -> int:
+        """Rebuild the virtual library from the ``catalog_docs`` table.
+
+        Called after startup recovery and, on read replicas, whenever a
+        replicated frame touches the catalog; returns the entry count.
+        """
+        entries = [
+            CatalogEntry(
+                doc_id=row["doc_id"],
+                title=row["title"],
+                course_number=row["course_number"],
+                instructor=row["instructor"],
+                keywords=tuple(
+                    k for k in row["keywords"].split(",") if k
+                ),
+                starting_url=row["starting_url"],
+                size_bytes=row["size_bytes"],
+            )
+            for row in self.admin_db.select("catalog_docs")
+        ]
+        return self.library.reload(entries)
+
+    def adopt_database(self, db: Database, *, read_only: bool = True) -> None:
+        """Serve from an externally managed database (a read replica).
+
+        The replication follower owns ``db`` and mutates it through the
+        replay path, which bypasses triggers — so the adopted connection
+        runs **without** the query cache (its invalidation rides on
+        triggers; caching here could serve stale rows forever).  The
+        library view is rebuilt immediately and again on every catalog
+        frame via :meth:`refresh_catalog`.
+        """
+        self.admin_db = db
+        self.connection = OpenDatabaseConnection(db, cache=None)
+        self.read_only = read_only
+        self.refresh_catalog()
+
+    def install_session(self, session_id: str, user: str, role: Role) -> None:
+        """Mirror a primary-issued session so this replica honours it.
+
+        Replicas cannot mint sessions (login is a write, and the
+        admitted-students check belongs on the primary); the
+        :class:`~repro.tiers.replicaset.ReplicaSet` broker calls this on
+        every successful login it routes.
+        """
+        self._sessions[session_id] = (user, role)
+        if role is Role.INSTRUCTOR:
+            self.library.grant_instructor(user)
+
+    def drop_session(self, session_id: str) -> None:
+        """Mirror a logout (see :meth:`install_session`)."""
+        self._sessions.pop(session_id, None)
+
+    def sessions(self) -> dict[str, tuple[str, Role]]:
+        """Snapshot of live sessions (for mirroring onto new replicas)."""
+        return dict(self._sessions)
+
     def recovery_report(self) -> dict[str, Any]:
         """What startup recovery observed, for operators and tests."""
         if self.recovery_stats is None:
@@ -266,6 +373,11 @@ class ClassAdministrator:
         allowed = OPERATIONS.get(request.op)
         if allowed is None:
             return Response.failure(request, f"unknown operation {request.op!r}")
+        if self.read_only and request.op not in REPLICA_SAFE_OPS:
+            return Response.failure(
+                request,
+                f"read-only replica: {request.op!r} must go to the primary",
+            )
         if request.op == "login":
             return self._op_login(request)
         session = (
@@ -449,10 +561,30 @@ class ClassAdministrator:
             size_bytes=int(params.get("size_bytes", 0)),
         )
         self.library.add_document(user, entry)
+        try:
+            self.connection.cursor().insert("catalog_docs", {
+                "doc_id": entry.doc_id,
+                "title": entry.title,
+                "course_number": entry.course_number,
+                "instructor": entry.instructor,
+                "keywords": ",".join(entry.keywords),
+                "starting_url": entry.starting_url,
+                "size_bytes": entry.size_bytes,
+            })
+        except RdbError:
+            # Keep the derived view and the table in step.
+            self.library.remove_document(user, entry.doc_id)
+            raise
         return {"doc_id": entry.doc_id}
 
     def _op_withdraw(self, request: Request, user: str, _role: Role) -> Any:
-        return self.library.remove_document(user, request.params["doc_id"])
+        doc_id = request.params["doc_id"]
+        removed = self.library.remove_document(user, doc_id)
+        if removed:
+            self.connection.cursor().delete(
+                "catalog_docs", where=col("doc_id") == doc_id
+            )
+        return removed
 
     def _op_search(self, request: Request, _user: str, _role: Role) -> Any:
         params = request.params

@@ -1,0 +1,218 @@
+"""The resumable frame-streaming API replication is built on.
+
+Covers :func:`repro.rdb.wal.read_frames`, :func:`parse_frame`,
+:class:`JournalTailer` and :meth:`Journal.append_raw` — including the
+pinned regression that tailing a journal mid-append can never yield a
+torn frame.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdb import Database, JournalCorruptError, Schema, Column, ColumnType
+from repro.rdb.wal import (
+    Journal,
+    JournalTailer,
+    WalFrame,
+    parse_frame,
+    read_frames,
+)
+
+T = ColumnType
+
+EVENTS = Schema(
+    name="events",
+    columns=(
+        Column("event_id", T.INT, nullable=False),
+        Column("label", T.TEXT, nullable=False, default=""),
+    ),
+    primary_key=("event_id",),
+)
+
+
+def _journal_with(path, n, *, start=1):
+    journal = Journal(path, sync="commit")
+    for k in range(start, start + n):
+        journal.append(k, [["insert", "events", {"event_id": k, "label": f"e{k}"}]])
+    return journal
+
+
+class TestReadFrames:
+    def test_yields_all_frames_in_order(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 5)
+        journal.close()
+        frames = list(read_frames(tmp_path / "j.wal"))
+        assert [f.lsn for f in frames] == [1, 2, 3, 4, 5]
+        assert all(f.kind == "txn" for f in frames)
+
+    def test_from_lsn_resumes_exactly_above(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 5)
+        journal.close()
+        frames = list(read_frames(tmp_path / "j.wal", from_lsn=3))
+        assert [f.lsn for f in frames] == [4, 5]
+
+    def test_checkpoint_frames_are_yielded(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 3)
+        journal.checkpoint(3)
+        journal.append(4, [["insert", "events", {"event_id": 4, "label": ""}]])
+        journal.close()
+        kinds = [(f.kind, f.lsn) for f in read_frames(tmp_path / "j.wal")]
+        assert kinds == [("ckpt", 3), ("txn", 4)]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(read_frames(tmp_path / "absent.wal")) == []
+
+    def test_torn_tail_never_yielded(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 3)
+        journal.close()
+        data = (tmp_path / "j.wal").read_bytes()
+        (tmp_path / "torn.wal").write_bytes(data[:-7])
+        frames = list(read_frames(tmp_path / "torn.wal"))
+        assert [f.lsn for f in frames] == [1, 2]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 3)
+        journal.close()
+        data = bytearray((tmp_path / "j.wal").read_bytes())
+        data[len(data) // 3] ^= 0x40  # damage with intact frames after it
+        (tmp_path / "bad.wal").write_bytes(bytes(data))
+        with pytest.raises(JournalCorruptError):
+            list(read_frames(tmp_path / "bad.wal"))
+
+
+class TestParseFrame:
+    def test_roundtrip(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 2)
+        journal.close()
+        frames = list(read_frames(tmp_path / "j.wal"))
+        for frame in frames:
+            again = parse_frame(frame.data)
+            assert isinstance(again, WalFrame)
+            assert (again.lsn, again.txn_id, again.ops) == (
+                frame.lsn, frame.txn_id, frame.ops,
+            )
+
+    def test_record_shape_matches_journal_read(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 1)
+        journal.close()
+        [frame] = read_frames(tmp_path / "j.wal")
+        record = frame.record()
+        assert record["txn"] == 1 and record["lsn"] == 1
+        assert record["ops"] == [
+            ["insert", "events", {"event_id": 1, "label": "e1"}]
+        ]
+
+    def test_damage_is_detected(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 1)
+        journal.close()
+        [frame] = read_frames(tmp_path / "j.wal")
+        data = bytearray(frame.data)
+        data[-1] ^= 0x01
+        with pytest.raises(JournalCorruptError):
+            parse_frame(bytes(data))
+        with pytest.raises(JournalCorruptError):
+            parse_frame(b"not a frame at all")
+
+
+class TestAppendRaw:
+    def test_bytes_are_verbatim_and_recoverable(self, tmp_path):
+        src = _journal_with(tmp_path / "src.wal", 4)
+        src.close()
+        dst = Journal(tmp_path / "dst.wal", sync="commit")
+        for frame in read_frames(tmp_path / "src.wal"):
+            dst.append_raw(frame.lsn, frame.data)
+        dst.close()
+        assert (tmp_path / "dst.wal").read_bytes() == (
+            (tmp_path / "src.wal").read_bytes()
+        )
+        db = Database.recover(
+            "copy", [EVENTS], journal_path=str(tmp_path / "dst.wal")
+        )
+        assert db.count("events") == 4
+
+    def test_lsn_must_advance(self, tmp_path):
+        src = _journal_with(tmp_path / "src.wal", 2)
+        src.close()
+        frames = list(read_frames(tmp_path / "src.wal"))
+        dst = Journal(tmp_path / "dst.wal", sync="commit")
+        dst.append_raw(frames[0].lsn, frames[0].data)
+        with pytest.raises(ValueError):
+            dst.append_raw(frames[0].lsn, frames[0].data)
+        dst.close()
+
+    def test_interleaves_with_native_appends(self, tmp_path):
+        src = _journal_with(tmp_path / "src.wal", 2)
+        src.close()
+        dst = Journal(tmp_path / "dst.wal", sync="commit")
+        for frame in read_frames(tmp_path / "src.wal"):
+            dst.append_raw(frame.lsn, frame.data)
+        lsn = dst.append(7, [["insert", "events", {"event_id": 7, "label": ""}]])
+        assert lsn == 3  # adopted sequence continues
+        dst.close()
+
+
+class TestJournalTailer:
+    def test_incremental_polling(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 2)
+        tailer = JournalTailer(tmp_path / "j.wal")
+        assert [f.lsn for f in tailer.poll()] == [1, 2]
+        assert tailer.poll() == []
+        journal.append(3, [["insert", "events", {"event_id": 3, "label": ""}]])
+        assert [f.lsn for f in tailer.poll()] == [3]
+        journal.close()
+
+    def test_from_lsn_skips_consumed_history(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 4)
+        journal.close()
+        tailer = JournalTailer(tmp_path / "j.wal", from_lsn=2)
+        assert [f.lsn for f in tailer.poll()] == [3, 4]
+
+    def test_survives_checkpoint_rewrite(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 3)
+        tailer = JournalTailer(tmp_path / "j.wal")
+        assert [f.lsn for f in tailer.poll()] == [1, 2, 3]
+        journal.checkpoint(3)  # atomic rewrite: file now one ckpt frame
+        journal.append(4, [["insert", "events", {"event_id": 4, "label": ""}]])
+        journal.append(5, [["insert", "events", {"event_id": 5, "label": ""}]])
+        frames = tailer.poll()
+        # Nothing re-yielded, nothing lost across the epoch restart.
+        assert [f.lsn for f in frames if f.kind == "txn"] == [4, 5]
+        journal.close()
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = _journal_with(tmp_path / "j.wal", 3)
+        journal.close()
+        data = bytearray((tmp_path / "j.wal").read_bytes())
+        data[len(data) // 3] ^= 0x40
+        (tmp_path / "j.wal").write_bytes(bytes(data))
+        tailer = JournalTailer(tmp_path / "j.wal")
+        with pytest.raises(JournalCorruptError):
+            tailer.poll()
+
+    def test_tailing_mid_append_never_yields_torn_frame(self, tmp_path):
+        """Pinned regression: poll at EVERY byte prefix of an in-flight
+        append — a partially written frame must never surface, and once
+        the final byte lands exactly the full frames appear."""
+        journal = _journal_with(tmp_path / "whole.wal", 3)
+        journal.close()
+        whole = (tmp_path / "whole.wal").read_bytes()
+        frame_ends = []
+        pos = 0
+        for frame in read_frames(tmp_path / "whole.wal"):
+            pos += len(frame.data)
+            frame_ends.append(pos)
+
+        live = tmp_path / "live.wal"
+        tailer = JournalTailer(live)
+        yielded: list[int] = []
+        for cut in range(len(whole) + 1):
+            live.write_bytes(whole[:cut])  # the append in flight
+            frames = tailer.poll()  # must not raise, must not tear
+            yielded.extend(f.lsn for f in frames)
+            complete = sum(1 for end in frame_ends if end <= cut)
+            assert yielded == list(range(1, complete + 1)), (
+                f"at byte {cut}: yielded {yielded}, "
+                f"complete frames {complete}"
+            )
+        assert yielded == [1, 2, 3]
