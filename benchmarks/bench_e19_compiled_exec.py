@@ -1,0 +1,352 @@
+"""E19 (extension) — compiled, vectorized execution on the scan/join path.
+
+The seed executor walked every candidate row through a per-row Python
+generator pipeline and evaluated WHERE clauses by recursive
+``Expr.eval`` tree interpretation.  This PR lowers each predicate tree
+to one generated Python function (``repro.rdb.compile``) and pulls rows
+through the executor in batches, so a full scan becomes a single fused
+list comprehension instead of ~5 frame pushes per row.
+
+E19 measures that end to end, with the interpreted baseline re-enabled
+*in the same process* via the ``REPRO_COMPILED_EXEC=0`` kill switch:
+
+* **full scan** — a 3-conjunct WHERE over the document corpus through
+  ``Database.select``.  Target: >=10x interpreted throughput.
+* **join query** — filtered documents ⋈ course catalog through
+  ``Database.join`` (the paper's "documents of one author with their
+  course records" shape).  Target: >=10x.
+* **pure merge** — ``join_rows`` over pre-materialized inputs.  The
+  hash merge must build one fresh output dict per matched pair (~1 us
+  each), which both modes pay, so the honest ceiling here is ~2x; the
+  end-to-end join clears 10x because the compiled scans feed it.
+* **bare filter** — the generated batch filter against per-row
+  ``Expr.eval``: the codegen ablation with no executor around it.
+* **obs overhead** — the enabled-observability cost on a compiled
+  scan.  Batches are counted analytically (one add per batch, never
+  per row), so the target is <1%.
+
+Modes are interleaved A/B across repeats and the best run per mode is
+kept.  ``--smoke`` is the CI perf guard at small scale with
+deliberately generous floors (shared runners are noisy): it fails
+(exit 1) if compiled throughput falls below 4x interpreted on the full
+scan, 2.5x on the join query, or the enabled-obs overhead exceeds 10%.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import print_table
+from repro.obs import MetricsRegistry, disable, enable
+from repro.rdb import Column, ColumnType, Database, Schema, col
+from repro.rdb.compile import ENV_VAR
+from repro.rdb.query import join_rows
+
+T = ColumnType
+
+REPEATS = 5
+
+# 3-conjunct scan predicate: selects ~0.1% of the corpus.
+SCAN_WHERE = (
+    (col("version") == 3)
+    & (col("size_kb") > 1500)
+    & (col("author").isin(("a13", "a14", "a15")))
+)
+# Join-side filter: one author's current large documents (~0.04%).
+JOIN_WHERE = (
+    (col("version") == 3)
+    & (col("size_kb") > 1500)
+    & (col("author") == "a13")
+)
+ON = [("course", "course")]
+
+
+def build_corpus(rows: int) -> Database:
+    """``rows`` web documents plus the 200-course catalog they cite."""
+    db = Database("corpus")
+    db.create_table(Schema(
+        name="docs",
+        columns=(
+            Column("doc_id", T.INT, nullable=False),
+            Column("course", T.TEXT, nullable=False),
+            Column("version", T.INT, nullable=False),
+            Column("size_kb", T.INT, nullable=False),
+            Column("author", T.TEXT, nullable=False),
+        ),
+        primary_key=("doc_id",),
+    ))
+    db.create_table(Schema(
+        name="courses",
+        columns=(
+            Column("course", T.TEXT, nullable=False),
+            Column("dept", T.TEXT, nullable=False),
+            Column("credits", T.INT, nullable=False),
+        ),
+        primary_key=("course",),
+    ))
+    db.insert_many("docs", [
+        {
+            "doc_id": i,
+            "course": f"c{i % 200}",
+            "version": i % 7,
+            "size_kb": (i * 13) % 2000,
+            "author": f"a{i % 97}",
+        }
+        for i in range(rows)
+    ])
+    db.insert_many("courses", [
+        {"course": f"c{i}", "dept": f"d{i % 10}", "credits": i % 4}
+        for i in range(200)
+    ])
+    return db
+
+
+def _set_mode(compiled: bool) -> None:
+    os.environ[ENV_VAR] = "1" if compiled else "0"
+
+
+def _restore_mode(previous: str | None) -> None:
+    if previous is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = previous
+
+
+def _qps_once(fn, iters: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    elapsed = time.perf_counter() - start
+    return iters / elapsed if elapsed else float("inf")
+
+
+def _best_both_modes(fn, iters: int) -> tuple[float, float]:
+    """(interpreted q/s, compiled q/s), modes interleaved per repeat."""
+    previous = os.environ.get(ENV_VAR)
+    best = [0.0, 0.0]
+    try:
+        for _ in range(REPEATS):
+            for index, compiled in enumerate((False, True)):
+                _set_mode(compiled)
+                best[index] = max(best[index], _qps_once(fn, iters))
+    finally:
+        _restore_mode(previous)
+    return best[0], best[1]
+
+
+def _workloads(db: Database, iters: int):
+    """(label, fn, iters) triples covered by both table and smoke."""
+    # Pure-merge inputs are pre-materialized so only join_rows is timed.
+    left = db.select("docs", where=col("version") == 3)
+    right = db.select("courses")
+    docs = db.table("docs")
+    rows_list = docs.rows_list()
+
+    def full_scan() -> None:
+        db.select("docs", where=SCAN_WHERE)
+
+    def join_query() -> None:
+        db.join("docs", "courses", ON, where_left=JOIN_WHERE)
+
+    def pure_merge() -> None:
+        join_rows(left, right, ON)
+
+    def bare_filter() -> None:
+        # Interpreted shape of the same filter; the compiled mode swaps
+        # in the generated batch function via the executor — here we
+        # time the two filter bodies directly.
+        from repro.rdb.compile import batch_filter, compiled_exec_enabled
+        if compiled_exec_enabled():
+            batch_filter(SCAN_WHERE)(rows_list)
+        else:
+            evaluate = SCAN_WHERE.eval
+            [row for row in rows_list if evaluate(row)]
+
+    return [
+        ("full scan", full_scan, iters),
+        ("join query", join_query, iters),
+        ("pure merge", pure_merge, max(1, iters // 2)),
+        ("bare filter", bare_filter, iters),
+    ]
+
+
+def measure(rows: int, iters: int) -> dict[str, tuple[float, float]]:
+    """{workload: (interpreted q/s, compiled q/s)} on the corpus."""
+    db = build_corpus(rows)
+    return {
+        label: _best_both_modes(fn, n)
+        for label, fn, n in _workloads(db, iters)
+    }
+
+
+def measure_obs_overhead(rows: int, iters: int) -> tuple[float, float, float]:
+    """(fixed us/statement, big-scan ms, overhead %) for compiled scans.
+
+    Batches are counted analytically — the instrumentation cost of a
+    select is a fixed handful of counter adds per *statement*, never
+    per row.  That fixed cost (~1 us) is invisible inside a ~2 ms
+    40k-row scan — wall-clock A/B at that scale just measures machine
+    drift (the sign flips run to run) — so it is measured where it is
+    observable: a micro scan whose total time is ~15 us.  The big-scan
+    overhead is then ``fixed_cost / scan_time``, both terms measured by
+    toggling instrumentation in-process.
+    """
+    micro = build_corpus(64)
+    big = build_corpus(rows)
+
+    def micro_scan() -> None:
+        micro.select("docs", where=SCAN_WHERE)
+
+    def big_scan() -> None:
+        big.select("docs", where=SCAN_WHERE)
+
+    previous = os.environ.get(ENV_VAR)
+    best = [0.0, 0.0]
+    try:
+        _set_mode(True)
+        for _ in range(REPEATS):
+            for index, setup in enumerate(
+                (disable, lambda: enable(registry=MetricsRegistry()))
+            ):
+                setup()
+                try:
+                    best[index] = max(
+                        best[index], _qps_once(micro_scan, iters * 40)
+                    )
+                finally:
+                    disable()
+        fixed_s = max(0.0, 1.0 / best[1] - 1.0 / best[0])
+        scan_qps = max(_qps_once(big_scan, iters) for _ in range(REPEATS))
+    finally:
+        _restore_mode(previous)
+    scan_s = 1.0 / scan_qps
+    return fixed_s * 1e6, scan_s * 1e3, fixed_s / scan_s * 100.0
+
+
+def speedup_rows(rows: int, iters: int) -> list[list]:
+    out = []
+    for label, (interp, compiled) in measure(rows, iters).items():
+        out.append([
+            label,
+            f"{interp:,.0f}",
+            f"{compiled:,.0f}",
+            f"{compiled / interp:.1f}x",
+        ])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# pytest checks (generous bounds: CI machines are shared and noisy)
+# ---------------------------------------------------------------------------
+def test_e19_compiled_and_interpreted_agree():
+    db = build_corpus(3_000)
+    previous = os.environ.get(ENV_VAR)
+    results = {}
+    try:
+        for compiled in (False, True):
+            _set_mode(compiled)
+            results[compiled] = (
+                db.select("docs", where=SCAN_WHERE, order_by="doc_id"),
+                db.join("docs", "courses", ON, where_left=JOIN_WHERE),
+                db.aggregate("docs", {"n": ("count", "doc_id")},
+                             where=SCAN_WHERE, group_by=["author"]),
+            )
+    finally:
+        _restore_mode(previous)
+    assert results[False] == results[True]
+    assert results[True][0]  # non-degenerate: the predicate selects rows
+
+
+def test_e19_explain_reports_exec_mode():
+    db = build_corpus(100)
+    previous = os.environ.get(ENV_VAR)
+    try:
+        _set_mode(True)
+        assert "exec=compiled batch=" in db.explain("docs", SCAN_WHERE)
+        _set_mode(False)
+        assert "exec=interpreted batch=1" in db.explain("docs", SCAN_WHERE)
+    finally:
+        _restore_mode(previous)
+
+
+def test_e19_compiled_scan_beats_interpreted():
+    db = build_corpus(8_000)
+    fn_iters = _workloads(db, 30)[0]
+    interp, compiled = _best_both_modes(fn_iters[1], fn_iters[2])
+    assert compiled >= 2.0 * interp  # full run shows >=10x; CI floor
+
+
+def test_e19_bench_compiled_scan(benchmark):
+    db = build_corpus(4_000)
+    previous = os.environ.get(ENV_VAR)
+    try:
+        _set_mode(True)
+        benchmark(lambda: db.select("docs", where=SCAN_WHERE))
+    finally:
+        _restore_mode(previous)
+
+
+# ---------------------------------------------------------------------------
+def smoke() -> int:
+    """CI perf guard at small scale (interpreted baseline measured
+    in-run, floors generous for shared runners)."""
+    failures = []
+    results = measure(10_000, 40)
+    floors = {"full scan": 4.0, "join query": 2.5}
+    for label, (interp, compiled) in results.items():
+        ratio = compiled / interp
+        floor = floors.get(label)
+        print(f"{label}: interpreted {interp:,.0f} q/s, "
+              f"compiled {compiled:,.0f} q/s ({ratio:.1f}x"
+              + (f", floor {floor:.1f}x)" if floor else ")"))
+        if floor is not None and ratio < floor:
+            failures.append(
+                f"{label} compiled throughput is only {ratio:.2f}x "
+                f"interpreted (floor {floor:.1f}x)"
+            )
+    fixed_us, scan_ms, overhead = measure_obs_overhead(10_000, 40)
+    print(f"obs overhead on compiled scan: {fixed_us:.1f}us fixed / "
+          f"{scan_ms:.2f}ms scan = {overhead:+.2f}% (ceiling 10%)")
+    if overhead > 10.0:
+        failures.append(
+            f"enabled-obs overhead on compiled scan is {overhead:.1f}% "
+            f"(>10% ceiling)"
+        )
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    print("compiled-exec guard:", "FAIL" if failures else "ok")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    if "--smoke" in sys.argv[1:]:
+        return smoke()
+    rows, iters = 40_000, 30
+    print_table(
+        f"E19: compiled vs interpreted execution "
+        f"({rows:,} documents; best of {REPEATS} interleaved repeats)",
+        ["workload", "interpreted q/s", "compiled q/s", "speedup"],
+        speedup_rows(rows, iters),
+    )
+    fixed_us, scan_ms, overhead = measure_obs_overhead(rows, iters)
+    print_table(
+        "E19: observability overhead on the compiled full scan "
+        "(fixed per-statement cost vs scan time)",
+        ["quantity", "value"],
+        [
+            ["fixed obs cost / statement", f"{fixed_us:.1f} us"],
+            [f"compiled scan ({rows:,} rows)", f"{scan_ms:.2f} ms"],
+            ["overhead with obs enabled", f"{overhead:+.2f}%"],
+        ],
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,13 @@ class AnalysisConfig:
     #: internals (the rest must go through the index-maintaining API).
     index_internal_modules: tuple[str, ...] = ("repro/rdb/table.py",)
 
+    #: Modules allowed to build code at runtime (``exec``/``eval``).
+    #: Inside them the codegen-namespace rule audits that generated code
+    #: runs under an explicit namespace with a pinned builtins whitelist
+    #: free of I/O/import/entropy names; everywhere else any
+    #: ``exec``/``eval`` call is flagged outright.
+    codegen_modules: tuple[str, ...] = ("repro/rdb/compile.py",)
+
     #: Module-relative prefixes where a silently-swallowed
     #: ``LockConflictError`` is treated as a defect.
     lock_sensitive_paths: tuple[str, ...] = (

@@ -7,6 +7,7 @@ Each module holds one rule family; :func:`standard_rules` is what
 from __future__ import annotations
 
 from repro.analysis.registry import Rule
+from repro.analysis.rules.codegen import CodegenNamespaceRule
 from repro.analysis.rules.determinism import NondeterminismGuardRule
 from repro.analysis.rules.exceptions import BareExceptRule, SwallowedLockConflictRule
 from repro.analysis.rules.index_invariant import IndexInvariantRule
@@ -20,6 +21,7 @@ def standard_rules() -> list[type[Rule]]:
     return [
         MutationOutsideTransactionRule,
         TriggerRecursionRule,
+        CodegenNamespaceRule,
         NondeterminismGuardRule,
         IndexInvariantRule,
         BareExceptRule,

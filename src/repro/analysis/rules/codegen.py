@@ -1,0 +1,149 @@
+"""Rule: codegen-namespace.
+
+The compiled-execution layer (:mod:`repro.rdb.compile`) builds Python
+functions at runtime with ``compile``/``exec``.  Generated code must
+never be able to capture I/O, import machinery, reflection, or entropy
+sources — a predicate compiled from user-shaped expression trees has no
+business reaching ``open`` or ``__import__``.  This rule audits that
+property statically:
+
+* outside the configured ``codegen_modules``, *any* call to the
+  ``exec``/``eval`` builtins is flagged — runtime code construction is
+  only allowed where it is declared and audited;
+* inside a codegen module, ``exec``/``eval`` must receive an explicit
+  globals namespace (never the caller's real globals);
+* any dict literal bound to a ``*BUILTINS*``-named constant (the
+  whitelist handed to generated namespaces as ``__builtins__``) must
+  contain only names outside the banned set below — growing the
+  whitelist with ``open``, ``__import__``, ``getattr`` or friends fails
+  the build;
+* a codegen module that ``exec``s but defines no ``*BUILTINS*``
+  whitelist at all is flagged: the namespace pin is the whole point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ModuleContext, Rule
+
+__all__ = ["CodegenNamespaceRule"]
+
+#: Builtin names generated code must never see: import machinery, I/O,
+#: runtime code construction, reflection over namespaces/attributes,
+#: debugger hooks and entropy/clocks.
+_BANNED_BUILTINS = frozenset({
+    "__import__",
+    "open",
+    "input",
+    "exec",
+    "eval",
+    "compile",
+    "globals",
+    "locals",
+    "vars",
+    "getattr",
+    "setattr",
+    "delattr",
+    "breakpoint",
+    "memoryview",
+    "print",
+    "exit",
+    "quit",
+    "help",
+})
+
+
+def _is_builtins_name(name: str) -> bool:
+    return "BUILTINS" in name.upper()
+
+
+class CodegenNamespaceRule(Rule):
+    id = "codegen-namespace"
+    summary = (
+        "exec/eval outside declared codegen modules, or generated-code "
+        "namespaces that could capture I/O/import/entropy builtins"
+    )
+    severity = Severity.ERROR
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        in_codegen = ctx.relpath in self.config.codegen_modules
+        has_whitelist = False
+        has_exec = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                finding, was_exec = self._check_call(ctx, node, in_codegen)
+                has_exec = has_exec or was_exec
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Name)
+                        and _is_builtins_name(target.id)
+                    ):
+                        continue
+                    has_whitelist = True
+                    yield from self._check_whitelist(ctx, target.id, node.value)
+        if in_codegen and has_exec and not has_whitelist:
+            yield ctx.finding(
+                self,
+                ctx.tree,
+                "codegen module execs generated code but defines no "
+                "*BUILTINS* whitelist to pin the namespace with",
+            )
+
+    def _check_call(
+        self, ctx: ModuleContext, call: ast.Call, in_codegen: bool
+    ) -> tuple[Finding | None, bool]:
+        """(finding, is-exec/eval-call) for one call node."""
+        func = call.func
+        if not isinstance(func, ast.Name) or func.id not in {"exec", "eval"}:
+            return None, False
+        if not in_codegen:
+            return ctx.finding(
+                self,
+                call,
+                f"{func.id}() outside a declared codegen module — runtime "
+                "code construction is only allowed in "
+                f"codegen_modules={list(self.config.codegen_modules)!r}",
+            ), True
+        if len(call.args) < 2:
+            return ctx.finding(
+                self,
+                call,
+                f"{func.id}() without an explicit globals namespace runs "
+                "generated code against this module's real globals",
+            ), True
+        return None, True
+
+    def _check_whitelist(
+        self, ctx: ModuleContext, name: str, value: ast.AST | None
+    ) -> Iterable[Finding]:
+        if not isinstance(value, ast.Dict):
+            return
+        for key in value.keys:
+            if not isinstance(key, ast.Constant) or not isinstance(
+                key.value, str
+            ):
+                yield ctx.finding(
+                    self,
+                    key if key is not None else value,
+                    f"{name} whitelist has a non-literal key — the allowed "
+                    "builtins must be auditable string constants",
+                )
+                continue
+            if key.value in _BANNED_BUILTINS or key.value.startswith("__"):
+                yield ctx.finding(
+                    self,
+                    key,
+                    f"{name} whitelist exposes {key.value!r} to generated "
+                    "code (I/O/import/reflection/entropy builtins are "
+                    "banned from codegen namespaces)",
+                )

@@ -49,6 +49,7 @@ ENV_VAR = "REPRO_OBS"
 #: Keep sorted; tests fail on names outside this catalogue.
 INSTRUMENT_POINTS: dict[str, str] = {
     # rdb.engine / rdb.query — the relational substrate
+    "rdb.batches": "row batches pulled by the vectorized executor",
     "rdb.plan": "access-path choices by table and path kind",
     "rdb.rows_returned": "rows a select handed back, by table",
     "rdb.rows_scanned": "candidate rows examined by the access path",

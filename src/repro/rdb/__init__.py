@@ -24,6 +24,14 @@ guide's "make it work, make it right" ordering; the few hot paths
 """
 
 from repro.rdb.types import Column, ColumnType, Schema
+from repro.rdb.compile import (
+    batch_filter,
+    compile_mode,
+    compiled_exec_enabled,
+    compiled_predicate,
+    compiled_source,
+    predicate_fn,
+)
 from repro.rdb.predicate import Expr, col, lit, predicate_cache_key
 from repro.rdb.query import SelectPlan
 from repro.rdb.stats import IndexStatistics, TableStatistics
@@ -61,6 +69,12 @@ __all__ = [
     "col",
     "lit",
     "predicate_cache_key",
+    "batch_filter",
+    "compile_mode",
+    "compiled_exec_enabled",
+    "compiled_predicate",
+    "compiled_source",
+    "predicate_fn",
     "SelectPlan",
     "IndexStatistics",
     "TableStatistics",

@@ -29,8 +29,16 @@ from repro.rdb.errors import (
     SchemaError,
     TransactionError,
 )
+from repro.rdb.compile import batch_filter, compiled_exec_enabled, predicate_fn
 from repro.rdb.predicate import Expr
-from repro.rdb.query import aggregate, execute_select, join_rows, plan_select, range_scan
+from repro.rdb.query import (
+    aggregate_table,
+    execute_select,
+    join_rows,
+    matching_view,
+    plan_select,
+    range_scan,
+)
 from repro.rdb.table import Table
 from repro.rdb.transaction import Transaction, TransactionManager, UndoRecord
 from repro.rdb.triggers import TriggerEvent, TriggerRegistry, TriggerTiming
@@ -219,9 +227,48 @@ class Database:
     def insert_many(
         self, table_name: str, rows: Sequence[dict[str, Any]]
     ) -> list[tuple]:
-        """Insert several rows atomically; returns their PK tuples."""
+        """Insert several rows atomically; returns their PK tuples.
+
+        The batched twin of :meth:`insert`: rows are normalized up
+        front, trigger dispatchers and constraint/undo/journal handles
+        are resolved once, and the per-row loop only does the work that
+        must stay per-row — constraint checks consult the live indexes,
+        so each row must be checked after its predecessors landed.
+        """
+        table = self._catalog.get(table_name)
+        normalize = table.schema.normalize_row
+        normalized = [normalize(values) for values in rows]
+        if OBS.enabled and normalized:
+            self._obs()["insert"].inc(len(normalized))
+        before = self._triggers.dispatcher(
+            table_name, TriggerEvent.INSERT, TriggerTiming.BEFORE
+        )
+        after = self._triggers.dispatcher(
+            table_name, TriggerEvent.INSERT, TriggerTiming.AFTER
+        )
+        check_insert = self._checker.check_insert
+        apply_insert = table.apply_insert
+        record = self._txn.record
+        wal_append = self._wal_buffer.append
+        pk_of = table.schema.primary_key_of
+        pks: list[tuple] = []
+        append_pk = pks.append
         with self._statement():
-            return [self.insert(table_name, values) for values in rows]
+            # One statement wrapper for the whole batch; the statement
+            # counter still advances once per row plus the wrapper,
+            # matching the per-row form this replaces.
+            self.statements += len(normalized)
+            for row in normalized:
+                if before is not None:
+                    before(None, row)
+                check_insert(table, row)
+                rowid = apply_insert(row)
+                record(UndoRecord("insert", table, rowid, None))
+                wal_append(["insert", table_name, encode_row(row)])
+                if after is not None:
+                    after(None, row)
+                append_pk(pk_of(row))
+        return pks
 
     def upsert(self, table_name: str, values: dict[str, Any]) -> bool:
         """Insert, or update the existing row with the same primary key.
@@ -265,6 +312,8 @@ class Database:
         table = self._catalog.get(table_name)
         if where is None:
             return len(table)
+        if compiled_exec_enabled():
+            return len(batch_filter(where)(table.rows_list()))
         return sum(1 for row in table.rows() if where.eval(row))
 
     def select(
@@ -340,9 +389,23 @@ class Database:
         kind: str = "inner",
     ) -> list[dict[str, Any]]:
         """Join two tables; output keys are ``"l.<col>"`` / ``"r.<col>"``."""
-        left_rows = self.select(left_table, where=where_left)
-        right_rows = self.select(right_table, where=where_right)
-        return join_rows(left_rows, right_rows, on, kind=kind)
+        if not compiled_exec_enabled():
+            left_rows = self.select(left_table, where=where_left)
+            right_rows = self.select(right_table, where=where_right)
+            return join_rows(left_rows, right_rows, on, kind=kind)
+        # Compiled path: feed the join from no-copy matching views — the
+        # merge builds fresh prefixed dicts, so the defensive copies a
+        # select makes for each side would be pure waste.
+        left = self._catalog.get(left_table)
+        right = self._catalog.get(right_table)
+        if OBS.enabled:
+            self._obs()["select"].inc(2)
+        return join_rows(
+            matching_view(left, where_left),
+            matching_view(right, where_right),
+            on,
+            kind=kind,
+        )
 
     def aggregate(
         self,
@@ -352,8 +415,10 @@ class Database:
         group_by: Sequence[str] | None = None,
     ) -> list[dict[str, Any]]:
         """Grouped aggregation; see :func:`repro.rdb.query.aggregate`."""
-        rows = self.select(table_name, where=where)
-        return aggregate(rows, spec, group_by=group_by)
+        table = self._catalog.get(table_name)
+        if OBS.enabled:
+            self._obs()["select"].inc()
+        return aggregate_table(table, spec, where=where, group_by=group_by)
 
     def update(
         self,
@@ -367,11 +432,7 @@ class Database:
         action (RESTRICT / CASCADE / SET NULL).
         """
         table = self._catalog.get(table_name)
-        target_rowids = [
-            rowid
-            for rowid, row in list(table.items())
-            if where is None or where.eval(row)
-        ]
+        target_rowids = self._matching_rowids(table, where)
         if OBS.enabled:
             self._obs()["update"].inc()
         with self._statement():
@@ -394,11 +455,7 @@ class Database:
     def delete(self, table_name: str, where: Expr | None = None) -> int:
         """Delete matching rows (honouring referential actions)."""
         table = self._catalog.get(table_name)
-        target_rowids = [
-            rowid
-            for rowid, row in list(table.items())
-            if where is None or where.eval(row)
-        ]
+        target_rowids = self._matching_rowids(table, where)
         if OBS.enabled:
             self._obs()["delete"].inc()
         with self._statement():
@@ -516,9 +573,9 @@ class Database:
             tables, watermark = read_snapshot_info(snapshot_path)
             for table_name, rows in tables.items():
                 table = db._catalog.get(table_name)
-                for row in rows:
-                    # repro-analysis: ignore[mutation-outside-transaction] -- snapshot rows were committed before being dumped; replay needs no undo log
-                    table.apply_insert(table.schema.normalize_row(row))
+                normalize = table.schema.normalize_row
+                # repro-analysis: ignore[mutation-outside-transaction] -- snapshot rows were committed before being dumped; replay needs no undo log
+                table.apply_insert_many([normalize(row) for row in rows])
         stats.watermark = watermark
         max_txn_id = 0
         if journal_path is not None:
@@ -638,6 +695,20 @@ class Database:
                 self._obs()["statement_seconds"].observe(
                     OBS.clock() - started_at
                 )
+
+    @staticmethod
+    def _matching_rowids(table: Table, where: Expr | None) -> list[int]:
+        """Rowids matching ``where``, snapshotted before mutation starts.
+
+        Uses the compiled predicate closure (or ``Expr.eval`` under the
+        ``REPRO_COMPILED_EXEC=0`` kill switch) so bulk UPDATE/DELETE
+        target selection runs at compiled-filter speed.
+        """
+        items = list(table.items())
+        predicate = predicate_fn(where)
+        if predicate is None:
+            return [rowid for rowid, _row in items]
+        return [rowid for rowid, row in items if predicate(row)]
 
     def _update_rowid(
         self, table: Table, rowid: int, changes: dict[str, Any]

@@ -135,6 +135,32 @@ class SortedIndex:
             del self._keys[pos]
             del self._rowids[pos]
 
+    def bulk_load(self, items: Iterable[tuple[Any, int]]) -> None:
+        """Insert many (key, rowid) pairs in one sorted rebuild.
+
+        Per-pair :meth:`insert` pays an O(n) list shift per new key;
+        bulk load buckets the pairs in a dict, merges the existing
+        parallel lists in, and rebuilds with one sort — O((n+m) log
+        (n+m)) total.  ``None`` keys are excluded as on insert.
+        """
+        pending: dict[Any, set[int]] = {}
+        for key, rowid in items:
+            if key is None:
+                continue
+            pending.setdefault(key, set()).add(rowid)
+        if not pending:
+            return
+        for key, rowids in zip(self._keys, self._rowids):
+            existing = pending.get(key)
+            if existing is None:
+                pending[key] = rowids
+            else:
+                existing.update(rowids)
+        keys = sorted(pending)
+        self._keys = keys
+        self._rowids = [pending[key] for key in keys]
+        self._entries = sum(len(rowids) for rowids in self._rowids)
+
     def _bounds(
         self, low: Any, high: Any, include_low: bool, include_high: bool
     ) -> tuple[int, int]:
@@ -263,6 +289,25 @@ class IndexSet:
             index.insert(tuple(row[c] for c in index.columns), rowid)
         for index in self._sorted.values():
             index.insert(row[index.column], rowid)
+
+    def insert_rows(
+        self, pairs: Iterable[tuple[dict[str, Any], int]]
+    ) -> None:
+        """Index many (row, rowid) pairs with per-index batched loops.
+
+        The bulk twin of :meth:`insert_row`: lookups are hoisted out of
+        the row loop and sorted indexes take one :meth:`SortedIndex.
+        bulk_load` rebuild instead of a bisect-insert per row.
+        """
+        pairs = list(pairs)
+        for index in self._hash.values():
+            columns = index.columns
+            insert = index.insert
+            for row, rowid in pairs:
+                insert(tuple(row[c] for c in columns), rowid)
+        for index in self._sorted.values():
+            column = index.column
+            index.bulk_load((row[column], rowid) for row, rowid in pairs)
 
     def remove_row(self, row: dict[str, Any], rowid: int) -> None:
         for index in self._hash.values():

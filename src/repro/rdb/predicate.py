@@ -17,6 +17,7 @@ rather than raising.
 
 from __future__ import annotations
 
+import functools
 import re
 from typing import Any, Callable, Iterable
 
@@ -358,8 +359,14 @@ class Apply(Expr):
         return f"{self.inner!r}.apply(<{self.label}>)"
 
 
+@functools.lru_cache(maxsize=256)
 def _like_to_regex(pattern: str) -> re.Pattern[str]:
-    """Translate a SQL LIKE pattern to an anchored regex."""
+    """Translate a SQL LIKE pattern to an anchored regex.
+
+    Cached: statements are often rebuilt with the same LIKE pattern
+    (templated queries, retried requests), and ``re.compile`` dwarfs
+    the cost of constructing the rest of the expression tree.
+    """
     out: list[str] = []
     for ch in pattern:
         if ch == "%":

@@ -17,21 +17,41 @@ The residual WHERE filter is always re-applied, so any access path
 yielding a superset of matching rows is correct.  ORDER BY + LIMIT
 streams through a bounded heap (:func:`heapq.nsmallest`/``nlargest``)
 instead of sorting every matching row.
+
+Execution is **compiled and batched** (:mod:`repro.rdb.compile`): the
+WHERE tree is lowered to one generated filter function per statement and
+rows are pulled in batches of :data:`~repro.rdb.compile.DEFAULT_BATCH`,
+so the per-row cost is the comparisons themselves rather than tree
+interpretation plus generator hops.  Observability tallies per batch,
+not per row.  The ``REPRO_COMPILED_EXEC=0`` kill switch restores the
+interpreted per-row pipeline (batch size 1, ``Expr.eval`` per row) for
+differential testing; EXPLAIN reports which mode a statement ran under.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from itertools import islice
+from operator import itemgetter
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.obs.instrument import OBS
+from repro.rdb.compile import DEFAULT_BATCH, batch_filter, compiled_exec_enabled
 from repro.rdb.errors import UnknownColumnError
-from repro.rdb.predicate import Expr, equality_bindings, range_bounds
+from repro.rdb.predicate import Expr, col, equality_bindings, range_bounds
 from repro.rdb.stats import TableStatistics
 from repro.rdb.table import Table
 
-__all__ = ["SelectPlan", "execute_select", "range_scan", "join_rows", "aggregate"]
+__all__ = [
+    "SelectPlan",
+    "execute_select",
+    "range_scan",
+    "join_rows",
+    "aggregate",
+    "aggregate_table",
+    "matching_view",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,7 +62,10 @@ class SelectPlan:
     pushdown) or ``"scan"``.  ``estimated_cost`` is the planner's row
     estimate for the chosen path; ``chosen_conjuncts`` are the WHERE
     conjuncts the path consumed; ``pushdown`` describes a range pushed
-    into a sorted index (``None`` otherwise).
+    into a sorted index (``None`` otherwise).  ``exec_mode`` is
+    ``"compiled"`` (codegen'd batch filter) or ``"interpreted"`` (the
+    ``REPRO_COMPILED_EXEC=0`` fallback), with ``batch_size`` rows pulled
+    per executor step.
     """
 
     table: str
@@ -51,6 +74,8 @@ class SelectPlan:
     estimated_cost: float = 0.0
     chosen_conjuncts: tuple[str, ...] = ()
     pushdown: str | None = None
+    exec_mode: str = "compiled"
+    batch_size: int = DEFAULT_BATCH
 
     def describe(self) -> str:
         """One-line EXPLAIN rendering."""
@@ -62,6 +87,7 @@ class SelectPlan:
             parts.append("using " + " AND ".join(self.chosen_conjuncts))
         if self.pushdown:
             parts.append(f"pushdown {self.pushdown}")
+        parts.append(f"exec={self.exec_mode} batch={self.batch_size}")
         return " ".join(parts)
 
 
@@ -103,6 +129,7 @@ def plan_select(
                 candidate.cost == best.cost and best.access_path == "scan"
             ):
                 best = candidate
+    compiled = compiled_exec_enabled()
     plan = SelectPlan(
         table=table.schema.name,
         access_path=best.access_path,
@@ -110,6 +137,8 @@ def plan_select(
         estimated_cost=best.cost,
         chosen_conjuncts=best.conjuncts,
         pushdown=best.pushdown,
+        exec_mode="compiled" if compiled else "interpreted",
+        batch_size=DEFAULT_BATCH if compiled else 1,
     )
     return plan, best.rowids()
 
@@ -188,30 +217,42 @@ def execute_select(
         for name in columns:
             if not table.schema.has_column(name):
                 raise UnknownColumnError(table.schema.name, name)
-    _plan, rowids = plan_select(table, where)
-    counted: _CountingIterator | None = None
+    plan, rowids = plan_select(table, where)
     handles: tuple | None = None
-    scanned = 0
+    counts = [0, 0]  # rows examined, batches pulled
     if OBS.enabled:
-        handles = _obs_handles(table.schema.name, _plan.access_path)
+        handles = _obs_handles(table.schema.name, plan.access_path)
         handles[0].inc()
-        if limit is not None and order_by is None:
-            # The only lazy early-exit path: count rows actually
-            # examined (a full-scan figure would overstate the work).
-            counted = _CountingIterator(rowids)
-            rowids = counted
-        elif _plan.access_path == "scan":
-            # Full consumption of the heap: the row count is exact, and
-            # a per-row counting wrapper would tax every row scanned.
-            scanned = _plan.estimated_candidates
-        elif hasattr(rowids, "__len__"):
-            scanned = len(rowids)  # type: ignore[arg-type]  # probe snapshot
+    if (
+        plan.exec_mode == "compiled"
+        and order_by is None
+        and not descending
+        and not distinct
+    ):
+        # Hot path (no reorder, no dedup): batches extend the result
+        # list directly and projection is one comprehension — no
+        # per-row generator resumption between filter and output.
+        # Interpreted mode keeps the per-row generator pipeline below,
+        # preserving the pre-compilation executor as the differential
+        # baseline.
+        needed = None if limit is None else limit + offset
+        matched = _collect_matching(table, plan, rowids, where, counts, needed)
+        if needed is not None:
+            matched = matched[:needed]
+        if columns is None:
+            out = [dict(row) for row in matched]
         else:
-            # Sorted-range pushdown yields lazily and its cardinality
-            # is only estimated — count what it actually yields.
-            counted = _CountingIterator(rowids)
-            rowids = counted
-    matching = _matching_rows(table, rowids, where)
+            out = [{name: row[name] for name in columns} for row in matched]
+        if offset:
+            out = out[offset:]
+        if limit is not None:
+            out = out[:limit]
+        if handles is not None and OBS.enabled:
+            handles[1].inc(counts[0])
+            handles[2].inc(len(out))
+            handles[3].inc(counts[1])
+        return out
+    matching = _matching_rows(table, plan, rowids, where, counts)
     rows: Iterable[dict[str, Any]]
     if order_by is not None:
         keys = (order_by,) if isinstance(order_by, str) else tuple(order_by)
@@ -239,7 +280,7 @@ def execute_select(
         reversed_rows.reverse()
         rows = reversed_rows
     else:
-        rows = matching  # stays lazy: LIMIT stops the scan early
+        rows = matching  # stays lazy: LIMIT stops the batch pulls early
     out: list[dict[str, Any]] = []
     seen: set[tuple] = set()
     needed = None if limit is None else limit + offset
@@ -261,14 +302,15 @@ def execute_select(
     if limit is not None:
         out = out[:limit]
     if handles is not None and OBS.enabled:
-        handles[1].inc(counted.count if counted is not None else scanned)
+        handles[1].inc(counts[0])
         handles[2].inc(len(out))
+        handles[3].inc(counts[1])
     return out
 
 
-#: (registry, {(table, path): (plan, rows_scanned, rows_returned)}) —
-#: handles re-resolved whenever the active registry object changes, so
-#: the steady-state enabled cost per select is three dict hits.
+#: (registry, {(table, path): (plan, rows_scanned, rows_returned,
+#: batches)}) — handles re-resolved whenever the active registry object
+#: changes, so the steady-state enabled cost per select is four dict hits.
 _OBS_HANDLES: list = [None, {}]
 
 
@@ -286,45 +328,131 @@ def _obs_handles(table_name: str, access_path: str) -> tuple:
             registry.counter("rdb.plan", table=table_name, path=access_path),
             registry.counter("rdb.rows_scanned", table=table_name),
             registry.counter("rdb.rows_returned", table=table_name),
+            registry.counter("rdb.batches", table=table_name),
         )
     return handles
 
 
-class _CountingIterator:
-    """Counts candidate rowids as the access path yields them.
+def _row_batches(
+    table: Table, rowids: Iterable[int], size: int
+) -> Iterator[list[dict[str, Any]]]:
+    """Materialize candidate rowids into row-list batches."""
+    get = table.get
+    it = iter(rowids)
+    while True:
+        chunk = list(islice(it, size))
+        if not chunk:
+            return
+        yield [row for rowid in chunk if (row := get(rowid)) is not None]
 
-    Only interposed when observability is enabled AND the select can
-    stop early (LIMIT without ORDER BY), so large scans never pay a
-    per-row dispatch; stays lazy, so bounded scans still stop early
-    (and the count reflects rows actually examined, not the table
-    size).
+
+def _candidate_batches(
+    table: Table, plan: SelectPlan, rowids: Iterable[int]
+) -> Iterator[list[dict[str, Any]]]:
+    """Candidate rows for a planned access path, as row-list batches."""
+    if plan.access_path == "scan":
+        # Scan straight off the heap snapshot: no per-row rowid hop,
+        # no per-row table.get().
+        return table.rows_batches(plan.batch_size)
+    return _row_batches(table, rowids, plan.batch_size)
+
+
+def _collect_matching(
+    table: Table,
+    plan: SelectPlan,
+    rowids: Iterable[int],
+    where: Expr | None,
+    counts: list[int],
+    needed: int | None,
+) -> list[dict[str, Any]]:
+    """Matching rows as one list: filtered batches extend it in place.
+
+    The list-wise twin of :func:`_matching_rows` for selects that
+    consume every matching row in heap order — no generator frame is
+    resumed per row.  Stops pulling batches once ``needed`` rows have
+    matched (LIMIT+OFFSET bound; ``None`` collects everything).
+
+    An unbounded full scan reads every row regardless, so it takes the
+    heap snapshot as a single batch: one fused filter call, no slicing.
     """
-
-    __slots__ = ("_it", "count")
-
-    def __init__(self, iterable: Iterable[int]) -> None:
-        self._it = iter(iterable)
-        self.count = 0
-
-    def __iter__(self) -> "_CountingIterator":
-        return self
-
-    def __next__(self) -> int:
-        value = next(self._it)
-        self.count += 1
-        return value
+    if needed is None and plan.access_path == "scan":
+        rows = table.rows_list()
+        counts[0] += len(rows)
+        counts[1] += 1
+        if where is None:
+            return rows
+        if plan.exec_mode == "compiled":
+            return batch_filter(where)(rows)
+        evaluate = where.eval
+        return [row for row in rows if evaluate(row)]
+    out: list[dict[str, Any]] = []
+    extend = out.extend
+    batches = _candidate_batches(table, plan, rowids)
+    if where is None:
+        for batch in batches:
+            counts[0] += len(batch)
+            counts[1] += 1
+            extend(batch)
+            if needed is not None and len(out) >= needed:
+                break
+    elif plan.exec_mode == "compiled":
+        matching = batch_filter(where)
+        for batch in batches:
+            counts[0] += len(batch)
+            counts[1] += 1
+            extend(matching(batch))
+            if needed is not None and len(out) >= needed:
+                break
+    else:
+        evaluate = where.eval
+        append = out.append
+        for batch in batches:
+            counts[0] += len(batch)
+            counts[1] += 1
+            for row in batch:
+                if evaluate(row):
+                    append(row)
+            if needed is not None and len(out) >= needed:
+                break
+    return out
 
 
 def _matching_rows(
-    table: Table, rowids: Iterable[int], where: Expr | None
+    table: Table,
+    plan: SelectPlan,
+    rowids: Iterable[int],
+    where: Expr | None,
+    counts: list[int],
 ) -> Iterator[dict[str, Any]]:
-    """Lazily yield candidate rows that pass the residual filter."""
-    for rowid in rowids:
-        row = table.get(rowid)
-        if row is None:  # pragma: no cover - rowids come from live structures
-            continue
-        if where is None or where.eval(row):
-            yield row
+    """Yield candidate rows that pass the WHERE filter, batch by batch.
+
+    ``counts`` is a two-slot tally ([rows examined, batches pulled]) the
+    caller flushes to observability after consumption — two integer adds
+    per *batch* replace the per-row counting iterator the interpreted
+    executor used, which is what takes enabled-obs scan overhead under
+    1%.  Stays lazy across batches, so LIMIT without ORDER BY stops
+    pulling once it has enough rows.
+    """
+    batches = _candidate_batches(table, plan, rowids)
+    if where is None:
+        for batch in batches:
+            counts[0] += len(batch)
+            counts[1] += 1
+            yield from batch
+    elif plan.exec_mode == "compiled":
+        matching = batch_filter(where)
+        for batch in batches:
+            counts[0] += len(batch)
+            counts[1] += 1
+            yield from matching(batch)
+    else:
+        evaluate = where.eval
+        for batch in batches:
+            counts[0] += len(batch)
+            counts[1] += 1
+            for row in batch:
+                if evaluate(row):
+                    yield row
 
 
 def _hashable(value: Any) -> Any:
@@ -357,6 +485,22 @@ def range_scan(
                 low, high, include_low=include_low, include_high=include_high
             )
         ]
+    if compiled_exec_enabled():
+        # Lower the bounds to a predicate tree and run it through the
+        # compiled batch filter — same null/ordering semantics as the
+        # interpreted loop below (None keys excluded, unorderable
+        # values raise), one generated comparison chain per batch row.
+        where = col(column).not_null()
+        if low is not None:
+            where = where & (
+                col(column) >= low if include_low else col(column) > low
+            )
+        if high is not None:
+            where = where & (
+                col(column) <= high if include_high else col(column) < high
+            )
+        matching = batch_filter(where)
+        return [dict(row) for row in matching(table.rows_list())]
     out: list[dict[str, Any]] = []
     for row in table.rows():
         value = row[column]
@@ -368,6 +512,35 @@ def range_scan(
             continue
         out.append(dict(row))
     return out
+
+
+def _join_key_fns(
+    on: Sequence[tuple[str, str]],
+) -> tuple[Callable, Callable, Callable[[Any], bool]]:
+    """(left key, right key, key-has-null) extractors for a join spec."""
+    if not on:
+        return (lambda row: ()), (lambda row: ()), (lambda key: False)
+    if len(on) == 1:
+        lc, rc = on[0]
+        return itemgetter(lc), itemgetter(rc), (lambda key: key is None)
+    left = itemgetter(*[lc for lc, _rc in on])
+    right = itemgetter(*[rc for _lc, rc in on])
+    return left, right, (lambda key: None in key)
+
+
+def _prefixed_names(
+    prefix: str, cache: dict[tuple, tuple[str, ...]], keys: tuple[str, ...]
+) -> tuple[str, ...]:
+    """``("<prefix>.<col>", ...)`` for a row's key shape, cached.
+
+    Rows from one table all share a key shape, so the f-string
+    formatting runs once per shape; every merged output row is then one
+    C-speed ``dict(zip(names, values))``.
+    """
+    names = cache.get(keys)
+    if names is None:
+        names = cache[keys] = tuple(f"{prefix}.{k}" for k in keys)
+    return names
 
 
 def join_rows(
@@ -385,9 +558,71 @@ def join_rows(
     collisions between the inputs are harmless.  ``kind`` is ``"inner"``
     or ``"left"`` (left-outer: unmatched left rows appear with ``None``
     right columns).
+
+    The vectorized form decomposes every row into (key shape, value
+    tuple) so a merged output row is a single C-level ``dict(zip(...))``
+    over cached prefixed-name tuples — no per-column formatting, no
+    intermediate dicts.  The ``REPRO_COMPILED_EXEC=0`` kill switch
+    restores the per-row interpreted merge loop.
     """
     if kind not in ("inner", "left"):
         raise ValueError(f"join kind must be 'inner' or 'left', got {kind!r}")
+    if not compiled_exec_enabled():
+        return _join_rows_interpreted(
+            left_rows, right_rows, on,
+            left_prefix=left_prefix, right_prefix=right_prefix, kind=kind,
+        )
+    left_key, right_key, key_has_null = _join_key_fns(on)
+    right_cache: dict[tuple, tuple[str, ...]] = {}
+    buckets: dict[Any, list[tuple[tuple[str, ...], tuple]]] = {}
+    bucket_for = buckets.setdefault
+    right_columns: set[str] = set()
+    for row in right_rows:
+        right_columns.update(row)
+        names = _prefixed_names(right_prefix, right_cache, tuple(row))
+        bucket_for(right_key(row), []).append((names, tuple(row.values())))
+    null_names = tuple(f"{right_prefix}.{k}" for k in right_columns)
+    null_values = (None,) * len(null_names)
+    left_cache: dict[tuple, tuple[str, ...]] = {}
+    combined: dict[tuple, tuple[str, ...]] = {}
+    get_bucket = buckets.get
+    no_matches: list[tuple[tuple[str, ...], tuple]] = []
+    out: list[dict[str, Any]] = []
+    append = out.append
+    for left in left_rows:
+        key = left_key(left)
+        matches = no_matches if key_has_null(key) else get_bucket(key, no_matches)
+        if not matches:
+            if kind != "left":
+                continue
+            matches = ((null_names, null_values),)
+        left_keys = tuple(left)
+        left_values = tuple(left.values())
+        for right_names, right_values in matches:
+            shape = combined.get(left_keys)
+            if shape is None or shape[0] is not right_names:
+                # Combined-name tuples cached per (left shape, right
+                # shape); one right shape per left shape is the common
+                # case, so the hot probe is a single dict hit.
+                left_names = _prefixed_names(left_prefix, left_cache, left_keys)
+                shape = combined[left_keys] = (
+                    right_names, left_names + right_names
+                )
+            append(dict(zip(shape[1], left_values + right_values)))
+    return out
+
+
+def _join_rows_interpreted(
+    left_rows: Iterable[dict[str, Any]],
+    right_rows: Iterable[dict[str, Any]],
+    on: Sequence[tuple[str, str]],
+    *,
+    left_prefix: str = "l",
+    right_prefix: str = "r",
+    kind: str = "inner",
+) -> list[dict[str, Any]]:
+    """The pre-vectorization hash join, kept verbatim for the kill
+    switch: the differential suite pins ``join_rows`` to this output."""
     right_list = list(right_rows)
     buckets: dict[tuple, list[dict[str, Any]]] = {}
     for row in right_list:
@@ -458,3 +693,43 @@ def aggregate(
             result[out_name] = _AGGREGATES[fn_name](values)
         out.append(result)
     return out
+
+
+def matching_view(
+    table: Table, where: Expr | None = None
+) -> list[dict[str, Any]]:
+    """Matching rows as live references — the executor feed for
+    read-only consumers (joins, aggregates) that build fresh output
+    dicts anyway, so the per-row defensive copy a select makes would be
+    pure waste.  Callers must not mutate the returned rows.
+
+    Runs the same planned, batched, observed pipeline as
+    :func:`execute_select`.
+    """
+    plan, rowids = plan_select(table, where)
+    handles: tuple | None = None
+    counts = [0, 0]
+    if OBS.enabled:
+        handles = _obs_handles(table.schema.name, plan.access_path)
+        handles[0].inc()
+    rows = _collect_matching(table, plan, rowids, where, counts, None)
+    if handles is not None and OBS.enabled:
+        handles[1].inc(counts[0])
+        handles[2].inc(len(rows))
+        handles[3].inc(counts[1])
+    return rows
+
+
+def aggregate_table(
+    table: Table,
+    spec: dict[str, tuple[str, str | None]],
+    where: Expr | None = None,
+    group_by: Sequence[str] | None = None,
+) -> list[dict[str, Any]]:
+    """Aggregate straight off a table through the batched executor.
+
+    Equivalent to ``aggregate(execute_select(table, where), spec,
+    group_by)`` but grouped over the no-copy :func:`matching_view` —
+    aggregation only reads column values, so live rows are safe.
+    """
+    return aggregate(matching_view(table, where), spec, group_by=group_by)

@@ -53,30 +53,34 @@ class TableStatistics:
 
 
 def collect_statistics(table: "Table") -> TableStatistics:
-    """Snapshot ``table``'s statistics (O(number of indexes))."""
-    indexes: list[IndexStatistics] = []
-    for hash_index in table.indexes.hash_indexes:
-        indexes.append(
-            IndexStatistics(
-                name=hash_index.name,
-                kind="hash",
-                columns=hash_index.columns,
-                entries=len(hash_index),
-                distinct_keys=hash_index.distinct_keys(),
-            )
+    """Snapshot ``table``'s statistics (O(number of indexes)).
+
+    Runs once per planned statement, so it builds the snapshot in two
+    comprehensions rather than an append loop — the only per-index work
+    is reading the incrementally-maintained counters.
+    """
+    hash_stats = (
+        IndexStatistics(
+            name=index.name,
+            kind="hash",
+            columns=index.columns,
+            entries=len(index),
+            distinct_keys=index.distinct_keys(),
         )
-    for sorted_index in table.indexes.sorted_indexes:
-        indexes.append(
-            IndexStatistics(
-                name=sorted_index.name,
-                kind="sorted",
-                columns=(sorted_index.column,),
-                entries=len(sorted_index),
-                distinct_keys=sorted_index.distinct_keys(),
-            )
+        for index in table.indexes.hash_indexes
+    )
+    sorted_stats = (
+        IndexStatistics(
+            name=index.name,
+            kind="sorted",
+            columns=(index.column,),
+            entries=len(index),
+            distinct_keys=index.distinct_keys(),
         )
+        for index in table.indexes.sorted_indexes
+    )
     return TableStatistics(
         table=table.schema.name,
         row_count=len(table),
-        indexes=tuple(indexes),
+        indexes=(*hash_stats, *sorted_stats),
     )

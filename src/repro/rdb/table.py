@@ -48,6 +48,37 @@ class Table:
     def items(self) -> Iterator[tuple[int, dict[str, Any]]]:
         return iter(self._rows.items())
 
+    def rows_list(self) -> list[dict[str, Any]]:
+        """The heap as one row-reference snapshot (pointer copies only).
+
+        The single-batch form of :meth:`rows_batches` for consumers that
+        read every row anyway — a full-scan filter runs as one fused
+        comprehension over it.  Rows are live references; callers must
+        not mutate them.
+        """
+        return list(self._rows.values())
+
+    def rows_batches(self, size: int = 256) -> Iterator[list[dict[str, Any]]]:
+        """Yield the heap as row-dict batches for the vectorized executor.
+
+        Snapshots the heap's row references once (pointer copies only),
+        then yields list slices — no per-row generator hop, and the
+        batches stay stable if the table mutates mid-iteration.  Rows
+        are live references; callers must not mutate them.
+        """
+        values = list(self._rows.values())
+        for start in range(0, len(values), size):
+            yield values[start:start + size]
+
+    def column_array(self, name: str) -> list[Any]:
+        """All values of one column, in heap (insertion) order.
+
+        The columnar view for scan-shaped analytics: one list the caller
+        can run C-speed reductions over instead of touching row dicts.
+        """
+        self.schema.column(name)  # raises on unknown column
+        return [row[name] for row in self._rows.values()]
+
     def get(self, rowid: int) -> dict[str, Any] | None:
         return self._rows.get(rowid)
 
@@ -75,16 +106,18 @@ class Table:
         for column in columns:
             self.schema.column(column)  # raises on unknown column
         index = HashIndex(name, columns)
+        insert = index.insert
         for rowid, row in self._rows.items():
-            index.insert(tuple(row[c] for c in columns), rowid)
+            insert(tuple(row[c] for c in columns), rowid)
         self.indexes.add_hash(index)
 
     def create_sorted_index(self, name: str, column: str) -> None:
         """Create (and backfill) a named sorted index on one column."""
         self.schema.column(column)
         index = SortedIndex(name, column)
-        for rowid, row in self._rows.items():
-            index.insert(row[column], rowid)
+        index.bulk_load(
+            (row[column], rowid) for rowid, row in self._rows.items()
+        )
         self.indexes.add_sorted(index)
 
     # -- raw mutations (no constraint checks) -------------------------------
@@ -95,6 +128,28 @@ class Table:
         self._rows[rowid] = row
         self.indexes.insert_row(row, rowid)
         return rowid
+
+    def apply_insert_many(self, rows: list[dict[str, Any]]) -> list[int]:
+        """Store normalized rows in bulk; returns their row ids.
+
+        The trusted bulk twin of :meth:`apply_insert` for replay paths
+        (snapshot load, index backfill): heap stores and index
+        maintenance run as batched loops with per-statement overhead
+        amortized.  Constraint checking still belongs to the engine,
+        which must keep per-row check→apply ordering (uniqueness checks
+        consult live indexes), so DML does not route through this.
+        """
+        store = self._rows
+        next_rowid = self._next_rowid
+        rowids = []
+        append = rowids.append
+        for row in rows:
+            store[next_rowid] = row
+            append(next_rowid)
+            next_rowid += 1
+        self._next_rowid = next_rowid
+        self.indexes.insert_rows(zip(rows, rowids))
+        return rowids
 
     def apply_update(self, rowid: int, new_row: dict[str, Any]) -> dict[str, Any]:
         """Replace the row at ``rowid``; returns the old row."""

@@ -13,6 +13,7 @@ raising; AFTER triggers observe the applied change.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -110,6 +111,21 @@ class TriggerRegistry:
         )
         for _name, fn in entries:
             fn(context)
+
+    def dispatcher(
+        self, table: str, event: TriggerEvent, timing: TriggerTiming
+    ) -> Callable[[dict[str, Any] | None, dict[str, Any] | None], None] | None:
+        """A prebound ``fire(old_row, new_row)`` for a multi-row loop.
+
+        ``None`` when nothing is registered for the slot, so bulk
+        statements skip the registry lookup (and the call entirely) per
+        row.  Resolved per statement: registrations made while the
+        statement runs are picked up by the next statement, exactly as
+        the per-row :meth:`fire` lookups behaved for the slot.
+        """
+        if not self._triggers.get((table, event, timing)):
+            return None
+        return functools.partial(self.fire, table, event, timing)
 
     def names_for(self, table: str) -> list[str]:
         """All trigger names registered on ``table`` (for introspection)."""

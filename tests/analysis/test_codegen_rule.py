@@ -1,0 +1,156 @@
+"""Positive/negative fixtures for the codegen-namespace rule."""
+
+from __future__ import annotations
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+CODEGEN = "repro/rdb/compile.py"
+
+
+class TestExecOutsideCodegenModules:
+    def test_flags_exec_in_ordinary_module(self, lint):
+        findings = lint(
+            """\
+            def run(snippet):
+                exec(snippet)
+            """,
+            "repro/core/admin.py",
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+        assert findings[0].line == 2
+
+    def test_flags_eval_in_ordinary_module(self, lint):
+        findings = lint(
+            """\
+            def run(snippet):
+                return eval(snippet, {})
+            """,
+            "repro/tiers/server.py",
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+
+    def test_method_named_eval_is_not_the_builtin(self, lint):
+        findings = lint(
+            """\
+            def run(expr, row):
+                return expr.eval(row)
+            """,
+            "repro/rdb/query.py",
+        )
+        assert findings == []
+
+
+class TestExecInsideCodegenModules:
+    def test_accepts_exec_with_pinned_namespace(self, lint):
+        findings = lint(
+            """\
+            _SAFE_BUILTINS = {"bool": bool, "str": str}
+
+            def build(source):
+                namespace = {"__builtins__": _SAFE_BUILTINS}
+                exec(compile(source, "<g>", "exec"), namespace)
+                return namespace["_compiled"]
+            """,
+            CODEGEN,
+        )
+        assert findings == []
+
+    def test_flags_exec_without_explicit_namespace(self, lint):
+        findings = lint(
+            """\
+            _SAFE_BUILTINS = {"bool": bool}
+
+            def build(source):
+                exec(source)
+            """,
+            CODEGEN,
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+        assert "explicit globals namespace" in findings[0].message
+
+    def test_flags_codegen_module_without_whitelist(self, lint):
+        findings = lint(
+            """\
+            def build(source):
+                namespace = {}
+                exec(source, namespace)
+            """,
+            CODEGEN,
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+        assert "no *BUILTINS* whitelist" in findings[0].message
+
+
+class TestWhitelistContents:
+    def test_flags_banned_builtin_in_whitelist(self, lint):
+        findings = lint(
+            """\
+            _SAFE_BUILTINS = {"bool": bool, "open": open}
+
+            def build(source):
+                exec(source, {"__builtins__": _SAFE_BUILTINS})
+            """,
+            CODEGEN,
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+        assert "'open'" in findings[0].message
+
+    def test_flags_dunder_name_in_whitelist(self, lint):
+        findings = lint(
+            """\
+            _SAFE_BUILTINS = {"__import__": __import__}
+
+            def build(source):
+                exec(source, {"__builtins__": _SAFE_BUILTINS})
+            """,
+            CODEGEN,
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+
+    def test_flags_non_literal_whitelist_key(self, lint):
+        findings = lint(
+            """\
+            name = "bool"
+            _SAFE_BUILTINS = {name: bool}
+
+            def build(source):
+                exec(source, {"__builtins__": _SAFE_BUILTINS})
+            """,
+            CODEGEN,
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+        assert "non-literal key" in findings[0].message
+
+    def test_whitelist_audited_in_any_module(self, lint):
+        # A *BUILTINS* dict outside codegen_modules is still checked —
+        # wherever it lives, it is namespace material.
+        findings = lint(
+            """\
+            EXTRA_BUILTINS = {"eval": eval}
+            """,
+            "repro/util/helpers.py",
+        )
+        assert rules_of(findings) == ["codegen-namespace"]
+
+    def test_custom_codegen_modules_override(self, lint):
+        findings = lint(
+            """\
+            _SAFE_BUILTINS = {"len": len}
+
+            def build(source):
+                exec(source, {"__builtins__": _SAFE_BUILTINS})
+            """,
+            "repro/other/gen.py",
+            codegen_modules=("repro/other/gen.py",),
+        )
+        assert findings == []
+
+
+def test_shipped_compile_module_lints_clean(lint):
+    from pathlib import Path
+
+    source = Path("src/repro/rdb/compile.py").read_text()
+    assert lint(source, CODEGEN) == []

@@ -1,0 +1,186 @@
+"""Unit tests for compiled predicate execution (repro.rdb.compile).
+
+Covers the codegen / closure-fallback split, per-expression caching,
+the restricted generated namespace, the ``REPRO_COMPILED_EXEC`` kill
+switch, EXPLAIN's exec-mode report, the LIKE-regex LRU cache, and the
+batched write paths the vectorized executor leans on.  Semantic
+equivalence with the interpreter is pinned separately by the Hypothesis
+suite in ``test_compile_properties.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.rdb import (
+    Column,
+    ColumnType,
+    Database,
+    Schema,
+    TriggerEvent,
+    TriggerTiming,
+    col,
+)
+from repro.rdb.compile import (
+    DEFAULT_BATCH,
+    ENV_VAR,
+    _SAFE_BUILTINS,
+    batch_filter,
+    compile_mode,
+    compiled_exec_enabled,
+    compiled_predicate,
+    compiled_source,
+    predicate_fn,
+)
+from repro.rdb.predicate import _like_to_regex
+
+T = ColumnType
+
+ROWS = [
+    {"a": 1, "b": "x", "c": None},
+    {"a": 2, "b": "y", "c": 7},
+    {"a": None, "b": "xx", "c": 3},
+]
+
+
+@pytest.fixture
+def kill_switch(monkeypatch):
+    """Force interpreted mode for the duration of one test."""
+    monkeypatch.setenv(ENV_VAR, "0")
+
+
+def _docs_db() -> Database:
+    db = Database("t")
+    db.create_table(Schema(
+        name="docs",
+        columns=(
+            Column("doc_id", T.INT, nullable=False),
+            Column("author", T.TEXT),
+            Column("size", T.INT),
+        ),
+        primary_key=("doc_id",),
+    ))
+    return db
+
+
+# -- codegen vs closure fallback -------------------------------------------
+def test_plain_tree_uses_codegen():
+    expr = (col("a") > 1) & col("b").like("x%")
+    assert compile_mode(expr) == "codegen"
+    source = compiled_source(expr)
+    assert source is not None and source.startswith("def _compiled(r):")
+
+
+def test_apply_tree_falls_back_to_closure():
+    expr = col("b").apply(str.upper) == "X"
+    assert compile_mode(expr) == "closure"
+    assert compiled_source(expr) is None
+    assert [r["a"] for r in ROWS if compiled_predicate(expr)(r)] == [1]
+
+
+def test_compiled_closure_is_cached_per_expression():
+    expr = col("a") == 1
+    assert compiled_predicate(expr) is compiled_predicate(expr)
+    assert batch_filter(expr) is batch_filter(expr)
+    # Distinct (if equal-shaped) trees compile independently.
+    assert compiled_predicate(col("a") == 1) is not compiled_predicate(expr)
+
+
+def test_batch_filter_matches_per_row_closure():
+    expr = (col("a").not_null()) & (col("c") != 3)
+    pred = compiled_predicate(expr)
+    assert batch_filter(expr)(ROWS) == [r for r in ROWS if pred(r)]
+
+
+def test_missing_column_raises_keyerror_like_interpreter():
+    expr = col("nope") == 1
+    with pytest.raises(KeyError):
+        expr.eval({"a": 1})
+    with pytest.raises(KeyError):
+        compiled_predicate(expr)({"a": 1})
+
+
+def test_generated_namespace_is_restricted():
+    # The whitelist must never grow I/O, import, or entropy builtins.
+    assert set(_SAFE_BUILTINS) == {"bool", "isinstance", "str"}
+    fn = compiled_predicate(col("a") == 1)
+    namespace = getattr(fn, "__globals__", {})
+    assert namespace.get("__builtins__") is _SAFE_BUILTINS
+
+
+# -- kill switch ------------------------------------------------------------
+def test_predicate_fn_dispatches_on_mode(kill_switch):
+    expr = col("a") == 1
+    assert not compiled_exec_enabled()
+    assert predicate_fn(expr) == expr.eval
+    assert predicate_fn(None) is None
+    os.environ[ENV_VAR] = "1"
+    assert compiled_exec_enabled()
+    assert predicate_fn(expr) is compiled_predicate(expr)
+
+
+def test_select_results_identical_across_modes(monkeypatch):
+    db = _docs_db()
+    db.insert_many("docs", [
+        {"doc_id": i, "author": f"a{i % 5}", "size": i * 3 % 17}
+        for i in range(60)
+    ])
+    where = (col("size") > 4) & col("author").isin(("a1", "a3"))
+    monkeypatch.setenv(ENV_VAR, "0")
+    interpreted = db.select("docs", where=where, order_by="doc_id")
+    monkeypatch.setenv(ENV_VAR, "1")
+    compiled = db.select("docs", where=where, order_by="doc_id")
+    assert interpreted == compiled and compiled
+
+
+# -- EXPLAIN reports execution mode ----------------------------------------
+def test_explain_reports_compiled_exec(monkeypatch):
+    db = _docs_db()
+    monkeypatch.setenv(ENV_VAR, "1")
+    plan = db.explain_plan("docs", col("size") > 4)
+    assert plan.exec_mode == "compiled"
+    assert plan.batch_size == DEFAULT_BATCH
+    assert f"exec=compiled batch={DEFAULT_BATCH}" in plan.describe()
+
+
+def test_explain_reports_interpreted_exec(kill_switch):
+    db = _docs_db()
+    plan = db.explain_plan("docs", col("size") > 4)
+    assert plan.exec_mode == "interpreted"
+    assert plan.batch_size == 1
+    assert "exec=interpreted batch=1" in plan.describe()
+
+
+# -- LIKE regex LRU cache ---------------------------------------------------
+def test_like_to_regex_is_lru_cached():
+    _like_to_regex.cache_clear()
+    before = _like_to_regex.cache_info()
+    col("b").like("doc_%.html")
+    col("b").like("doc_%.html")
+    after = _like_to_regex.cache_info()
+    assert after.misses == before.misses + 1
+    assert after.hits >= before.hits + 1
+    # Cached pattern still matches correctly.
+    assert col("b").like("x%").eval({"b": "xyz"})
+
+
+# -- batched write paths ----------------------------------------------------
+def test_insert_many_maintains_indexes_and_triggers():
+    db = _docs_db()
+    db.create_sorted_index("docs", "by_size", "size")
+    fired = []
+    db.register_trigger(
+        "after_insert", "docs", TriggerEvent.INSERT, TriggerTiming.AFTER,
+        lambda ctx: fired.append(ctx.new_row["doc_id"]),
+    )
+    keys = db.insert_many("docs", [
+        {"doc_id": i, "author": "a", "size": 100 - i} for i in range(20)
+    ])
+    assert keys == [(i,) for i in range(20)]
+    assert fired == list(range(20))
+    got = db.range("docs", "size", 95, 99)
+    assert [r["size"] for r in got] == [95, 96, 97, 98, 99]
+    # Point probe through the pk index still works after the bulk path.
+    assert db.select("docs", where=col("doc_id") == 7)[0]["size"] == 93
