@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1-E19) in one run.
+"""Regenerate every experiment table (E1-E20) in one run.
 
 Usage:  python benchmarks/run_all.py
 """
@@ -34,6 +34,7 @@ EXPERIMENTS = [
     "bench_e17_crash_recovery",
     "bench_e18_replication",
     "bench_e19_compiled_exec",
+    "bench_e20_sharding",
 ]
 
 

@@ -36,6 +36,7 @@ from repro.net.messages import (
 from repro.net.link import DuplexLink
 from repro.net.station import Station
 from repro.net.transport import Network
+from repro.net.shardrpc import SHARD_CALL, SHARD_REPLY, ShardClient, ShardServer
 
 __all__ = [
     "Simulator",
@@ -43,6 +44,10 @@ __all__ = [
     "DuplexLink",
     "Station",
     "Network",
+    "SHARD_CALL",
+    "SHARD_REPLY",
+    "ShardClient",
+    "ShardServer",
     "REPL_FRAMES",
     "REPL_SNAPSHOT_CHUNK",
     "REPL_SNAPSHOT_META",

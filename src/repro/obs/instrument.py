@@ -98,6 +98,12 @@ INSTRUMENT_POINTS: dict[str, str] = {
     "replica.applied_lsn": "last LSN a follower durably applied (gauge)",
     "replica.lag_records": "primary-to-follower LSN lag at status time",
     "replica.reads": "read requests served, by target (primary/replica)",
+    # shard.* — horizontal sharding and two-phase commit
+    "shard.statements": "statements routed by the shard tier, by route",
+    "shard.fanout": "shards touched per scatter-gather read",
+    "shard.2pc": "cross-shard transaction outcomes (commit/abort)",
+    "shard.2pc_seconds": "two-phase commit latency, by outcome",
+    "shard.in_doubt": "in-doubt transactions awaiting resolution (gauge)",
 }
 
 

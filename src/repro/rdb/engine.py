@@ -179,6 +179,36 @@ class Database:
             sp: pos for sp, pos in self._wal_savepoints.items() if pos <= mark
         }
 
+    def pending_wal_ops(self) -> list[list[Any]]:
+        """Encoded replay ops of the open transaction (copy).
+
+        The two-phase-commit prepare hook: a sharding participant runs
+        the transaction's statements (constraints checked, triggers
+        fired), then journals this op list inside its PREPARE record —
+        the exact bytes a normal commit would have appended — so a
+        post-crash commit decision can replay the prepared effects.
+        """
+        if not self._txn.in_transaction:
+            raise TransactionError("pending_wal_ops outside a transaction")
+        return [list(op) for op in self._wal_buffer]
+
+    def commit_prepared(self) -> None:
+        """Commit the open transaction *without* journaling its ops.
+
+        The counterpart of :meth:`pending_wal_ops`: by the time a 2PC
+        participant learns the commit decision, the transaction's ops
+        are already durable inside its journaled PREPARE record, and
+        the decision itself is journaled as a COMMIT record.  Appending
+        a regular transaction frame too would double-apply on replay,
+        so the WAL buffer is discarded before the engine commit.
+        """
+        if not self._txn.in_transaction:
+            raise TransactionError("commit_prepared outside a transaction")
+        self._wal_buffer.clear()
+        self._wal_savepoints.clear()
+        self._txn.commit()
+        self._observe_txn("commit")
+
     @property
     def in_transaction(self) -> bool:
         return self._txn.in_transaction

@@ -21,6 +21,11 @@ Journal format v2 (framed)::
   recovery in salvage mode).
 * Legacy v1 journals (one JSON object per text line) are read
   transparently, including files that mix v1 lines with v2 frames.
+* Besides committed-transaction and checkpoint payloads, a frame may
+  carry a two-phase-commit protocol record (``{"2pc": ...}``) — the
+  prepare/commit/abort votes of :mod:`repro.sharding`.  They share the
+  LSN sequence; :meth:`Journal.read` skips them (single-node recovery
+  is unchanged) while :meth:`Journal.read_records` yields all kinds.
 
 Checkpointing: :func:`write_snapshot` records the journal's last
 applied LSN as a watermark; recovery replays only records above it, so
@@ -239,12 +244,14 @@ class RecoveryStats:
 class _Entry:
     """One parsed journal record and its byte extent."""
 
-    kind: str  # "txn" | "ckpt"
+    kind: str  # "txn" | "ckpt" | "2pc"
     lsn: int
     start: int
     end: int
     txn_id: int | None = None
     ops: list[Any] | None = None
+    #: decoded payload of a ``2pc`` record (prepare/commit/abort/decision)
+    payload: dict[str, Any] | None = None
 
 
 def _frame(lsn: int, payload: bytes) -> bytes:
@@ -280,6 +287,13 @@ def _parse_frame(
         if lsn < last_lsn:
             return None, pos, f"checkpoint LSN went backwards ({lsn})"
         entry = _Entry("ckpt", lsn, pos, payload_end)
+        return entry, payload_end, None
+    if isinstance(obj, dict) and "2pc" in obj:
+        # Two-phase-commit protocol record (prepare/commit/abort on a
+        # participant, decision/end on a coordinator).
+        if lsn <= last_lsn:
+            return None, pos, f"LSN went backwards ({lsn} after {last_lsn})"
+        entry = _Entry("2pc", lsn, pos, payload_end, payload=obj)
         return entry, payload_end, None
     if not (isinstance(obj, dict) and "txn" in obj and "ops" in obj):
         return None, pos, "payload is not a transaction record"
@@ -399,14 +413,18 @@ class WalFrame:
     its local journal verbatim — the CRC travels with it end to end.
     """
 
-    kind: str  # "txn" | "ckpt"
+    kind: str  # "txn" | "ckpt" | "2pc"
     lsn: int
     txn_id: int | None
     ops: list[Any] | None
     data: bytes
+    #: decoded 2PC protocol payload (``kind == "2pc"`` only)
+    payload: dict[str, Any] | None = None
 
     def record(self) -> dict[str, Any]:
         """The replay-shaped dict (same shape :meth:`Journal.read` yields)."""
+        if self.kind == "2pc":
+            return {"2pc": self.payload, "lsn": self.lsn}
         return {"txn": self.txn_id, "ops": self.ops, "lsn": self.lsn}
 
 
@@ -422,7 +440,8 @@ def _entry_frame(entry: _Entry, data: bytes) -> WalFrame:
             payload = json.dumps({"txn": entry.txn_id, "ops": entry.ops},
                                  separators=(",", ":")).encode("utf-8")
         raw = _frame(entry.lsn, payload)
-    return WalFrame(entry.kind, entry.lsn, entry.txn_id, entry.ops, raw)
+    return WalFrame(entry.kind, entry.lsn, entry.txn_id, entry.ops, raw,
+                    entry.payload)
 
 
 def read_frames(
@@ -468,7 +487,7 @@ def parse_frame(data: bytes) -> WalFrame:
     if problem is not None or entry is None:
         raise JournalCorruptError("<frame>", 0, problem or "unparseable")
     return WalFrame(entry.kind, entry.lsn, entry.txn_id, entry.ops,
-                    data[entry.start:entry.end])
+                    data[entry.start:entry.end], entry.payload)
 
 
 class JournalTailer:
@@ -637,9 +656,12 @@ class Journal:
                                  separators=(",", ":")).encode("utf-8")
             fh.write(_frame(base_lsn, payload))
             for entry in entries:
+                if entry.kind == "2pc":
+                    record: dict[str, Any] = entry.payload or {}
+                else:
+                    record = {"txn": entry.txn_id, "ops": entry.ops}
                 body = json.dumps(
-                    {"txn": entry.txn_id, "ops": entry.ops},
-                    separators=(",", ":"),
+                    record, separators=(",", ":"),
                 ).encode("utf-8")
                 fh.write(_frame(entry.lsn, body))
             fh.flush()
@@ -661,6 +683,29 @@ class Journal:
         self._pending_sync += 1
         if self.sync_policy.due(self._pending_sync):
             self.sync()
+        return lsn
+
+    def append_2pc(self, payload: dict[str, Any]) -> int:
+        """Append one two-phase-commit protocol record; returns its LSN.
+
+        ``payload`` must carry the ``"2pc"`` discriminator key (e.g.
+        ``{"2pc": "prepare", "gtxn": ..., "ops": [...]}``).  The record
+        is **always forced to stable storage** before this returns,
+        whatever the journal's sync policy: a participant's vote and a
+        coordinator's commit decision are only meaningful once durable,
+        so 2PC records cannot ride a lazy group-commit window.
+        """
+        assert self._fh is not None
+        if "2pc" not in payload:
+            raise ValueError("2pc record payload must carry the '2pc' key")
+        lsn = self.last_lsn + 1
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._fh.write(_frame(lsn, body))
+        self._fh.flush()
+        self.last_lsn = lsn
+        self.records_written += 1
+        self._pending_sync += 1
+        self.sync()
         return lsn
 
     def append_raw(self, lsn: int, data: bytes) -> int:
@@ -790,6 +835,49 @@ class Journal:
                 continue
             stats.records_recovered += 1
             yield {"txn": entry.txn_id, "ops": entry.ops, "lsn": entry.lsn}
+
+    @staticmethod
+    def read_records(
+        path: str | os.PathLike[str],
+        *,
+        salvage: bool = False,
+        start_lsn: int = 0,
+        stats: RecoveryStats | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Yield *every* record kind above ``start_lsn``, in LSN order.
+
+        The 2PC-aware superset of :meth:`read`: transaction records
+        yield ``{"kind": "txn", "txn": id, "ops": [...], "lsn": n}`` and
+        protocol records yield ``{"kind": "2pc", "payload": {...},
+        "lsn": n}``.  Participant and coordinator recovery need the
+        interleaving — a prepared transaction's ops must be applied at
+        the position of its commit record, not at its prepare — which
+        the txn-only :meth:`read` view cannot express.  Damage handling
+        matches :meth:`read`.
+        """
+        path = Path(path)
+        if stats is None:
+            stats = RecoveryStats()
+        stats.watermark = max(stats.watermark, start_lsn)
+        stats.salvaged = stats.salvaged or salvage
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        for entry in _scan_entries(data, salvage=salvage, stats=stats,
+                                   path=path):
+            stats.last_lsn = entry.lsn
+            if entry.kind == "ckpt":
+                continue
+            if entry.lsn <= start_lsn:
+                stats.records_skipped_watermark += 1
+                continue
+            stats.records_recovered += 1
+            if entry.kind == "2pc":
+                yield {"kind": "2pc", "payload": entry.payload,
+                       "lsn": entry.lsn}
+            else:
+                yield {"kind": "txn", "txn": entry.txn_id,
+                       "ops": entry.ops, "lsn": entry.lsn}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,368 @@
+"""One shard of a sharded database: local execution plus 2PC voting.
+
+A :class:`ShardParticipant` wraps one :class:`~repro.rdb.engine
+.Database` and its framed WAL.  It serves two write paths:
+
+* **direct** — single-shard statements execute as ordinary local
+  transactions (:meth:`ShardParticipant.execute`); durability is the
+  engine's usual commit-time journal append;
+* **two-phase** — for a cross-shard transaction the coordinator first
+  calls :meth:`prepare`, which runs the statements inside an open
+  engine transaction (constraints checked, triggers fired), journals a
+  ``PREPARE`` record carrying the transaction's replay ops (forced to
+  disk — the yes vote is a promise), and holds the engine transaction
+  open until :meth:`commit` or :meth:`abort` journals the outcome.
+
+While a transaction is prepared the participant **blocks**: every
+other write is refused until the outcome arrives.  That is the
+textbook cost of 2PC — a prepared participant holds its locks — and
+here it is also a correctness lever: prepare/outcome record pairs are
+never interleaved with other writes on the same shard, and at most one
+transaction can be in doubt per shard after a crash.
+
+Recovery (:func:`recover_participant`) replays the journal **in LSN
+order** with :meth:`~repro.rdb.wal.Journal.read_records`: committed
+transactions apply as usual, a ``PREPARE`` is stashed, and its ops are
+applied only when the matching ``COMMIT`` record is reached (an
+``ABORT`` drops them).  A prepare with no outcome on disk is
+**in doubt**: the participant refuses writes until
+:meth:`resolve_in_doubt` asks the coordinator — presumed abort: no
+journaled decision means abort.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.obs.instrument import OBS
+from repro.rdb import Database, Schema
+from repro.rdb.errors import RdbError
+from repro.rdb.wal import (
+    Journal,
+    RecoveryStats,
+    encode_row,
+    read_snapshot_info,
+)
+
+__all__ = ["TwoPhaseError", "ShardParticipant", "recover_participant"]
+
+
+class TwoPhaseError(RdbError):
+    """A 2PC protocol violation or a write refused by a blocked shard."""
+
+
+def apply_statement(db: Database, stmt: Sequence[Any]) -> Any:
+    """Execute one routed statement against a shard's database.
+
+    Statements are small op-shaped sequences — ``["insert", table,
+    values]``, ``["insert_many", table, rows]``, ``["upsert", table,
+    values]``, ``["update", table, changes, where]``, ``["update_pk",
+    table, pk, changes]``, ``["delete", table, where]``, ``["delete_pk",
+    table, pk]`` — with WHERE as a live :class:`~repro.rdb.predicate
+    .Expr` (the simulated network passes objects through).
+    """
+    op, table = stmt[0], stmt[1]
+    if op == "insert":
+        return db.insert(table, stmt[2])
+    if op == "insert_many":
+        return db.insert_many(table, stmt[2])
+    if op == "upsert":
+        return db.upsert(table, stmt[2])
+    if op == "update":
+        return db.update(table, stmt[2], stmt[3])
+    if op == "update_pk":
+        return db.update_pk(table, stmt[2], stmt[3])
+    if op == "delete":
+        return db.delete(table, stmt[2])
+    if op == "delete_pk":
+        return db.delete_pk(table, stmt[2])
+    raise TwoPhaseError(f"unknown routed statement {op!r}")
+
+
+class ShardParticipant:
+    """One shard's engine, journal and 2PC state machine."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        db: Database,
+        journal: Journal,
+        *,
+        in_doubt: dict[str, list[Any]] | None = None,
+        committed: set[str] | None = None,
+        aborted: set[str] | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.db = db
+        self.journal = journal
+        if db.journal is not journal:
+            db.attach_journal(journal)
+        #: gtxn currently prepared and awaiting its outcome (live)
+        self._live_gtxn: str | None = None
+        #: prepared-but-unresolved transactions found by recovery
+        self.in_doubt: dict[str, list[Any]] = dict(in_doubt or {})
+        self.committed: set[str] = set(committed or ())
+        self.aborted: set[str] = set(aborted or ())
+        self.recovery_stats: RecoveryStats | None = None
+        self._observe_in_doubt()
+
+    # ------------------------------------------------------------------
+    # Write paths
+    # ------------------------------------------------------------------
+    def _require_writable(self) -> None:
+        if self.in_doubt:
+            raise TwoPhaseError(
+                f"shard {self.shard_id} has {len(self.in_doubt)} "
+                "in-doubt transaction(s); resolve before writing"
+            )
+        if self._live_gtxn is not None:
+            raise TwoPhaseError(
+                f"shard {self.shard_id} is blocked by prepared "
+                f"transaction {self._live_gtxn}"
+            )
+
+    def execute(self, stmts: Sequence[Sequence[Any]]) -> list[Any]:
+        """Run statements as one ordinary local transaction (the
+        single-shard fast path; no 2PC records)."""
+        self._require_writable()
+        with self.db.transaction():
+            return [apply_statement(self.db, s) for s in stmts]
+
+    def prepare(self, gtxn: str, stmts: Sequence[Sequence[Any]]) -> dict:
+        """Phase one: execute, journal PREPARE, vote.
+
+        Returns ``{"vote": True, "results": [...]}`` with the engine
+        transaction left open, or ``{"vote": False, "error": ...}``
+        with every effect rolled back.  A participant that is blocked
+        (already prepared, or in doubt) votes no rather than waiting —
+        the single-transaction engine cannot queue behind the lock.
+        """
+        if self.in_doubt or self._live_gtxn is not None \
+                or self.db.in_transaction:
+            return {
+                "vote": False,
+                "error": f"shard {self.shard_id} is blocked",
+            }
+        self.db.begin()
+        try:
+            results = [apply_statement(self.db, s) for s in stmts]
+            ops = self.db.pending_wal_ops()
+        except RdbError as exc:
+            self.db.rollback()
+            return {"vote": False, "error": str(exc)}
+        # The vote is a promise: the PREPARE record (ops included) is
+        # forced to disk before "yes" leaves this shard.
+        self.journal.append_2pc(
+            {"2pc": "prepare", "gtxn": gtxn, "ops": ops}
+        )
+        self._live_gtxn = gtxn
+        return {"vote": True, "results": results}
+
+    def commit(self, gtxn: str) -> bool:
+        """Phase two, commit outcome.  Idempotent: redelivery after the
+        outcome was journaled (or after a checkpoint dropped the whole
+        exchange) acknowledges without re-applying."""
+        if self._live_gtxn == gtxn:
+            # Outcome record first: if we die right after this append,
+            # recovery replays the prepared ops at this exact position.
+            self.journal.append_2pc({"2pc": "commit", "gtxn": gtxn})
+            self._live_gtxn = None
+            self.db.commit_prepared()
+            self.committed.add(gtxn)
+            return True
+        if gtxn in self.in_doubt:
+            # Redelivered outcome beat resolve_in_doubt to a recovered
+            # prepare: settle it now, exactly as resolution would.
+            self.journal.append_2pc({"2pc": "commit", "gtxn": gtxn})
+            ops = self.in_doubt.pop(gtxn)
+            self.db.apply_replicated({"txn": None, "ops": ops})
+            self.committed.add(gtxn)
+            self._observe_in_doubt()
+            return True
+        if gtxn in self.aborted:
+            raise TwoPhaseError(
+                f"commit for {gtxn} after it was aborted on shard "
+                f"{self.shard_id}"
+            )
+        # Already committed, or forgotten after a checkpoint: ack.
+        return True
+
+    def abort(self, gtxn: str) -> bool:
+        """Phase two, abort outcome (also the vote-no cleanup path)."""
+        if self._live_gtxn == gtxn:
+            self.journal.append_2pc({"2pc": "abort", "gtxn": gtxn})
+            self._live_gtxn = None
+            self.db.rollback()
+            self.aborted.add(gtxn)
+        elif gtxn in self.in_doubt:
+            self.journal.append_2pc({"2pc": "abort", "gtxn": gtxn})
+            self.in_doubt.pop(gtxn)
+            self.aborted.add(gtxn)
+            self._observe_in_doubt()
+        return True
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def resolve_in_doubt(
+        self, resolver: Callable[[str], str]
+    ) -> dict[str, str]:
+        """Settle every in-doubt transaction against the coordinator.
+
+        ``resolver(gtxn)`` must return ``"commit"`` or ``"abort"`` —
+        :meth:`~repro.sharding.coordinator.TwoPhaseCoordinator.resolve`
+        implements presumed abort (commit iff a decision was journaled).
+        Each outcome is journaled here before it is applied, so a crash
+        mid-resolution just re-enters recovery with fewer doubts.
+        """
+        outcomes: dict[str, str] = {}
+        for gtxn in list(self.in_doubt):
+            outcome = resolver(gtxn)
+            if outcome not in ("commit", "abort"):
+                raise TwoPhaseError(
+                    f"resolver returned {outcome!r} for {gtxn}"
+                )
+            self.journal.append_2pc({"2pc": outcome, "gtxn": gtxn})
+            ops = self.in_doubt.pop(gtxn)
+            if outcome == "commit":
+                self.db.apply_replicated({"txn": None, "ops": ops})
+                self.committed.add(gtxn)
+            else:
+                self.aborted.add(gtxn)
+            outcomes[gtxn] = outcome
+        self._observe_in_doubt()
+        return outcomes
+
+    def checkpoint(self, snapshot_path: str | os.PathLike[str]) -> None:
+        """Snapshot + journal truncation, refused while any transaction
+        is prepared or in doubt — a checkpoint must never separate a
+        PREPARE record from its outcome."""
+        if self._live_gtxn is not None or self.in_doubt:
+            raise TwoPhaseError(
+                "cannot checkpoint with prepared transactions outstanding"
+            )
+        self.db.snapshot(str(snapshot_path))
+
+    # ------------------------------------------------------------------
+    # Reads (delegations so the RPC layer has one call surface)
+    # ------------------------------------------------------------------
+    def select(self, table: str, **kwargs: Any) -> list[dict[str, Any]]:
+        return self.db.select(table, **kwargs)
+
+    def count(self, table: str, where: Any = None) -> int:
+        return self.db.count(table, where)
+
+    def get(self, table: str, pk: Any) -> dict[str, Any] | None:
+        return self.db.get(table, pk)
+
+    def exists(self, table: str, pk: Any) -> bool:
+        return self.db.exists(table, pk)
+
+    def aggregate(self, table: str, spec: dict, where: Any = None,
+                  group_by: Sequence[str] | None = None) -> list[dict]:
+        return self.db.aggregate(table, spec, where, group_by)
+
+    def join(self, left: str, right: str, on: Sequence[tuple[str, str]],
+             **kwargs: Any) -> list[dict[str, Any]]:
+        return self.db.join(left, right, on, **kwargs)
+
+    def explain_plan(self, table: str, where: Any = None) -> Any:
+        return self.db.explain_plan(table, where)
+
+    def last_lsn(self) -> int:
+        return self.journal.last_lsn
+
+    def status(self) -> dict[str, Any]:
+        """Protocol-visible state (fixtures and tests poke at this)."""
+        return {
+            "shard": self.shard_id,
+            "prepared": self._live_gtxn,
+            "in_doubt": sorted(self.in_doubt),
+            "last_lsn": self.journal.last_lsn,
+        }
+
+    def close(self) -> None:
+        self.journal.close()
+
+    # ------------------------------------------------------------------
+    def _observe_in_doubt(self) -> None:
+        if OBS.enabled and OBS.registry is not None:
+            OBS.registry.gauge(
+                "shard.in_doubt", shard=str(self.shard_id)
+            ).set(len(self.in_doubt))
+
+
+def recover_participant(
+    shard_id: int,
+    schemas: Sequence[Schema],
+    journal_path: str | os.PathLike[str],
+    *,
+    snapshot_path: str | os.PathLike[str] | None = None,
+    ddl_fn: Callable[[Database], None] | None = None,
+    salvage: bool = False,
+    sync: str = "commit",
+    file_wrapper: Callable[[Any], Any] | None = None,
+    name: str | None = None,
+) -> ShardParticipant:
+    """Cold-start one shard from its snapshot + journal.
+
+    The integrated replay described in the module docstring: records
+    stream in LSN order, prepared ops apply only at their journaled
+    outcome, and unresolved prepares surface as ``in_doubt`` on the
+    returned participant (which then refuses writes until
+    :meth:`ShardParticipant.resolve_in_doubt` runs).
+    """
+    db = Database(name or f"shard-{shard_id}")
+    for schema in schemas:
+        db.create_table(schema)
+    if ddl_fn is not None:
+        ddl_fn(db)
+
+    watermark = 0
+    snapshot_path = Path(snapshot_path) if snapshot_path else None
+    if snapshot_path is not None and snapshot_path.exists():
+        tables, watermark = read_snapshot_info(snapshot_path)
+        for table, rows in tables.items():
+            if rows:
+                db.apply_replicated({
+                    "txn": None,
+                    "ops": [["insert", table, encode_row(r)] for r in rows],
+                })
+
+    stats = RecoveryStats()
+    pending: dict[str, list[Any]] = {}
+    committed: set[str] = set()
+    aborted: set[str] = set()
+    for record in Journal.read_records(
+        journal_path, salvage=salvage, start_lsn=watermark, stats=stats
+    ):
+        if record["kind"] == "txn":
+            db.apply_replicated(
+                {"txn": record["txn"], "ops": record["ops"]}
+            )
+            continue
+        payload = record["payload"] or {}
+        kind, gtxn = payload.get("2pc"), payload.get("gtxn")
+        if kind == "prepare":
+            pending[gtxn] = payload.get("ops") or []
+        elif kind == "commit":
+            ops = pending.pop(gtxn, None)
+            if ops is not None:
+                db.apply_replicated({"txn": None, "ops": ops})
+            committed.add(gtxn)
+        elif kind == "abort":
+            pending.pop(gtxn, None)
+            aborted.add(gtxn)
+
+    journal = Journal(
+        journal_path, sync=sync, salvage=salvage,
+        file_wrapper=file_wrapper,
+    )
+    participant = ShardParticipant(
+        shard_id, db, journal,
+        in_doubt=pending, committed=committed, aborted=aborted,
+    )
+    participant.recovery_stats = stats
+    return participant

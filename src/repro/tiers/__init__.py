@@ -18,6 +18,9 @@ the front end of the virtual course DBMS"), and the DBMS reached
   administrator clients.
 * :mod:`repro.tiers.replicaset` — read routing across a primary and
   WAL-shipped read replicas (:mod:`repro.replication`).
+* :mod:`repro.tiers.shards` — the shard-aware coordinator: shard-key
+  routing, two-phase commit for cross-shard writes
+  (:mod:`repro.sharding`), scatter-gather reads with EXPLAIN fan-out.
 """
 
 from repro.tiers.protocol import REPLICA_SAFE_OPS, Request, Response, Role
@@ -27,9 +30,11 @@ from repro.tiers.server import ClassAdministrator
 from repro.tiers.client import AdministratorClient, InstructorClient, StudentClient
 from repro.tiers.remote import RemoteTierClient, RemoteTierServer
 from repro.tiers.replicaset import ReplicaSet, catalog_refresher
+from repro.tiers.shards import ShardedDatabase
 
 __all__ = [
     "REPLICA_SAFE_OPS",
+    "ShardedDatabase",
     "RemoteTierClient",
     "RemoteTierServer",
     "ReplicaSet",

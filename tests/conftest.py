@@ -107,6 +107,63 @@ def net16() -> Network:
 
 
 # ---------------------------------------------------------------------------
+# Sharding fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def shard_cluster(tmp_path):
+    """Factory for N shards + a 2PC coordinator on ``repro.net``.
+
+    ``cluster = shard_cluster(4, schemas=..., shard_map=...)`` builds a
+    :class:`~repro.sharding.cluster.ShardCluster` (journal-backed
+    participants, RPC stations, coordinator) plus a query tier
+    (``cluster.sharded``, a :class:`~repro.tiers.shards
+    .ShardedDatabase`).  The default shard map hashes each table on its
+    primary key; pass an explicit map for co-location.  Teardown
+    closes every journal and strict-reads it end to end — a test that
+    corrupted any node's WAL fails here even if its assertions passed.
+    """
+    from repro.fault.crashsim import CRASH_SCHEMAS
+    from repro.sharding import ShardCluster
+    from repro.sharding.shardmap import ShardMap, TableSharding
+    from repro.tiers.shards import ShardedDatabase
+
+    built: list = []
+
+    def build(
+        num_shards: int = 2,
+        *,
+        schemas=None,
+        shard_map=None,
+        use_net: bool = True,
+        ddl_fn=None,
+        sync: str = "commit",
+    ):
+        schemas = tuple(schemas) if schemas is not None else CRASH_SCHEMAS
+        workdir = tmp_path / f"shard-cluster-{len(built)}"
+        cluster = ShardCluster(
+            workdir, schemas, num_shards,
+            ddl_fn=ddl_fn, sync=sync, use_net=use_net,
+        )
+        if shard_map is None:
+            shard_map = ShardMap(num_shards, {
+                s.name: TableSharding(key=tuple(s.primary_key))
+                for s in schemas
+            })
+        cluster.shard_map = shard_map
+        cluster.sharded = ShardedDatabase(
+            shard_map, cluster.handles, lambda: cluster.coordinator,
+            schemas=schemas,
+        )
+        built.append(cluster)
+        return cluster
+
+    yield build
+    for cluster in built:
+        cluster.close()
+        cluster.verify_journals()
+
+
+# ---------------------------------------------------------------------------
 # Observability fixtures
 # ---------------------------------------------------------------------------
 @pytest.fixture

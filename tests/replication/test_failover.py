@@ -7,68 +7,24 @@ import pytest
 from repro.fault.crashsim import (
     CRASH_SCHEMAS,
     apply_workload_txn,
-    build_crash_db,
     database_state,
     verify_database,
 )
 from repro.net.messages import REPL_STATUS, REPL_SUBSCRIBE
-from repro.net.sim import Simulator
 from repro.net.station import Station
-from repro.net.transport import Network
-from repro.rdb.wal import Journal
-from repro.replication import FailoverCoordinator, Recoverer, WalShipper
+from repro.replication import FailoverCoordinator, Recoverer
 from repro.util.rng import make_rng
 
 
-def _ddl(db):
-    db.create_hash_index("crash_docs", "docs_by_version", ("version",))
-    db.create_sorted_index("crash_docs", "docs_by_id", "doc_id")
-    db.create_sorted_index("crash_refs", "refs_by_id", "ref_id")
-
-
 @pytest.fixture
-def cluster(tmp_path):
-    """Primary + two caught-up followers + a coordinator."""
-
-    class C:
-        pass
-
-    c = C()
-    c.tmp = tmp_path
-    c.network = Network(Simulator(), default_latency_s=0.002)
-    c.network.add(Station("primary"))
-    c.journal = Journal(tmp_path / "primary.wal", sync="commit")
-    c.db = build_crash_db("primary", journal=c.journal)
-    c.rng = make_rng(0, "crashsim-workload")
-    c.next_txn = 1
-    c.shipper = WalShipper(
-        c.network, "primary", c.journal,
-        snapshot_path=tmp_path / "primary.snapshot",
-        snapshot_fn=lambda: c.db.snapshot(str(tmp_path / "primary.snapshot")),
-    )
+def cluster(repl_cluster):
+    """Primary + two caught-up followers + a failover coordinator."""
+    c = repl_cluster(followers=("f1", "f2"))
     c.coordinator = FailoverCoordinator(c.network)
     c.coordinator.set_primary(c.shipper)
-    c.recoverers = {}
-    for name in ("f1", "f2"):
-        c.network.add(Station(name))
-        rec = Recoverer(
-            c.network, name, "primary", CRASH_SCHEMAS, tmp_path / name,
-            sync_policy="commit", ddl_fn=_ddl,
-        )
-        rec.start()
-        c.coordinator.add_follower(rec)
-        c.recoverers[name] = rec
-
-    def write(n=1):
-        for _ in range(n):
-            apply_workload_txn(c.db, c.next_txn, c.rng)
-            c.next_txn += 1
-
-    def sync():
-        c.shipper.pump()
-        c.network.quiesce()
-
-    c.write, c.sync = write, sync
+    for recoverer in c.recoverers.values():
+        recoverer.start()
+        c.coordinator.add_follower(recoverer)
     c.write(6)
     c.sync()
     return c
@@ -160,7 +116,7 @@ class TestRejoin:
             return Recoverer(
                 cluster.network, "primary", report.new_primary,
                 CRASH_SCHEMAS, tmp_path / "old-primary",
-                sync_policy="commit", ddl_fn=_ddl,
+                sync_policy="commit", ddl_fn=cluster.ddl,
             )
 
         rejoined = cluster.coordinator.rejoin_old_primary(report, factory)
@@ -188,7 +144,7 @@ class TestRejoin:
         # nothing: the deposed shipper drops higher-epoch subscriptions.
         stray = Recoverer(
             cluster.network, "f3", "primary", CRASH_SCHEMAS,
-            tmp_path / "f3", sync_policy="commit", ddl_fn=_ddl,
+            tmp_path / "f3", sync_policy="commit", ddl_fn=cluster.ddl,
             epoch=report.epoch,
         )
         stray.start()

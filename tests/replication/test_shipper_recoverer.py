@@ -6,69 +6,15 @@ import pytest
 
 from repro.fault.crashsim import (
     CRASH_SCHEMAS,
-    apply_workload_txn,
-    build_crash_db,
     database_state,
     verify_database,
 )
-from repro.net.sim import Simulator
-from repro.net.station import Station
-from repro.net.transport import Network
-from repro.rdb.wal import Journal
-from repro.replication import Recoverer, RecoveryStage, WalShipper
-from repro.util.rng import make_rng
-
-
-def _ddl(db):
-    db.create_hash_index("crash_docs", "docs_by_version", ("version",))
-    db.create_sorted_index("crash_docs", "docs_by_id", "doc_id")
-    db.create_sorted_index("crash_refs", "refs_by_id", "ref_id")
-
-
-class Cluster:
-    """One primary plus named followers over a fresh network."""
-
-    def __init__(self, tmp_path, followers=("f1",)):
-        self.tmp = tmp_path
-        self.network = Network(Simulator(), default_latency_s=0.002)
-        self.network.add(Station("primary"))
-        self.journal = Journal(tmp_path / "primary.wal", sync="commit")
-        self.db = build_crash_db("primary", journal=self.journal)
-        self.rng = make_rng(0, "crashsim-workload")
-        self.next_txn = 1
-        self.shipper = WalShipper(
-            self.network, "primary", self.journal,
-            snapshot_path=tmp_path / "primary.snapshot",
-            snapshot_fn=lambda: self.db.snapshot(
-                str(tmp_path / "primary.snapshot")
-            ),
-        )
-        self.recoverers = {}
-        for name in followers:
-            self.add_follower(name)
-
-    def add_follower(self, name):
-        self.network.add(Station(name))
-        recoverer = Recoverer(
-            self.network, name, "primary", CRASH_SCHEMAS,
-            self.tmp / name, sync_policy="commit", ddl_fn=_ddl,
-        )
-        self.recoverers[name] = recoverer
-        return recoverer
-
-    def write(self, n=1):
-        for _ in range(n):
-            apply_workload_txn(self.db, self.next_txn, self.rng)
-            self.next_txn += 1
-
-    def sync(self):
-        self.shipper.pump()
-        self.network.quiesce()
+from repro.replication import Recoverer, RecoveryStage
 
 
 class TestCatchUp:
-    def test_follower_reaches_primary_state(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_follower_reaches_primary_state(self, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(8)
         rec = cluster.recoverers["f1"]
         rec.start()
@@ -78,8 +24,8 @@ class TestCatchUp:
         assert database_state(rec.db) == database_state(cluster.db)
         assert verify_database(rec.db) == []
 
-    def test_live_tail_after_new_writes(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_live_tail_after_new_writes(self, repl_cluster):
+        cluster = repl_cluster()
         rec = cluster.recoverers["f1"]
         rec.start()
         cluster.sync()
@@ -88,8 +34,8 @@ class TestCatchUp:
         assert rec.applied_lsn == 5
         assert database_state(rec.db) == database_state(cluster.db)
 
-    def test_follower_journal_is_byte_prefix_of_primary(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_follower_journal_is_byte_prefix_of_primary(self, tmp_path, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(6)
         rec = cluster.recoverers["f1"]
         rec.start()
@@ -98,8 +44,8 @@ class TestCatchUp:
         follower_bytes = (tmp_path / "f1" / "replica.wal").read_bytes()
         assert follower_bytes == primary_bytes
 
-    def test_ack_driven_batching_needs_one_drain(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_ack_driven_batching_needs_one_drain(self, repl_cluster):
+        cluster = repl_cluster()
         cluster.shipper.batch_frames = 2  # force many round trips
         cluster.write(9)
         rec = cluster.recoverers["f1"]
@@ -107,15 +53,15 @@ class TestCatchUp:
         cluster.network.quiesce()  # no explicit pump per batch
         assert rec.applied_lsn == 9
 
-    def test_subscriber_at_horizon_learns_caught_up(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_subscriber_at_horizon_learns_caught_up(self, repl_cluster):
+        cluster = repl_cluster()
         rec = cluster.recoverers["f1"]
         rec.start()
         cluster.sync()
         assert rec.stage is RecoveryStage.CAUGHT_UP
 
-    def test_restarted_follower_resumes_from_applied_lsn(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_restarted_follower_resumes_from_applied_lsn(self, tmp_path, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(4)
         rec = cluster.recoverers["f1"]
         rec.start()
@@ -125,7 +71,7 @@ class TestCatchUp:
         # Same data dir, fresh daemon: local recovery then stream resume.
         again = Recoverer(
             cluster.network, "f1", "primary", CRASH_SCHEMAS,
-            tmp_path / "f1", sync_policy="commit", ddl_fn=_ddl,
+            tmp_path / "f1", sync_policy="commit", ddl_fn=cluster.ddl,
         )
         again.start()
         assert again.applied_lsn == 4  # from its own journal, pre-stream
@@ -135,8 +81,8 @@ class TestCatchUp:
 
 
 class TestSnapshotResync:
-    def test_checkpointed_away_follower_downloads_snapshot(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_checkpointed_away_follower_downloads_snapshot(self, tmp_path, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(6)
         cluster.db.snapshot(str(tmp_path / "primary.snapshot"))
         cluster.write(3)
@@ -148,8 +94,8 @@ class TestSnapshotResync:
         assert database_state(rec.db) == database_state(cluster.db)
         assert cluster.shipper.snapshots_served == 1
 
-    def test_diverged_follower_is_resynced(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_diverged_follower_is_resynced(self, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(3)
         rec = cluster.recoverers["f1"]
         rec.start()
@@ -166,8 +112,8 @@ class TestSnapshotResync:
         assert rec.applied_lsn == cluster.journal.last_lsn
         assert database_state(rec.db) == database_state(cluster.db)
 
-    def test_snapshot_install_survives_restart(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_snapshot_install_survives_restart(self, tmp_path, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(5)
         cluster.db.snapshot(str(tmp_path / "primary.snapshot"))
         cluster.write(2)
@@ -177,7 +123,7 @@ class TestSnapshotResync:
         rec.stop()
         again = Recoverer(
             cluster.network, "f1", "primary", CRASH_SCHEMAS,
-            tmp_path / "f1", sync_policy="commit", ddl_fn=_ddl,
+            tmp_path / "f1", sync_policy="commit", ddl_fn=cluster.ddl,
         )
         again.start()
         # Local-only recovery: snapshot watermark 5 + journal frames 6-7.
@@ -186,8 +132,8 @@ class TestSnapshotResync:
 
 
 class TestLagTracking:
-    def test_follower_progress_and_commit_horizon(self, tmp_path):
-        cluster = Cluster(tmp_path, followers=("f1", "f2"))
+    def test_follower_progress_and_commit_horizon(self, repl_cluster):
+        cluster = repl_cluster(followers=("f1", "f2"))
         cluster.write(4)
         for rec in cluster.recoverers.values():
             rec.start()
@@ -198,8 +144,8 @@ class TestLagTracking:
         assert progress.lag == 0
         assert progress.status_reports >= 1
 
-    def test_lag_metrics_are_emitted(self, tmp_path, metrics_registry):
-        cluster = Cluster(tmp_path)
+    def test_lag_metrics_are_emitted(self, metrics_registry, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(5)
         cluster.recoverers["f1"].start()
         cluster.sync()
@@ -210,8 +156,8 @@ class TestLagTracking:
         assert "replica.lag_records" in names
         assert "replication.stage_transitions" in names
 
-    def test_epoch_fencing_ignores_stale_primary(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_epoch_fencing_ignores_stale_primary(self, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(3)
         rec = cluster.recoverers["f1"]
         rec.start()
@@ -222,8 +168,8 @@ class TestLagTracking:
         cluster.sync()  # epoch-1 batches must be ignored
         assert rec.applied_lsn == before
 
-    def test_shipper_ignores_future_epoch_subscription(self, tmp_path):
-        cluster = Cluster(tmp_path)
+    def test_shipper_ignores_future_epoch_subscription(self, repl_cluster):
+        cluster = repl_cluster()
         cluster.write(3)
         rec = cluster.recoverers["f1"]
         rec.epoch = 9

@@ -1,0 +1,1 @@
+"""Tests for horizontal sharding and two-phase commit."""
