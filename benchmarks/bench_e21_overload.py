@@ -1,0 +1,261 @@
+"""E21 (extension) — overload robustness: the saturation knee.
+
+An open-loop flash crowd is offered to one middle-tier administrator at
+multiples of its service capacity, with and without the admission
+controller (:mod:`repro.admission`).  Time is virtual (the harness's
+:class:`~repro.admission.harness.ClockBox` plus a seconds-per-op service
+model), so every number below is a property of the *policy*, not of CI
+hardware — except the cost of a shed, which is deliberately measured in
+wall clock because "refusal is microseconds" is the claim.
+
+Three questions:
+
+* **where is the knee?** — goodput (replies within their 250 ms
+  deadline) rises with offered load until the service capacity, then
+  flattens.  :func:`~repro.admission.find_knee` locates it.
+* **what happens past it?** — without admission control the queue grows
+  without bound, every reply is eventually late, and goodput collapses
+  toward zero; with admission control the controller sheds exactly the
+  work that could not have finished in time and goodput holds the knee.
+  The smoke floor: >= 80% of knee goodput at 4x knee offered load, and
+  no shed costs more than a millisecond of wall clock.
+* **what does degradation buy?** — the same overload with *cacheable*
+  traffic (a hot set of rosters) is absorbed by the bounded-staleness
+  cache: refusals become degraded-but-useful stale serves.  The
+  ablation compares served fractions with the cache effective vs not.
+
+``--smoke`` exits 1 when any floor is violated.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `python benchmarks/bench_*.py` directly from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import print_table
+from repro.admission import (
+    AdmissionController,
+    ClockBox,
+    LoadReport,
+    find_knee,
+    run_offered_load,
+)
+from repro.tiers import ClassAdministrator, Request
+
+SERVICE_S = 0.004      # modeled seconds per request -> 250 rps capacity
+CAPACITY_RPS = 1.0 / SERVICE_S
+DEADLINE_S = 0.25      # every caller's patience
+DURATION_S = 4.0
+SWEEP = (0.5, 1.0, 2.0, 4.0, 8.0)   # offered load, x capacity
+HOT_COURSES = 8        # working set for the degradation ablation
+
+
+def build_server(clock: ClockBox, *, gated: bool) -> tuple:
+    admission = None
+    if gated:
+        admission = AdmissionController(
+            clock=clock,
+            service_estimate_s=SERVICE_S,
+            default_deadline_s=DEADLINE_S,
+            max_depth=64,
+        )
+    server = ClassAdministrator(admission=admission)
+    response = server.handle(Request(
+        op="login", session_id=None,
+        params={"user": "registrar", "role": "administrator"},
+    ))
+    return server, response.unwrap()["session_id"]
+
+
+def make_schedule(
+    session: str, rate_rps: float, *, hot_set: int | None = None
+) -> list[tuple[float, Request]]:
+    """Uniform open-loop arrivals of deadline-carrying roster reads.
+
+    ``hot_set=None`` makes every course distinct (no reply is ever
+    cacheable, so the run measures pure admission behaviour);
+    ``hot_set=K`` cycles K courses so the stale cache can absorb the
+    flood once it has seen each one.
+    """
+    n = int(rate_rps * DURATION_S)
+    schedule = []
+    for i in range(n):
+        at = i / rate_rps
+        course = f"c{i % hot_set}" if hot_set else f"c{i}"
+        schedule.append((at, Request(
+            op="roster", session_id=session,
+            params={"course_number": course}, deadline=at + DEADLINE_S,
+        )))
+    return schedule
+
+
+def run_point(multiple: float, *, gated: bool,
+              hot_set: int | None = None) -> LoadReport:
+    clock = ClockBox(0.0)
+    server, session = build_server(clock, gated=gated)
+    rate = multiple * CAPACITY_RPS
+    return run_offered_load(
+        server,
+        make_schedule(session, rate, hot_set=hot_set),
+        service_model=lambda op: SERVICE_S,
+        clock=clock,
+        label=f"{'gated' if gated else 'open'}@{multiple}x",
+    )
+
+
+def sweep() -> tuple[list[LoadReport], list[LoadReport]]:
+    """(gated, ungated) reports across the offered-load sweep."""
+    gated = [run_point(m, gated=True) for m in SWEEP]
+    ungated = [run_point(m, gated=False) for m in SWEEP]
+    return gated, ungated
+
+
+def degradation_ablation() -> tuple[LoadReport, LoadReport]:
+    """(cacheable flood, uncacheable flood) at 8x capacity, gated."""
+    hot = run_point(8.0, gated=True, hot_set=HOT_COURSES)
+    cold = run_point(8.0, gated=True)
+    return hot, cold
+
+
+def served_fraction(report: LoadReport) -> float:
+    """In-deadline replies (fresh and stale alike) per offered request;
+    ``LoadReport.good`` already counts degraded serves that made it."""
+    return report.good / max(report.offered, 1)
+
+
+# ---------------------------------------------------------------------------
+# pytest checks (run via `pytest benchmarks/bench_e21_overload.py`)
+# ---------------------------------------------------------------------------
+def test_e21_goodput_holds_past_knee():
+    gated, _ = sweep()
+    points = [(r.offered_rps, r.goodput_rps) for r in gated]
+    _, knee_goodput = find_knee(points)
+    at_4x = next(r for r in gated if r.label.endswith("@4.0x"))
+    assert at_4x.goodput_rps >= 0.8 * knee_goodput
+
+
+def test_e21_open_loop_collapses_without_admission():
+    report = run_point(4.0, gated=False)
+    assert report.goodput_rps < 0.5 * CAPACITY_RPS
+
+
+def test_e21_stale_cache_absorbs_hot_flood():
+    hot, cold = degradation_ablation()
+    assert served_fraction(hot) > served_fraction(cold)
+    assert hot.degraded > 0
+
+
+# ---------------------------------------------------------------------------
+def smoke() -> int:
+    """CI floor: knee holds under admission, sheds stay microsecond."""
+    import gc
+
+    failures = []
+    run_point(2.0, gated=True)  # warm the shed path before timing it
+    gc.disable()  # a collection pause mid-shed would charge the policy
+    try:
+        gated, ungated = sweep()
+    finally:
+        gc.enable()
+    points = [(r.offered_rps, r.goodput_rps) for r in gated]
+    knee_offered, knee_goodput = find_knee(points)
+    print(f"knee: {knee_goodput:,.0f} good rps at {knee_offered:,.0f} "
+          f"offered rps (capacity {CAPACITY_RPS:,.0f} rps)")
+
+    at_4x = next(r for r in gated if r.label.endswith("@4.0x"))
+    held = at_4x.goodput_rps / knee_goodput if knee_goodput else 0.0
+    print(f"admission at 4x knee: {at_4x.goodput_rps:,.0f} good rps "
+          f"({held:.0%} of knee, floor 80%), {at_4x.shed:,} shed")
+    if held < 0.80:
+        failures.append(
+            f"goodput at 4x knee is {held:.0%} of the knee (floor 80%)"
+        )
+
+    shed_p99 = max(r.shed_percentile(99) for r in gated)
+    worst_shed = max(r.max_shed_wall_s for r in gated)
+    print(f"shed cost: p99 {shed_p99 * 1e6:,.1f} us wall "
+          f"(ceiling 1000 us), worst single "
+          f"{worst_shed * 1e6:,.1f} us")
+    if shed_p99 >= 1e-3:
+        failures.append(
+            f"p99 shed cost is {shed_p99 * 1e3:.2f} ms wall "
+            f"(ceiling 1 ms)"
+        )
+
+    open_4x = next(r for r in ungated if r.label.endswith("@4.0x"))
+    print(f"no admission at 4x knee: {open_4x.goodput_rps:,.0f} good rps "
+          f"(collapse expected)")
+    if open_4x.goodput_rps > 0.5 * knee_goodput:
+        failures.append(
+            "the open-loop baseline did not collapse past the knee — "
+            "the overload regime is not being exercised"
+        )
+
+    hot, cold = degradation_ablation()
+    print(f"degradation ablation at 8x: hot set serves "
+          f"{served_fraction(hot):.0%} of offered "
+          f"({hot.degraded:,} stale), distinct serves "
+          f"{served_fraction(cold):.0%}")
+    if served_fraction(hot) <= served_fraction(cold):
+        failures.append("stale-cache degradation bought no served uplift")
+
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    print("overload guard:", "FAIL" if failures else "ok")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    if "--smoke" in sys.argv[1:]:
+        return smoke()
+    gated, ungated = sweep()
+    points = [(r.offered_rps, r.goodput_rps) for r in gated]
+    knee_offered, knee_goodput = find_knee(points)
+    rows = []
+    for g, u in zip(gated, ungated):
+        rows.append([
+            f"{g.offered_rps / CAPACITY_RPS:.1f}x",
+            f"{g.offered_rps:,.0f}",
+            f"{g.goodput_rps:,.0f}",
+            f"{g.shed:,}",
+            f"{g.percentile(99) * 1e3:.1f}",
+            f"{u.goodput_rps:,.0f}",
+            f"{u.percentile(99) * 1e3:.1f}",
+        ])
+    print_table(
+        f"E21: saturation sweep, 250 ms deadlines "
+        f"(capacity {CAPACITY_RPS:,.0f} rps; virtual time; "
+        f"knee {knee_goodput:,.0f} good rps at "
+        f"{knee_offered:,.0f} offered)",
+        ["offered", "rps", "goodput (admission)", "shed",
+         "p99 ms", "goodput (open)", "p99 ms (open)"],
+        rows,
+    )
+    shed_p99 = max(r.shed_percentile(99) for r in gated)
+    worst_shed = max(r.max_shed_wall_s for r in gated)
+    print(f"\nwall-clock shed cost: p99 {shed_p99 * 1e6:,.1f} us, "
+          f"worst single {worst_shed * 1e6:,.1f} us")
+
+    hot, cold = degradation_ablation()
+    print_table(
+        "E21: degradation ablation at 8x capacity "
+        f"(hot set = {HOT_COURSES} rosters vs all-distinct)",
+        ["traffic", "fresh good", "stale served", "shed",
+         "served fraction"],
+        [
+            ["hot set (cacheable)", f"{hot.good - hot.degraded:,}",
+             f"{hot.degraded:,}", f"{hot.shed:,}",
+             f"{served_fraction(hot):.0%}"],
+            ["distinct (uncacheable)", f"{cold.good - cold.degraded:,}",
+             f"{cold.degraded:,}", f"{cold.shed:,}",
+             f"{served_fraction(cold):.0%}"],
+        ],
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

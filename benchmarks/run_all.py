@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1-E20) in one run.
+"""Regenerate every experiment table (E1-E21) in one run.
 
 Usage:  python benchmarks/run_all.py
 """
@@ -35,6 +35,7 @@ EXPERIMENTS = [
     "bench_e18_replication",
     "bench_e19_compiled_exec",
     "bench_e20_sharding",
+    "bench_e21_overload",
 ]
 
 

@@ -1,0 +1,51 @@
+"""Typed overload errors.
+
+Shedding is a *first-class outcome*, not an anonymous failure: callers
+(and the protocol layer) need to distinguish "the server refused to
+start this work" from "the work ran and failed", because only the
+former is safely retryable after backing off.  Both errors carry an
+optional ``retry_after_s`` hint — the admission controller's estimate
+of when capacity will exist again — which the middle tier surfaces as
+a RETRY_AFTER response field.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OverloadError", "DeadlineExceededError"]
+
+
+class OverloadError(RuntimeError):
+    """The request was shed before any work started.
+
+    ``reason`` names the admission check that refused it (``"quota"``,
+    ``"queue-full"``, ``"overload"``, ``"bulk-queue"``, ``"breaker"``);
+    ``retry_after_s`` is the suggested client backoff.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "overload",
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(OverloadError):
+    """The caller's deadline passed before (or while) work could run.
+
+    Doing the work anyway would burn capacity nobody is waiting for —
+    the saturation failure mode admission control exists to prevent —
+    so expired requests are cancelled wherever they are detected: at
+    admission, at an RPC boundary, or mid scatter-gather.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(
+            message, reason="deadline", retry_after_s=retry_after_s
+        )

@@ -66,6 +66,17 @@ class AnalysisConfig:
         "repro/tiers/",
     )
 
+    #: Module-relative prefixes audited by the retry-discipline rule:
+    #: retry loops here must be bounded by a deadline/budget AND pace
+    #: themselves with backoff (see rules/retry.py).
+    retry_paths: tuple[str, ...] = (
+        "repro/net/",
+        "repro/fault/",
+        "repro/replication/",
+        "repro/tiers/",
+        "repro/distribution/",
+    )
+
     #: Extra rule modules to import (plugin hook): dotted module names
     #: whose import registers rules against the default registry.
     plugins: tuple[str, ...] = field(default_factory=tuple)
@@ -78,6 +89,9 @@ class AnalysisConfig:
 
     def in_lock_sensitive_path(self, relpath: str) -> bool:
         return relpath.startswith(tuple(self.lock_sensitive_paths))
+
+    def in_retry_path(self, relpath: str) -> bool:
+        return relpath.startswith(tuple(self.retry_paths))
 
 
 def load_config(pyproject: str | Path | None = None) -> AnalysisConfig:

@@ -11,6 +11,7 @@ from repro.analysis.rules.codegen import CodegenNamespaceRule
 from repro.analysis.rules.determinism import NondeterminismGuardRule
 from repro.analysis.rules.exceptions import BareExceptRule, SwallowedLockConflictRule
 from repro.analysis.rules.index_invariant import IndexInvariantRule
+from repro.analysis.rules.retry import RetryDisciplineRule
 from repro.analysis.rules.transactions import MutationOutsideTransactionRule
 from repro.analysis.rules.trigger_recursion import TriggerRecursionRule
 
@@ -26,4 +27,5 @@ def standard_rules() -> list[type[Rule]]:
         IndexInvariantRule,
         BareExceptRule,
         SwallowedLockConflictRule,
+        RetryDisciplineRule,
     ]

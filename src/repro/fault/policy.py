@@ -113,6 +113,28 @@ class RetryPolicy:
         """Worst-case seconds spent waiting before giving up."""
         return sum(self.delays())
 
-    def allows(self, attempt: int) -> bool:
-        """Whether retry ``attempt`` (0-based) is still permitted."""
-        return attempt < self.max_retries
+    def allows(
+        self,
+        attempt: int,
+        *,
+        now: float | None = None,
+        deadline: float | None = None,
+    ) -> bool:
+        """Whether retry ``attempt`` (0-based) is still permitted.
+
+        With ``now`` and ``deadline``, the schedule is additionally
+        bounded by the caller's deadline: a retry whose *wait* would
+        cross the deadline is refused even when attempts remain — the
+        caller stops retrying into a request nobody awaits.
+
+        >>> p = RetryPolicy(initial_timeout_s=2.0, multiplier=2.0)
+        >>> p.allows(1)
+        True
+        >>> p.allows(1, now=8.0, deadline=10.0)  # wait 4 crosses 10
+        False
+        """
+        if attempt >= self.max_retries:
+            return False
+        if deadline is not None and now is not None:
+            return now + self.timeout_for(attempt) <= deadline
+        return True

@@ -69,7 +69,13 @@ class RedeliveryService:
         self.policy = policy if policy is not None else RetryPolicy()
         self.reports: list[RedeliveryReport] = []
 
-    def redeliver(self, lecture_id: str, tree: MAryTree) -> RedeliveryReport:
+    def redeliver(
+        self,
+        lecture_id: str,
+        tree: MAryTree,
+        *,
+        deadline: float | None = None,
+    ) -> RedeliveryReport:
         """Re-feed every surviving member of ``tree`` missing chunks.
 
         ``tree`` is the repaired tree (crashed stations already
@@ -77,6 +83,11 @@ class RedeliveryService:
         so both redelivered and still-in-flight chunks flow around the
         dead stations.  Run the simulator afterwards; the report's
         counters are final once the network quiesces.
+
+        ``deadline`` (absolute, simulated seconds) bounds the retry
+        rounds: once a recheck's backoff wait would cross it, healing
+        stops instead of retrying forever — the caller's deadline, not
+        a fixed attempt count, decides when to give up.
         """
         self.broadcaster.retarget(lecture_id, tree)
         report = RedeliveryReport(
@@ -84,10 +95,10 @@ class RedeliveryService:
         )
         self.reports.append(report)
         self._heal_round(lecture_id, tree, report, attempt=None)
-        if self.policy.allows(0):
+        if self.policy.allows(0, now=self.network.sim.now, deadline=deadline):
             self.network.sim.schedule(
                 self.policy.timeout_for(0),
-                self._recheck, lecture_id, tree, report, 0,
+                self._recheck, lecture_id, tree, report, 0, deadline,
             )
         return report
 
@@ -133,16 +144,19 @@ class RedeliveryService:
         tree: MAryTree,
         report: RedeliveryReport,
         attempt: int,
+        deadline: float | None = None,
     ) -> None:
         """Policy-paced re-send for stations still incomplete."""
         found = self._heal_round(lecture_id, tree, report, attempt=attempt)
         if not found:
             return
         report.retry_rounds += 1
-        if self.policy.allows(attempt + 1):
+        if self.policy.allows(
+            attempt + 1, now=self.network.sim.now, deadline=deadline
+        ):
             self.network.sim.schedule(
                 self.policy.timeout_for(attempt + 1),
-                self._recheck, lecture_id, tree, report, attempt + 1,
+                self._recheck, lecture_id, tree, report, attempt + 1, deadline,
             )
 
     def _nearest_complete_ancestor(

@@ -55,6 +55,10 @@ class Message:
     size_bytes: int
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
     sent_at: float = 0.0
+    #: absolute deadline (simulated seconds); the transport discards a
+    #: message still in flight past its deadline instead of delivering
+    #: work nobody awaits.  None = no deadline (v1 messages).
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         check_non_negative(self.size_bytes, "size_bytes")

@@ -25,8 +25,14 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable
 
+from repro.admission import (
+    CircuitBreaker,
+    DeadlineExceededError,
+    current_deadline,
+)
 from repro.net.station import Station
 from repro.net.transport import Network
+from repro.obs.instrument import OBS
 
 __all__ = ["ShardServer", "ShardClient", "SHARD_CALL", "SHARD_REPLY"]
 
@@ -45,6 +51,9 @@ class ShardCall:
     method: str
     args: tuple[Any, ...] = ()
     kwargs: dict[str, Any] = field(default_factory=dict)
+    #: absolute deadline (simulated seconds); the server refuses to
+    #: start work for a call whose deadline already passed
+    deadline: float | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +92,26 @@ class ShardServer:
 
     def _on_call(self, _station: Station, message: Any) -> None:
         call: ShardCall = message.payload
+        now = self.network.sim.now
+        if call.deadline is not None and now >= call.deadline:
+            # The caller's deadline passed in flight: refuse before any
+            # work — executing would burn shard capacity nobody awaits.
+            if OBS.enabled and OBS.registry is not None:
+                OBS.registry.counter(
+                    "admission.deadline_expired", site="shardrpc-server"
+                ).inc()
+            reply = ShardReply(
+                call.call_id, False,
+                error=DeadlineExceededError(
+                    f"deadline {call.deadline:.6f} passed before "
+                    f"{call.method!r} started at {self.station_name!r}"
+                ),
+            )
+            self.network.send(
+                self.station_name, message.src, SHARD_REPLY, reply,
+                _BASE_BYTES,
+            )
+            return
         self.calls_served += 1
         try:
             value = getattr(self.participant, call.method)(
@@ -119,6 +148,9 @@ class ShardClient:
         "explain_plan", "status", "last_lsn",
     })
 
+    #: fallback per-call wait when no caller deadline is in scope
+    DEFAULT_TIMEOUT_S = 3600.0
+
     def __init__(
         self,
         network: Network,
@@ -126,11 +158,19 @@ class ShardClient:
         server_station: str,
         *,
         shard_id: int | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.network = network
         self.station_name = station_name
         self.server_station = server_station
         self.shard_id = shard_id
+        #: Per-endpoint circuit breaker: timeouts count as failures, so
+        #: a dead shard fails calls fast instead of absorbing full
+        #: waits.  Pass an explicitly-tuned breaker to share one across
+        #: clients of the same endpoint.
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            f"shard:{server_station}"
+        )
         station = network.station(station_name)
         if not station.handles(SHARD_REPLY):
             station.on(SHARD_REPLY, self._on_reply)
@@ -144,7 +184,18 @@ class ShardClient:
             box.append(reply)
 
     def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
-        call = ShardCall(next(_call_ids), method, args, dict(kwargs))
+        now = self.network.sim.now
+        caller_deadline = current_deadline()
+        if caller_deadline is not None and now >= caller_deadline:
+            raise DeadlineExceededError(
+                f"deadline passed before sending {method!r} to "
+                f"{self.server_station!r}"
+            )
+        self.breaker.check(now)
+        call = ShardCall(
+            next(_call_ids), method, args, dict(kwargs),
+            deadline=caller_deadline,
+        )
         station = self.network.station(self.station_name)
         box: list[ShardReply] = []
         station.state.setdefault("shard_rpc_pending", {})[call.call_id] = box
@@ -152,15 +203,29 @@ class ShardClient:
             self.station_name, self.server_station, SHARD_CALL, call,
             _BASE_BYTES + _wire_size(call.args) + _wire_size(call.kwargs),
         )
-        deadline = self.network.sim.now + 3600.0
-        while not box and self.network.sim.now < deadline:
+        wait_until = now + self.DEFAULT_TIMEOUT_S
+        if caller_deadline is not None:
+            wait_until = min(wait_until, caller_deadline)
+        while not box and self.network.sim.now < wait_until:
             if not self.network.sim.step():
                 break
         if not box:
+            self.breaker.record_failure(self.network.sim.now)
+            if (
+                caller_deadline is not None
+                and self.network.sim.now >= caller_deadline
+            ):
+                raise DeadlineExceededError(
+                    f"deadline passed awaiting {method!r} from shard "
+                    f"station {self.server_station!r}"
+                )
             raise TimeoutError(
                 f"no reply to {method!r} from shard station "
                 f"{self.server_station!r}"
             )
+        # Any reply — success or shipped-back application error — means
+        # the endpoint is alive; only silence counts against it.
+        self.breaker.record_success(self.network.sim.now)
         reply = box[0]
         if not reply.ok:
             assert reply.error is not None

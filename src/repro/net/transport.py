@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from repro.admission import current_deadline
 from repro.net.link import schedule_transfer
 from repro.obs.instrument import OBS
 from repro.net.messages import Message
@@ -57,6 +58,7 @@ class Network:
         self.total_bytes = 0
         self.total_messages = 0
         self.messages_dropped = 0
+        self.messages_expired = 0
         self._obs_cache: dict[str, Any] | None = None
 
     def _obs(self) -> dict[str, Any]:
@@ -69,6 +71,7 @@ class Network:
                 "messages": registry.counter("net.messages"),
                 "bytes": registry.counter("net.bytes"),
                 "dropped": registry.counter("net.dropped"),
+                "expired": registry.counter("net.expired"),
             }
         return cache
 
@@ -199,6 +202,10 @@ class Network:
             payload=payload,
             size_bytes=size_bytes,
             sent_at=self.sim.now,
+            # The ambient caller deadline rides every message sent from
+            # inside a deadline scope; background traffic (replication
+            # streams, broadcasts) carries none and is never expired.
+            deadline=current_deadline(),
         )
         sender.messages_sent += 1
         self.total_messages += 1
@@ -231,6 +238,14 @@ class Network:
             self.messages_dropped += 1
             if OBS.enabled:
                 self._obs()["dropped"].inc()
+            return
+        if message.deadline is not None and self.sim.now >= message.deadline:
+            # Expired in flight: delivering would start work nobody is
+            # waiting for.  The receiver-side refusal still exists for
+            # messages that expire *after* delivery begins.
+            self.messages_expired += 1
+            if OBS.enabled:
+                self._obs()["expired"].inc()
             return
         receiver.deliver(message)
 
@@ -266,6 +281,7 @@ class Network:
             "messages": self.total_messages,
             "bytes": self.total_bytes,
             "dropped": self.messages_dropped,
+            "expired": self.messages_expired,
             "time": self.sim.now,
             "events": self.sim.events_processed,
         }

@@ -70,6 +70,7 @@ INSTRUMENT_POINTS: dict[str, str] = {
     "net.bytes": "payload bytes accepted onto links",
     "net.messages": "messages sent (including dropped)",
     "net.dropped": "messages lost to crashes, partitions or loss",
+    "net.expired": "messages discarded because their deadline passed",
     # distribution.broadcast — the m-ary tree
     "broadcast.bytes_sent": "lecture bytes pushed down tree edges",
     "broadcast.chunks_sent": "lecture chunks pushed down tree edges",
@@ -98,6 +99,16 @@ INSTRUMENT_POINTS: dict[str, str] = {
     "replica.applied_lsn": "last LSN a follower durably applied (gauge)",
     "replica.lag_records": "primary-to-follower LSN lag at status time",
     "replica.reads": "read requests served, by target (primary/replica)",
+    "replica.fallback": "all-replicas-lagged fallbacks, by target taken",
+    # admission.* — overload defense at the middle tier
+    "admission.admitted": "requests past the admission gates, by priority",
+    "admission.shed": "requests refused before work, by reason",
+    "admission.queue_depth": "admitted requests in flight (gauge)",
+    "admission.deadline_expired": "requests cancelled past deadline, by site",
+    "admission.stale_served": "degraded stale-cache replies while shedding",
+    # breaker.* — per-endpoint circuit breakers
+    "breaker.transitions": "breaker state changes, by endpoint and state",
+    "breaker.rejected": "calls refused by an open breaker, by endpoint",
     # shard.* — horizontal sharding and two-phase commit
     "shard.statements": "statements routed by the shard tier, by route",
     "shard.fanout": "shards touched per scatter-gather read",

@@ -41,6 +41,7 @@ from repro.net.messages import (
     ReplStatus,
     ReplSubscribe,
 )
+from repro.admission import CircuitBreaker
 from repro.net.station import Station
 from repro.net.transport import Network
 from repro.obs.instrument import OBS
@@ -94,6 +95,7 @@ class WalShipper:
         epoch: int = 1,
         batch_frames: int = 64,
         chunk_bytes: int = 32 * 1024,
+        resync_breaker: CircuitBreaker | None = None,
     ) -> None:
         self.network = network
         self.station_name = station_name
@@ -105,6 +107,15 @@ class WalShipper:
         self.epoch = epoch
         self.batch_frames = batch_frames
         self.chunk_bytes = chunk_bytes
+        #: Optional rate guard on full-snapshot resyncs — the most
+        #: expensive thing a primary does for a follower.  Each served
+        #: resync counts toward the breaker's failure window, so
+        #: ``failure_threshold`` resyncs within ``window_s`` open it and
+        #: a flapping follower stops monopolizing the primary until the
+        #: cool-down probe admits one more.  None (default) = unlimited,
+        #: the pre-existing behaviour.
+        self.resync_breaker = resync_breaker
+        self.resyncs_refused = 0
         self.followers: dict[str, FollowerProgress] = {}
         self.frames_shipped = 0
         self.bytes_shipped = 0
@@ -204,7 +215,17 @@ class WalShipper:
     def _serve_snapshot(self, progress: FollowerProgress) -> bool:
         """Start a chunked snapshot download to ``progress``; False when
         no snapshot can be produced (the follower stays subscribed and
-        will be streamed from LSN 0 if the journal allows)."""
+        will be streamed from LSN 0 if the journal allows) or when the
+        resync breaker is open (the follower retries after cool-down)."""
+        if self.resync_breaker is not None and not self.resync_breaker.allow(
+            self.network.sim.now
+        ):
+            self.resyncs_refused += 1
+            if OBS.enabled and OBS.registry is not None:
+                OBS.registry.counter(
+                    "breaker.rejected", endpoint=self.resync_breaker.name
+                ).inc()
+            return False
         if self.snapshot_fn is not None:
             # Produce a fresh snapshot at the current horizon; this also
             # checkpoints the journal, so the follow-up stream starts
@@ -239,6 +260,9 @@ class WalShipper:
         progress.shipped_lsn = snapshot_lsn
         progress.resyncs += 1
         self.snapshots_served += 1
+        if self.resync_breaker is not None:
+            # Each served resync spends breaker budget (see __init__).
+            self.resync_breaker.record_failure(self.network.sim.now)
         if OBS.enabled and OBS.registry is not None:
             OBS.registry.counter("replication.snapshot_chunks").inc(len(chunks))
             OBS.registry.counter("replication.resyncs").inc()

@@ -30,7 +30,7 @@ from repro.obs.instrument import OBS
 from repro.rdb import Database, Expr, predicate_cache_key
 from repro.rdb.triggers import TriggerContext, TriggerEvent, TriggerTiming
 
-__all__ = ["TableVersions", "QueryCache"]
+__all__ = ["TableVersions", "QueryCache", "StaleReadCache"]
 
 _VERSION_TRIGGER_PREFIX = "__cache_version"
 
@@ -189,3 +189,81 @@ class QueryCache:
             table, predicate, projection, order, descending,
             limit, offset, distinct, version,
         )
+
+
+class StaleReadCache:
+    """Last-known-good replies for graceful degradation.
+
+    Unlike :class:`QueryCache` (whose version-in-key design makes stale
+    hits impossible), this cache *deliberately* serves stale data — but
+    only when the admission controller is shedding, and only within an
+    explicit staleness bound: each entry remembers the version of every
+    table it derived from, and a lookup whose version lag exceeds
+    ``max_version_lag`` writes misses instead of lying unboundedly.
+    The degraded reply is marked (``Response.degraded = "stale-cache"``)
+    so clients know they traded freshness for availability.
+    """
+
+    def __init__(
+        self,
+        versions: TableVersions,
+        *,
+        max_entries: int = 256,
+        max_version_lag: int = 8,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        if max_version_lag < 0:
+            raise ValueError("max_version_lag must be >= 0")
+        self.versions = versions
+        self.max_entries = max_entries
+        self.max_version_lag = max_version_lag
+        #: key -> (reply data, {table: version at record time})
+        self._entries: OrderedDict[
+            tuple, tuple[Any, dict[str, int]]
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.too_stale = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, key: tuple, tables: Sequence[str], data: Any) -> None:
+        """Remember a fresh reply derived from ``tables``."""
+        stamps = {
+            table: version
+            for table in tables
+            if (version := self.versions.version(table)) is not None
+        }
+        self._entries[key] = (data, stamps)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def lookup(self, key: tuple) -> tuple[bool, Any]:
+        """``(hit, data)`` — a hit only within the staleness bound."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        data, stamps = entry
+        for table, recorded in stamps.items():
+            current = self.versions.version(table)
+            if current is not None and current - recorded > self.max_version_lag:
+                # Evict: nobody should serve this, now or later.
+                del self._entries[key]
+                self.too_stale += 1
+                self.misses += 1
+                return False, None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return True, data
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "too_stale": self.too_stale,
+            "entries": len(self._entries),
+        }

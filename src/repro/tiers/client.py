@@ -9,7 +9,8 @@ would send.
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Callable
 
 from repro.tiers.protocol import Request, Response, Role
 from repro.tiers.server import ClassAdministrator
@@ -18,21 +19,53 @@ __all__ = ["BaseClient", "StudentClient", "InstructorClient", "AdministratorClie
 
 
 class BaseClient:
-    """Session management shared by all roles."""
+    """Session management shared by all roles.
+
+    The overload-robustness knobs are per-client defaults stamped onto
+    every request: ``deadline_s`` (relative; converted to an absolute
+    deadline on ``clock`` at send time), ``priority`` (admission class)
+    and ``tenant`` (quota bucket — a course, a department, a batch
+    job).  All default to None, which is exactly the v1 wire shape.
+    """
 
     role: Role = Role.STUDENT
 
-    def __init__(self, server: ClassAdministrator, user: str) -> None:
+    def __init__(
+        self,
+        server: ClassAdministrator,
+        user: str,
+        *,
+        deadline_s: float | None = None,
+        priority: str | None = None,
+        tenant: str | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self.server = server
         self.user = user
         self.session_id: str | None = None
+        self.deadline_s = deadline_s
+        self.priority = priority
+        self.tenant = tenant
+        self.clock = clock if clock is not None else time.monotonic
 
     # -- plumbing ----------------------------------------------------------
-    def _call(self, op: str, **params: Any) -> Any:
-        response = self.server.handle(
-            Request(op=op, session_id=self.session_id, params=params)
+    def _deadline(self) -> float | None:
+        if self.deadline_s is None:
+            return None
+        return self.clock() + self.deadline_s
+
+    def _request(self, op: str, **params: Any) -> Request:
+        return Request(
+            op=op,
+            session_id=self.session_id,
+            params=params,
+            deadline=self._deadline(),
+            priority=self.priority,
+            tenant=self.tenant,
         )
-        return response.unwrap()
+
+    def _call(self, op: str, **params: Any) -> Any:
+        return self.server.handle(self._request(op, **params)).unwrap()
 
     def login(self) -> str:
         response: Response = self.server.handle(
@@ -40,6 +73,9 @@ class BaseClient:
                 op="login",
                 session_id=None,
                 params={"user": self.user, "role": self.role.value},
+                deadline=self._deadline(),
+                priority=self.priority,
+                tenant=self.tenant,
             )
         )
         data = response.unwrap()

@@ -5,6 +5,15 @@ Clients speak to the class administrator exclusively through
 which is what makes the middle tier a real tier.  ``Request.op`` names
 an operation from :data:`OPERATIONS`; the server validates the op, the
 session and the caller's role before dispatch.
+
+Protocol version 2 adds overload-robustness fields: every request may
+carry an absolute ``deadline`` (on the caller's clock), a scheduling
+``priority`` and a quota ``tenant``; every response may carry a
+``retry_after_s`` backoff hint (set when ``shed`` — the server refused
+to start the work) and a ``degraded`` marker naming the fallback that
+served it (e.g. ``"stale-cache"``).  All six are optional with v1
+defaults, so v1 peers interoperate unchanged —
+:meth:`Request.from_wire` accepts deadline-less v1 dicts forever.
 """
 
 from __future__ import annotations
@@ -14,7 +23,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Role", "Request", "Response", "OPERATIONS", "REPLICA_SAFE_OPS"]
+from repro.admission.controller import PRIORITY_BULK, PRIORITY_INTERACTIVE
+
+__all__ = [
+    "Role",
+    "Request",
+    "Response",
+    "OPERATIONS",
+    "REPLICA_SAFE_OPS",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_BULK",
+]
 
 
 class Role(enum.Enum):
@@ -70,12 +89,48 @@ class Request:
     session_id: str | None
     params: dict[str, Any] = field(default_factory=dict)
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: absolute deadline on the caller's clock; None = v1 (unbounded)
+    deadline: float | None = None
+    #: admission priority; None defaults to interactive at the server
+    priority: str | None = None
+    #: quota tenant (course/department); None -> the shared default
+    tenant: str | None = None
 
     @property
     def wire_size(self) -> int:
         """Approximate bytes on the wire (for network-mode simulations)."""
         return 64 + sum(
             len(str(k)) + len(str(v)) for k, v in self.params.items()
+        )
+
+    def to_wire(self) -> dict[str, Any]:
+        """A plain-dict wire form; v2 fields omitted when unset so the
+        encoding of a v1-shaped request is byte-identical to v1."""
+        wire: dict[str, Any] = {
+            "op": self.op,
+            "session_id": self.session_id,
+            "params": dict(self.params),
+            "request_id": self.request_id,
+        }
+        if self.deadline is not None:
+            wire["deadline"] = self.deadline
+        if self.priority is not None:
+            wire["priority"] = self.priority
+        if self.tenant is not None:
+            wire["tenant"] = self.tenant
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "Request":
+        """Decode a v1 or v2 wire dict (missing v2 fields -> None)."""
+        return cls(
+            op=wire["op"],
+            session_id=wire.get("session_id"),
+            params=dict(wire.get("params") or {}),
+            request_id=wire.get("request_id", 0),
+            deadline=wire.get("deadline"),
+            priority=wire.get("priority"),
+            tenant=wire.get("tenant"),
         )
 
 
@@ -87,14 +142,44 @@ class Response:
     ok: bool
     data: Any = None
     error: str | None = None
+    #: True when the server refused to *start* the work (admission shed,
+    #: breaker open, deadline expired) — retryable after backoff, unlike
+    #: a failure that ran
+    shed: bool = False
+    #: suggested client backoff, seconds (the RETRY_AFTER hint)
+    retry_after_s: float | None = None
+    #: fallback that served this reply (``"stale-cache"``,
+    #: ``"lagged-replica"``, ``"primary-fallback"``), None when fresh
+    degraded: str | None = None
 
     @classmethod
-    def success(cls, request: Request, data: Any = None) -> "Response":
-        return cls(request_id=request.request_id, ok=True, data=data)
+    def success(
+        cls, request: Request, data: Any = None, *, degraded: str | None = None
+    ) -> "Response":
+        return cls(
+            request_id=request.request_id, ok=True, data=data, degraded=degraded
+        )
 
     @classmethod
     def failure(cls, request: Request, error: str) -> "Response":
         return cls(request_id=request.request_id, ok=False, error=error)
+
+    @classmethod
+    def overload(
+        cls,
+        request: Request,
+        error: str,
+        *,
+        retry_after_s: float | None = None,
+    ) -> "Response":
+        """A shed reply: no work started, retry after ``retry_after_s``."""
+        return cls(
+            request_id=request.request_id,
+            ok=False,
+            error=error,
+            shed=True,
+            retry_after_s=retry_after_s,
+        )
 
     def unwrap(self) -> Any:
         """Data on success; raises on failure (client convenience)."""

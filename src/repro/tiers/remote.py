@@ -18,6 +18,7 @@ from typing import Any, Callable
 from repro.net.messages import Message
 from repro.net.station import Station
 from repro.net.transport import Network
+from repro.obs.instrument import OBS
 from repro.tiers.protocol import Request, Response
 from repro.tiers.server import ClassAdministrator
 
@@ -48,7 +49,20 @@ class RemoteTierServer:
     def _on_request(self, _station: Station, message: Message) -> None:
         request: Request = message.payload
         self.requests_received += 1
-        response = self.administrator.handle(request)
+        now = self.network.sim.now
+        if request.deadline is not None and now >= request.deadline:
+            # Expired in flight: refuse at dispatch, before the
+            # administrator does any work for it.
+            if OBS.enabled and OBS.registry is not None:
+                OBS.registry.counter(
+                    "admission.deadline_expired", site="remote-tier"
+                ).inc()
+            response = Response.overload(
+                request,
+                f"deadline passed before {request.op!r} was dispatched",
+            )
+        else:
+            response = self.administrator.handle(request)
         self.network.send(
             self.station_name,
             message.src,
@@ -111,10 +125,26 @@ class RemoteTierClient:
         op: str,
         params: dict[str, Any] | None = None,
         on_response: Callable[[Response], None] | None = None,
+        *,
+        deadline_s: float | None = None,
+        priority: str | None = None,
+        tenant: str | None = None,
     ) -> Request:
-        """Send a request; ``on_response`` fires at arrival."""
+        """Send a request; ``on_response`` fires at arrival.
+
+        ``deadline_s`` is relative to the simulator clock now and
+        travels as an absolute deadline: the transport discards the
+        request if it expires in flight, the server refuses it at
+        dispatch, and the admission controller (if installed) budgets
+        queueing against it.
+        """
+        deadline = (
+            self.network.sim.now + deadline_s
+            if deadline_s is not None else None
+        )
         request = Request(
-            op=op, session_id=self.session_id, params=params or {}
+            op=op, session_id=self.session_id, params=params or {},
+            deadline=deadline, priority=priority, tenant=tenant,
         )
         if on_response is not None:
             self._pending[request.request_id] = on_response

@@ -25,6 +25,7 @@ convenience glue for wiring an actual follower lives in
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Callable, Sequence
 
 from repro.obs.instrument import OBS
@@ -60,22 +61,41 @@ class _Replica:
         name: str,
         admin: ClassAdministrator,
         ready: Callable[[], bool] | None,
+        lag: Callable[[], int] | None = None,
     ) -> None:
         self.name = name
         self.admin = admin
         self.ready = ready if ready is not None else (lambda: True)
+        #: replication records behind the primary (None = unknown, so
+        #: the replica is ineligible for bounded-staleness routing)
+        self.lag = lag
         self.requests_served = 0
 
 
 class ReplicaSet:
-    """Route one request stream across a primary and its read replicas."""
+    """Route one request stream across a primary and its read replicas.
 
-    def __init__(self, primary: ClassAdministrator) -> None:
+    ``max_staleness_records`` bounds graceful degradation: while the
+    primary's admission controller is shedding, reads may route to a
+    **lagged** replica — but only one whose known replication lag is
+    within this many records, and the reply is marked
+    ``degraded="lagged-replica"`` so the client sees the trade.
+    """
+
+    def __init__(
+        self,
+        primary: ClassAdministrator,
+        *,
+        max_staleness_records: int = 64,
+    ) -> None:
         self.primary = primary
+        self.max_staleness_records = max_staleness_records
         self.replicas: list[_Replica] = []
         self._rr = 0
         self.reads_primary = 0
         self.reads_replica = 0
+        self.reads_lagged = 0
+        self.fallbacks = 0
         self.writes = 0
 
     # ------------------------------------------------------------------
@@ -87,16 +107,19 @@ class ReplicaSet:
         admin: ClassAdministrator,
         *,
         ready: Callable[[], bool] | None = None,
+        lag: Callable[[], int] | None = None,
     ) -> None:
         """Register a read replica; ``ready`` gates routing (caught-up).
 
-        Sessions the primary already issued are mirrored immediately so
-        the new replica can serve existing users.
+        ``lag`` reports replication records behind the primary and
+        makes the replica eligible for bounded-staleness degraded
+        routing.  Sessions the primary already issued are mirrored
+        immediately so the new replica can serve existing users.
         """
         admin.read_only = True
         for session_id, (user, role) in self.primary.sessions().items():
             admin.install_session(session_id, user, role)
-        self.replicas.append(_Replica(name, admin, ready))
+        self.replicas.append(_Replica(name, admin, ready, lag))
 
     def add_follower(self, name: str, admin: ClassAdministrator,
                      recoverer: Any) -> None:
@@ -113,7 +136,12 @@ class ReplicaSet:
         if getattr(recoverer, "db", None) is not None:
             admin.adopt_database(recoverer.db)
         self.add_replica(
-            name, admin, ready=lambda: recoverer.caught_up
+            name,
+            admin,
+            ready=lambda: recoverer.caught_up,
+            lag=lambda: max(
+                0, recoverer.primary_lsn_seen - recoverer.applied_lsn
+            ),
         )
 
     def remove_replica(self, name: str) -> bool:
@@ -154,21 +182,66 @@ class ReplicaSet:
                     replica.admin.drop_session(request.session_id)
             return response
         if request.op in REPLICA_SAFE_OPS:
-            replica = self._pick()
-            if replica is not None:
-                replica.requests_served += 1
-                self.reads_replica += 1
-                self._count_read("replica")
-                return replica.admin.handle(request)
-            self.reads_primary += 1
-            self._count_read("primary")
-            return self.primary.handle(request)
+            return self._route_read(request)
         self.writes += 1
         return self.primary.handle(request)
+
+    def _route_read(self, request: Request) -> Response:
+        """Caught-up replica, else (primary shedding) a lagged replica
+        within the staleness bound, else the primary — never silently:
+        the all-lagged fallback is counted on ``replica.fallback``."""
+        replica = self._pick()
+        if replica is not None:
+            replica.requests_served += 1
+            self.reads_replica += 1
+            self._count_read("replica")
+            return replica.admin.handle(request)
+        if self.replicas and self._primary_shedding():
+            lagged = self._pick_lagged()
+            if lagged is not None:
+                lagged.requests_served += 1
+                self.reads_lagged += 1
+                self._count_read("lagged")
+                self._count_fallback("lagged-replica")
+                response = lagged.admin.handle(request)
+                if response.ok and response.degraded is None:
+                    response = dataclasses.replace(
+                        response, degraded="lagged-replica"
+                    )
+                return response
+        if self.replicas:
+            # All replicas lagged and no degraded route: the primary
+            # absorbs the read rather than the caller seeing an error.
+            self.fallbacks += 1
+            self._count_fallback("primary")
+        self.reads_primary += 1
+        self._count_read("primary")
+        return self.primary.handle(request)
+
+    def _primary_shedding(self) -> bool:
+        admission = getattr(self.primary, "admission", None)
+        return admission is not None and admission.overloaded()
+
+    def _pick_lagged(self) -> _Replica | None:
+        """The least-lagged replica within ``max_staleness_records``
+        whose lag is *known*; None when no replica qualifies."""
+        best: _Replica | None = None
+        best_lag = self.max_staleness_records + 1
+        for replica in self.replicas:
+            if replica.lag is None:
+                continue
+            lag = replica.lag()
+            if lag <= self.max_staleness_records and lag < best_lag:
+                best, best_lag = replica, lag
+        return best
 
     def _count_read(self, target: str) -> None:
         if OBS.enabled and OBS.registry is not None:
             OBS.registry.counter("replica.reads", target=target).inc()
+
+    def _count_fallback(self, target: str) -> None:
+        if OBS.enabled and OBS.registry is not None:
+            OBS.registry.counter("replica.fallback", target=target).inc()
 
     # ------------------------------------------------------------------
     def promote_replica(self, name: str) -> ClassAdministrator:
@@ -189,6 +262,8 @@ class ReplicaSet:
         return {
             "reads_replica": self.reads_replica,
             "reads_primary": self.reads_primary,
+            "reads_lagged": self.reads_lagged,
+            "fallbacks": self.fallbacks,
             "writes": self.writes,
             "replicas": {
                 r.name: {

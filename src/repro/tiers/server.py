@@ -23,6 +23,11 @@ import os
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.admission import (
+    AdmissionController,
+    OverloadError,
+    deadline_scope,
+)
 from repro.core.wddb import WebDocumentDatabase
 from repro.obs.instrument import OBS
 from repro.library.assessment import assess
@@ -41,7 +46,7 @@ from repro.rdb import (
     SyncPolicy,
     col,
 )
-from repro.tiers.cache import QueryCache, TableVersions
+from repro.tiers.cache import QueryCache, StaleReadCache, TableVersions
 from repro.tiers.connection import OpenDatabaseConnection
 from repro.tiers.protocol import (
     OPERATIONS,
@@ -52,6 +57,15 @@ from repro.tiers.protocol import (
 )
 
 __all__ = ["ClassAdministrator"]
+
+#: Replica-safe reads eligible for degraded (stale-cache) serving while
+#: the admission controller sheds, and the tables each derives from —
+#: the staleness bound is measured in version bumps of these tables.
+_STALE_SERVABLE: dict[str, tuple[str, ...]] = {
+    "transcript": ("transcripts",),
+    "roster": ("enrollments",),
+    "search_library": ("catalog_docs",),
+}
 
 T = ColumnType
 
@@ -160,6 +174,7 @@ class ClassAdministrator:
         *,
         data_dir: str | os.PathLike[str] | None = None,
         sync_policy: SyncPolicy | str = "commit",
+        admission: AdmissionController | None = None,
     ) -> None:
         self._data_dir = Path(data_dir) if data_dir is not None else None
         self._sync_policy = SyncPolicy.parse(sync_policy)
@@ -192,6 +207,10 @@ class ClassAdministrator:
             self.refresh_catalog()
         self._sessions: dict[str, tuple[str, Role]] = {}
         self._session_counter = itertools.count(1)
+        #: Optional overload defense; None preserves v1 behaviour.
+        self.admission = admission
+        #: Last-known-good replies for degraded serving while shedding.
+        self.stale_reads = StaleReadCache(self.table_versions)
         self.requests_served = 0
         self.clock = 0.0  # advanced by callers that care about loan times
         self._handlers: dict[str, Callable[[Request, str, Role], Any]] = {
@@ -349,6 +368,78 @@ class ClassAdministrator:
     # Dispatch
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Response:
+        """Admission-gate, then authorize and execute one request.
+
+        With an :class:`~repro.admission.AdmissionController` installed,
+        every request clears the quota/queue/deadline gates *before any
+        work starts*; a shed request gets a typed overload response (or
+        a bounded-staleness cached reply for replica-safe reads) in
+        microseconds.  The effective deadline is entered as an ambient
+        :func:`~repro.admission.deadline_scope` so every nested fan-out
+        (shard RPC, scatter-gather, replica routing) can refuse to work
+        for an expired caller.  Without a controller, v1 behaviour —
+        except that a request-carried deadline still propagates.
+        """
+        if self.admission is None:
+            with deadline_scope(request.deadline):
+                return self._timed_handle(request)
+        try:
+            ticket = self.admission.admit(request)
+        except OverloadError as exc:
+            stale = self._serve_stale(request, exc)
+            if stale is not None:
+                return stale
+            return Response.overload(
+                request, str(exc), retry_after_s=exc.retry_after_s
+            )
+        try:
+            with deadline_scope(ticket.deadline):
+                response = self._timed_handle(request)
+        finally:
+            now = self.admission.clock()
+            self.admission.complete(
+                ticket, now=now, service_s=now - ticket.admitted_at
+            )
+        return response
+
+    def _serve_stale(
+        self, request: Request, exc: OverloadError
+    ) -> Response | None:
+        """A degraded (stale-cache) reply while shedding, or None.
+
+        Only replica-safe reads from live sessions qualify, only within
+        the cache's version-lag bound, and never for an already-expired
+        caller (nobody is waiting for that answer).
+        """
+        if exc.reason == "deadline":
+            return None
+        if request.op not in _STALE_SERVABLE:
+            return None
+        if not request.session_id or request.session_id not in self._sessions:
+            return None
+        key = self._stale_key(request)
+        if key is None:
+            return None
+        hit, data = self.stale_reads.lookup(key)
+        if not hit:
+            return None
+        if OBS.enabled and OBS.registry is not None:
+            OBS.registry.counter(
+                "admission.stale_served", op=request.op
+            ).inc()
+        return Response.success(request, data, degraded="stale-cache")
+
+    @staticmethod
+    def _stale_key(request: Request) -> tuple | None:
+        try:
+            params = tuple(
+                sorted((str(k), repr(v)) for k, v in request.params.items())
+            )
+        except Exception:
+            return None
+        return (request.op, request.session_id, params)
+
+    def _timed_handle(self, request: Request) -> Response:
         """Authorize and execute one request (timed when obs is on)."""
         if not OBS.enabled:
             return self._handle(request)
@@ -397,8 +488,22 @@ class ClassAdministrator:
             return Response.success(request, True)
         try:
             data = self._handlers[request.op](request, user, role)
+        except OverloadError as exc:
+            # A nested fan-out (shard RPC, replica route, scatter
+            # fragment) shed or hit its deadline: surface it as a shed
+            # reply, not an anonymous failure — it is retryable.
+            return Response.overload(
+                request,
+                f"{type(exc).__name__}: {exc}",
+                retry_after_s=exc.retry_after_s,
+            )
         except (RdbError, LookupError, ValueError, RuntimeError) as exc:
             return Response.failure(request, f"{type(exc).__name__}: {exc}")
+        tables = _STALE_SERVABLE.get(request.op)
+        if tables is not None:
+            key = self._stale_key(request)
+            if key is not None:
+                self.stale_reads.record(key, tables, data)
         return Response.success(request, data)
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.admission import check_deadline, current_deadline
 from repro.obs.instrument import OBS
 from repro.rdb import Schema
 from repro.rdb.predicate import Expr
@@ -56,6 +57,7 @@ class ShardedDatabase:
         | Callable[[], TwoPhaseCoordinator],
         *,
         schemas: Sequence[Schema] = (),
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if set(handles) != set(range(shard_map.num_shards)):
             raise ValueError(
@@ -66,6 +68,10 @@ class ShardedDatabase:
         # its entry in place and reads must follow the live node.
         self.handles = handles
         self._coordinator = coordinator
+        #: Clock for ambient-deadline checks between scatter fragments.
+        #: Must read the same timebase the caller's deadline was set on
+        #: (``sim.now`` in simulations); None disables the checks.
+        self.clock = clock
         self._pk: dict[str, tuple[str, ...]] = {
             s.name: tuple(s.primary_key) for s in schemas
         }
@@ -98,6 +104,13 @@ class ShardedDatabase:
         if len(key) != len(sharding.key):
             return None
         return self.shard_map.shard_for_key(table, key)
+
+    def _check_deadline(self, site: str) -> None:
+        """Refuse the *next* scatter fragment once the ambient deadline
+        passes — a half-gathered read nobody is waiting for stops
+        burning the remaining shards."""
+        if self.clock is not None and current_deadline() is not None:
+            check_deadline(self.clock(), site=site)
 
     def _count_write(self, route: str) -> None:
         if route == "direct":
@@ -237,10 +250,11 @@ class ShardedDatabase:
         return self.get(table, pk) is not None
 
     def count(self, table: str, where: Expr | None = None) -> int:
-        return sum(
-            self.handles[s].count(table, where)
-            for s in self._prune(table, where)
-        )
+        total = 0
+        for s in self._prune(table, where):
+            self._check_deadline("shard-count")
+            total += self.handles[s].count(table, where)
+        return total
 
     def select(
         self,
@@ -271,6 +285,7 @@ class ShardedDatabase:
         need = None if limit is None else limit + offset
         gathered: list[dict[str, Any]] = []
         for shard in shards:
+            self._check_deadline("shard-select")
             gathered.extend(self.handles[shard].select(
                 table, where=where, order_by=order_by,
                 descending=descending,
@@ -325,6 +340,7 @@ class ShardedDatabase:
         shards = self._prune(table, where)
         partials: dict[tuple, list[dict[str, Any]]] = {}
         for shard in shards:
+            self._check_deadline("shard-aggregate")
             for row in self.handles[shard].aggregate(
                 table, partial_spec, where, group_cols or None
             ):
@@ -375,6 +391,7 @@ class ShardedDatabase:
         if self._join_colocated(left_table, right_table, on):
             out: list[dict[str, Any]] = []
             for shard in self.shard_map.all_shards():
+                self._check_deadline("shard-join")
                 out.extend(self.handles[shard].join(
                     left_table, right_table, on,
                     where_left=where_left, where_right=where_right,
@@ -384,10 +401,12 @@ class ShardedDatabase:
         left_rows: list[dict[str, Any]] = []
         right_rows: list[dict[str, Any]] = []
         for shard in self._prune(left_table, where_left):
+            self._check_deadline("shard-join")
             left_rows.extend(
                 self.handles[shard].select(left_table, where=where_left)
             )
         for shard in self._prune(right_table, where_right):
+            self._check_deadline("shard-join")
             right_rows.extend(
                 self.handles[shard].select(right_table, where=where_right)
             )

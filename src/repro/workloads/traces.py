@@ -15,7 +15,7 @@ import numpy as np
 from repro.util.rng import make_rng
 from repro.util.validation import check_positive
 
-__all__ = ["zipf_weights", "AccessTraceGenerator"]
+__all__ = ["zipf_weights", "AccessTraceGenerator", "flash_crowd_arrivals"]
 
 
 def zipf_weights(n: int, alpha: float = 1.0) -> np.ndarray:
@@ -29,6 +29,64 @@ def zipf_weights(n: int, alpha: float = 1.0) -> np.ndarray:
     ranks = np.arange(1, n + 1, dtype=float)
     weights = ranks ** (-alpha)
     return weights / weights.sum()
+
+
+def flash_crowd_arrivals(
+    seed: int,
+    *,
+    base_rps: float,
+    peak_rps: float,
+    duration_s: float,
+    surge_start_s: float,
+    surge_s: float,
+    label: str = "flash-crowd",
+) -> list[float]:
+    """Arrival times for a flash crowd: baseline Poisson traffic with a
+    burst window whose rate jumps to ``peak_rps``.
+
+    Models the paper's lecture-release moment — a million students
+    hitting the course page at once — as a piecewise-constant-rate
+    Poisson process.  The E21 overload experiments feed these arrivals
+    to :func:`repro.admission.run_offered_load` and check that goodput
+    through the surge never collapses below half the knee.
+
+    >>> times = flash_crowd_arrivals(
+    ...     7, base_rps=10, peak_rps=100, duration_s=30,
+    ...     surge_start_s=10, surge_s=5)
+    >>> in_surge = sum(1 for t in times if 10 <= t < 15)
+    >>> bool(in_surge > len(times) - in_surge)  # surge dominates
+    True
+    """
+    check_positive(base_rps, "base_rps")
+    check_positive(peak_rps, "peak_rps")
+    check_positive(duration_s, "duration_s")
+    check_positive(surge_s, "surge_s")
+    if not 0.0 <= surge_start_s <= duration_s:
+        raise ValueError(
+            f"surge_start_s must lie within [0, duration_s], "
+            f"got {surge_start_s!r}"
+        )
+    rng = make_rng(seed, "flash-crowd", label)
+    surge_end_s = min(surge_start_s + surge_s, duration_s)
+    arrivals: list[float] = []
+    now = 0.0
+    while True:
+        in_surge = surge_start_s <= now < surge_end_s
+        rate = peak_rps if in_surge else base_rps
+        gap = float(rng.exponential(1.0 / rate))
+        # The piecewise process switches rate *at* each boundary: a gap
+        # that would leap across one is truncated there and redrawn at
+        # the new rate (memorylessness makes the redraw exact).
+        boundary = surge_end_s if in_surge else (
+            surge_start_s if now < surge_start_s else duration_s
+        )
+        if now + gap >= boundary:
+            now = boundary
+            if now >= duration_s:
+                return arrivals
+            continue
+        now += gap
+        arrivals.append(now)
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,121 @@
+"""Tests for the per-endpoint circuit breaker."""
+
+import pytest
+
+from repro.admission import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    OverloadError,
+)
+
+
+def tripped(breaker: CircuitBreaker, at: float = 0.0) -> None:
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure(at)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker("x")
+        assert breaker.state == CLOSED and breaker.allow(0.0)
+
+    def test_threshold_failures_open(self):
+        breaker = CircuitBreaker("x", failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state == CLOSED
+        breaker.record_failure(0.2)
+        assert breaker.state == OPEN
+        assert not breaker.allow(0.3)
+
+    def test_window_prunes_old_failures(self):
+        breaker = CircuitBreaker("x", failure_threshold=3, window_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        # The first two age out; this third is alone in the window.
+        breaker.record_failure(50.0)
+        assert breaker.state == CLOSED
+
+    def test_open_cools_down_to_half_open(self):
+        breaker = CircuitBreaker("x", failure_threshold=1, open_s=5.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(4.9)
+        assert breaker.allow(5.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        breaker = CircuitBreaker(
+            "x", failure_threshold=1, open_s=1.0, half_open_probes=1
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)  # the probe
+        assert not breaker.allow(1.0)  # a second concurrent call
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker("x", failure_threshold=1, open_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        breaker.record_success(1.1)
+        assert breaker.state == CLOSED
+        # The failure window was cleared: one new failure re-trips only
+        # because threshold is 1 here.
+        assert breaker.allow(1.2)
+
+    def test_probe_failure_reopens_for_full_cooldown(self):
+        breaker = CircuitBreaker("x", failure_threshold=1, open_s=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        breaker.record_failure(5.5)
+        assert breaker.state == OPEN
+        assert not breaker.allow(10.0)
+        assert breaker.allow(10.5)
+
+
+class TestCheckAndHints:
+    def test_check_raises_typed_overload(self):
+        breaker = CircuitBreaker("shard:s1", failure_threshold=1, open_s=4.0)
+        breaker.record_failure(0.0)
+        with pytest.raises(OverloadError) as info:
+            breaker.check(1.0)
+        assert info.value.reason == "breaker"
+        assert info.value.retry_after_s == pytest.approx(3.0)
+        assert breaker.rejected == 1
+
+    def test_retry_after_zero_when_closed(self):
+        assert CircuitBreaker("x").retry_after(0.0) == 0.0
+
+    def test_transitions_recorded(self):
+        breaker = CircuitBreaker("x", failure_threshold=1, open_s=1.0)
+        breaker.record_failure(0.0)
+        breaker.allow(1.0)
+        breaker.record_success(1.1)
+        assert [(f, t) for _, f, t in breaker.transitions] == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+        ]
+
+    def test_transition_metrics(self, metrics_registry):
+        breaker = CircuitBreaker("ep", failure_threshold=1, open_s=1.0)
+        breaker.record_failure(0.0)
+        with pytest.raises(OverloadError):
+            breaker.check(0.5)
+        snap = metrics_registry.snapshot()
+        open_key = ("breaker.transitions",
+                    (("endpoint", "ep"), ("to", "open")))
+        rej_key = ("breaker.rejected", (("endpoint", "ep"),))
+        assert snap.counters[open_key] == 1
+        assert snap.counters[rej_key] == 1
+
+    def test_stats(self):
+        breaker = CircuitBreaker("x", failure_threshold=2)
+        breaker.record_failure(0.0)
+        stats = breaker.stats()
+        assert stats["state"] == CLOSED
+        assert stats["failures_in_window"] == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", half_open_probes=0)

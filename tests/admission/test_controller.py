@@ -1,0 +1,154 @@
+"""Tests for the admission controller's gates and estimates."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.admission import (
+    PRIORITY_BULK,
+    AdmissionController,
+    ClockBox,
+    DeadlineExceededError,
+    OverloadError,
+    TenantQuotas,
+)
+
+
+@dataclass
+class Stub:
+    """A duck-typed request."""
+
+    op: str = "transcript"
+    deadline: float | None = None
+    priority: str | None = None
+    tenant: str | None = None
+
+
+@pytest.fixture
+def clock() -> ClockBox:
+    return ClockBox(100.0)
+
+
+@pytest.fixture
+def controller(clock) -> AdmissionController:
+    return AdmissionController(
+        clock=clock,
+        default_deadline_s=1.0,
+        max_depth=4,
+        bulk_share=0.5,
+        service_estimate_s=0.01,
+    )
+
+
+class TestGates:
+    def test_admits_and_tickets(self, controller, clock):
+        ticket = controller.admit(Stub(deadline=101.0))
+        assert ticket.op == "transcript"
+        assert ticket.admitted_at == 100.0
+        assert ticket.deadline == 101.0
+        assert controller.depth == 1
+
+    def test_default_deadline_applied(self, controller):
+        ticket = controller.admit(Stub())
+        assert ticket.deadline == pytest.approx(101.0)
+
+    def test_expired_deadline_refused_outright(self, controller):
+        with pytest.raises(DeadlineExceededError):
+            controller.admit(Stub(deadline=99.0))
+        assert controller.shed == {"deadline": 1}
+        assert controller.depth == 0
+
+    def test_queue_full_sheds(self, controller):
+        for _ in range(4):
+            controller.admit(Stub(deadline=200.0))
+        with pytest.raises(OverloadError) as info:
+            controller.admit(Stub(deadline=200.0))
+        assert info.value.reason == "queue-full"
+
+    def test_bulk_share_bounded_while_interactive_flows(self, controller):
+        controller.admit(Stub(deadline=200.0, priority=PRIORITY_BULK))
+        controller.admit(Stub(deadline=200.0, priority=PRIORITY_BULK))
+        with pytest.raises(OverloadError) as info:
+            controller.admit(Stub(deadline=200.0, priority=PRIORITY_BULK))
+        assert info.value.reason == "bulk-queue"
+        # Interactive still has the other half of the queue.
+        controller.admit(Stub(deadline=200.0))
+
+    def test_wait_overrunning_deadline_sheds(self, controller, clock):
+        # Fill the busy horizon 0.04s deep (4 x 0.01 estimate).
+        tickets = [controller.admit(Stub(deadline=200.0)) for _ in range(3)]
+        for ticket in tickets:
+            controller.complete(ticket)
+        # Depth is back to 0 but busy_until is 100.03: a request that
+        # must finish by 100.02 cannot make it and is shed immediately.
+        with pytest.raises(OverloadError) as info:
+            controller.admit(Stub(deadline=100.02))
+        assert info.value.reason == "overload"
+        assert info.value.retry_after_s > 0.0
+        # A patient caller is still admitted.
+        controller.admit(Stub(deadline=100.5))
+
+    def test_quota_gate(self, clock):
+        controller = AdmissionController(
+            clock=clock, quotas=TenantQuotas(rate=1.0, burst=1.0)
+        )
+        controller.admit(Stub(deadline=200.0, tenant="cs101"))
+        with pytest.raises(OverloadError) as info:
+            controller.admit(Stub(deadline=200.0, tenant="cs101"))
+        assert info.value.reason == "quota"
+        # Another tenant is unaffected.
+        controller.admit(Stub(deadline=200.0, tenant="cs102"))
+
+
+class TestEstimatesAndSignals:
+    def test_ewma_tracks_service_times(self, controller):
+        controller.record_service("transcript", 0.1)
+        assert controller.estimate("transcript") == pytest.approx(0.1)
+        controller.record_service("transcript", 0.2)
+        # alpha=0.2: 0.8*0.1 + 0.2*0.2 = 0.12
+        assert controller.estimate("transcript") == pytest.approx(0.12)
+
+    def test_complete_folds_service_and_releases_slot(self, controller):
+        ticket = controller.admit(Stub(deadline=200.0))
+        controller.complete(ticket, service_s=0.05)
+        assert controller.depth == 0
+        assert controller.estimate("transcript") == pytest.approx(0.05)
+
+    def test_busy_horizon_drains_with_time(self, controller, clock):
+        controller.admit(Stub(deadline=200.0))
+        assert controller.estimated_wait(100.0) == pytest.approx(0.01)
+        assert controller.estimated_wait(100.02) == 0.0
+
+    def test_overloaded_signal_decays(self, controller, clock):
+        assert not controller.overloaded()
+        with pytest.raises(DeadlineExceededError):
+            controller.admit(Stub(deadline=99.0))
+        assert controller.overloaded(100.5)
+        assert not controller.overloaded(102.0)  # window_s=1.0 passed
+
+    def test_metrics(self, controller, metrics_registry):
+        controller.admit(Stub(deadline=200.0))
+        with pytest.raises(DeadlineExceededError):
+            controller.admit(Stub(deadline=99.0))
+        snap = metrics_registry.snapshot()
+        admitted = ("admission.admitted", (("priority", "interactive"),))
+        expired = ("admission.deadline_expired", (("site", "server"),))
+        assert snap.counters[admitted] == 1
+        assert snap.counters[expired] == 1
+        depth = ("admission.queue_depth", ())
+        assert snap.gauges[depth] == 1
+
+    def test_stats_shape(self, controller):
+        ticket = controller.admit(Stub(deadline=200.0))
+        controller.complete(ticket, service_s=0.02)
+        stats = controller.stats()
+        assert stats["admitted"] == 1 and stats["depth"] == 0
+        assert "transcript" in stats["estimates"]
+
+    def test_parameter_validation(self, clock):
+        with pytest.raises(ValueError):
+            AdmissionController(clock=clock, max_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(clock=clock, bulk_share=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(clock=clock, ewma_alpha=2.0)

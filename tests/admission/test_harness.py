@@ -1,0 +1,87 @@
+"""Tests for the open-loop saturation harness."""
+
+import pytest
+
+from repro.admission import (
+    AdmissionController,
+    ClockBox,
+    LoadReport,
+    find_knee,
+    run_offered_load,
+)
+from repro.tiers.protocol import Request, Response
+from repro.tiers.server import ClassAdministrator
+
+
+def make_server(clock, **kwargs):
+    server = ClassAdministrator(
+        admission=AdmissionController(clock=clock, **kwargs)
+    )
+    login = server.handle(Request(
+        op="login", session_id=None,
+        params={"user": "registrar", "role": "administrator"},
+    ))
+    return server, login.unwrap()["session_id"]
+
+
+def schedule_for(session, rate_rps, n, deadline_s=0.5, distinct=False):
+    """``distinct`` varies params so the stale-read cache cannot absorb
+    the overload (every key is new) and sheds surface as sheds."""
+    gap = 1.0 / rate_rps
+    return [
+        (i * gap, Request(op="roster", session_id=session,
+                          params={"course_number": f"c{i}" if distinct
+                                  else "none"},
+                          deadline=i * gap + deadline_s))
+        for i in range(n)
+    ]
+
+
+class TestRunOfferedLoad:
+    def test_underload_is_all_goodput(self):
+        clock = ClockBox()
+        server, session = make_server(clock, service_estimate_s=0.001)
+        report = run_offered_load(
+            server, schedule_for(session, rate_rps=10, n=50),
+            service_model={"roster": 0.001}, clock=clock, label="light",
+        )
+        assert report.offered == 50
+        assert report.good == 50
+        assert report.shed == 0
+        assert report.goodput_rps > 0
+
+    def test_overload_sheds_instead_of_collapsing(self):
+        clock = ClockBox()
+        server, session = make_server(clock, service_estimate_s=0.02)
+        # 200 rps offered against a 50 rps server: most must be shed,
+        # but everything admitted completes in deadline.
+        report = run_offered_load(
+            server, schedule_for(session, rate_rps=200, n=200, distinct=True),
+            service_model={"roster": 0.02}, clock=clock, label="flood",
+        )
+        assert report.shed > 0
+        assert report.good == report.completed
+        assert report.good + report.shed + report.failed \
+            + report.degraded == report.offered
+
+    def test_latency_percentiles(self):
+        report = LoadReport(label="x", offered=3, duration_s=1.0)
+        report.latencies_s = [0.01, 0.02, 0.03]
+        assert report.percentile(50) == pytest.approx(0.02)
+        assert LoadReport(label="", offered=0,
+                          duration_s=0.0).percentile(99) == 0.0
+
+    def test_as_dict_round_numbers(self):
+        report = LoadReport(label="x", offered=10, duration_s=2.0, good=5)
+        d = report.as_dict()
+        assert d["offered_rps"] == 5.0 and d["goodput_rps"] == 2.5
+
+
+class TestFindKnee:
+    def test_peak_goodput_point(self):
+        points = [(10.0, 10.0), (50.0, 48.0), (100.0, 30.0)]
+        assert find_knee(points) == (50.0, 48.0)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            find_knee([])

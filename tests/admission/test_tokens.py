@@ -1,0 +1,72 @@
+"""Tests for token buckets and per-tenant quotas."""
+
+import pytest
+
+from repro.admission import TenantQuotas, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0)
+        assert bucket.available(0.0) == 5.0
+
+    def test_take_spends(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.take(0.0) and bucket.take(0.0)
+        assert not bucket.take(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+        # 1.5 s at 2 tokens/s banks 3 tokens.
+        assert bucket.available(1.5) == pytest.approx(3.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3.0)
+        assert bucket.available(1000.0) == 3.0
+
+    def test_wait_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.take(0.0)
+        assert bucket.wait_time(0.0) == pytest.approx(0.5)
+        assert bucket.wait_time(10.0) == 0.0
+
+    def test_backwards_clock_refills_nothing(self):
+        bucket = TokenBucket(rate=1.0, burst=10.0)
+        for _ in range(10):
+            assert bucket.take(5.0)
+        assert bucket.available(0.0) == 0.0
+        # And the epoch does not reset: time must pass beyond t=5.
+        assert bucket.available(6.0) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestTenantQuotas:
+    def test_tenants_are_isolated(self):
+        quotas = TenantQuotas(rate=1.0, burst=1.0)
+        assert quotas.take("cs101", 0.0)
+        assert not quotas.take("cs101", 0.0)
+        # cs102's bucket is untouched by cs101's flash crowd.
+        assert quotas.take("cs102", 0.0)
+
+    def test_overrides_apply(self):
+        quotas = TenantQuotas(
+            rate=1.0, burst=1.0, overrides={"batch": (10.0, 3.0)}
+        )
+        assert quotas.take("batch", 0.0)
+        assert quotas.take("batch", 0.0)
+        assert quotas.take("batch", 0.0)
+        assert not quotas.take("batch", 0.0)
+
+    def test_wait_time_and_tenants_listing(self):
+        quotas = TenantQuotas(rate=2.0, burst=1.0)
+        assert quotas.take("a", 0.0)
+        assert quotas.wait_time("a", 0.0) == pytest.approx(0.5)
+        assert quotas.tenants() == ["a"]

@@ -317,3 +317,112 @@ class TestExceptionHygiene:
             "repro/library/x.py",
         )
         assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# retry-discipline
+# ---------------------------------------------------------------------------
+class TestRetryDiscipline:
+    BARE_LOOP = """\
+        def fetch(client):
+            while True:
+                try:
+                    return client.call()
+                except ConnectionError:
+                    continue
+        """
+
+    def test_flags_unbounded_unpaced_retry_loop(self, lint):
+        findings = lint(self.BARE_LOOP, "repro/net/fetcher.py")
+        assert rules_of(findings) == ["retry-discipline"]
+        assert findings[0].line == 2
+
+    def test_scoped_to_retry_paths(self, lint):
+        assert lint(self.BARE_LOOP, "repro/rdb/engine.py") == []
+
+    def test_deadline_check_satisfies_the_rule(self, lint):
+        findings = lint(
+            """\
+            def fetch(client, policy, clock, deadline):
+                attempt = 0
+                while policy.allows(attempt, now=clock(), deadline=deadline):
+                    try:
+                        return client.call()
+                    except ConnectionError:
+                        attempt += 1
+                        continue
+            """,
+            "repro/net/fetcher.py",
+        )
+        assert findings == []
+
+    def test_backoff_wait_satisfies_the_rule(self, lint):
+        findings = lint(
+            """\
+            def fetch(client, sim, policy):
+                for attempt in range(policy.max_retries):
+                    try:
+                        return client.call()
+                    except ConnectionError:
+                        sim.schedule(policy.timeout_for(attempt), retry)
+                        continue
+            """,
+            "repro/fault/fetcher.py",
+        )
+        assert findings == []
+
+    def test_budget_identifier_satisfies_the_rule(self, lint):
+        findings = lint(
+            """\
+            def fetch(client, budget):
+                while budget.try_retry():
+                    try:
+                        return client.call()
+                    except ConnectionError:
+                        continue
+            """,
+            "repro/replication/fetcher.py",
+        )
+        assert findings == []
+
+    def test_non_retry_loops_untouched(self, lint):
+        findings = lint(
+            """\
+            def drain(queue):
+                while queue:
+                    item = queue.pop()
+                    if item is None:
+                        continue
+                    process(item)
+            """,
+            "repro/net/pump.py",
+        )
+        assert findings == []
+
+    def test_for_loop_retry_also_flagged(self, lint):
+        findings = lint(
+            """\
+            def fetch(client, hosts):
+                for host in hosts:
+                    try:
+                        return client.call(host)
+                    except ConnectionError:
+                        continue
+            """,
+            "repro/distribution/fetcher.py",
+        )
+        assert rules_of(findings) == ["retry-discipline"]
+
+    def test_suppression_comment_respected(self, lint):
+        findings = lint(
+            """\
+            def fetch(client, hosts):
+                for host in hosts:  # repro-analysis: ignore[retry-discipline]
+                    try:
+                        return client.call(host)
+                    except ConnectionError:
+                        continue
+            """,
+            "repro/net/fetcher.py",
+        )
+        assert findings == []

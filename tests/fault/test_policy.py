@@ -71,3 +71,25 @@ class TestValidation:
     def test_policies_are_values(self):
         assert RetryPolicy.fixed(2.0) == RetryPolicy.fixed(2.0)
         assert hash(RetryPolicy.fixed(2.0)) == hash(RetryPolicy.fixed(2.0))
+
+
+class TestDeadlineBound:
+    """``allows`` honours the caller's deadline, not just attempt count."""
+
+    def test_attempt_count_still_binds(self):
+        p = RetryPolicy(max_retries=3)
+        assert p.allows(2) and not p.allows(3)
+
+    def test_wait_crossing_deadline_refused(self):
+        p = RetryPolicy(initial_timeout_s=2.0, multiplier=2.0, max_retries=10)
+        # Attempt 2 waits 8 s; from t=5 that lands at 13 > 10.
+        assert p.allows(2, now=1.0, deadline=10.0)
+        assert not p.allows(2, now=5.0, deadline=10.0)
+
+    def test_deadline_none_means_unbounded_by_time(self):
+        p = RetryPolicy(max_retries=5)
+        assert p.allows(4, now=1e9, deadline=None)
+
+    def test_now_without_deadline_ignored(self):
+        p = RetryPolicy(max_retries=5)
+        assert p.allows(0, now=1e9)

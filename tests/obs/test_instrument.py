@@ -105,7 +105,7 @@ def test_instrument_points_catalogue_is_sane():
         prefix = name.split(".", 1)[0]
         assert prefix in {
             "rdb", "wal", "tiers", "net", "broadcast", "lock", "fault",
-            "replication", "replica", "shard",
+            "replication", "replica", "shard", "admission", "breaker",
         }, name
         assert description
 

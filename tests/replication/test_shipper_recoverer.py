@@ -194,3 +194,44 @@ class TestPackageDocs:
 
         module = importlib.import_module(module_name)
         assert "repro.replication" in module.__doc__
+
+
+class TestResyncBreaker:
+    """The breaker rate-limits full-snapshot resyncs on the primary."""
+
+    def test_second_resync_within_window_is_refused(self, tmp_path,
+                                                    repl_cluster):
+        from repro.admission import CircuitBreaker
+
+        cluster = repl_cluster(followers=("f1", "f2"))
+        cluster.shipper.resync_breaker = CircuitBreaker(
+            "resync:primary", failure_threshold=1, open_s=60.0,
+        )
+        # Checkpoint past both followers so each must snapshot-resync.
+        cluster.write(6)
+        cluster.db.snapshot(str(tmp_path / "primary.snapshot"))
+        cluster.write(3)
+        cluster.recoverers["f1"].start()
+        cluster.sync()
+        assert cluster.recoverers["f1"].caught_up
+        assert cluster.shipper.snapshots_served == 1
+        # One resync spent the breaker budget: the second follower's
+        # snapshot request is refused until the cool-down expires.
+        cluster.recoverers["f2"].start()
+        cluster.sync()
+        assert cluster.shipper.resyncs_refused >= 1
+        assert cluster.shipper.snapshots_served == 1
+        assert not cluster.recoverers["f2"].caught_up
+
+    def test_no_breaker_means_unlimited_resyncs(self, tmp_path,
+                                                repl_cluster):
+        cluster = repl_cluster(followers=("f1", "f2"))
+        cluster.write(6)
+        cluster.db.snapshot(str(tmp_path / "primary.snapshot"))
+        cluster.write(3)
+        for name in ("f1", "f2"):
+            cluster.recoverers[name].start()
+        cluster.sync()
+        assert cluster.shipper.snapshots_served == 2
+        assert cluster.shipper.resyncs_refused == 0
+        assert all(r.caught_up for r in cluster.recoverers.values())

@@ -288,3 +288,92 @@ class TestFollowerIntegration:
         hits = _call(replica, session, "search_library",
                      keywords="video").unwrap()
         assert [h["doc_id"] for h in hits] == ["d2"]
+
+
+class TestDegradedRouting:
+    """Graceful degradation: lagged replicas and the primary fallback."""
+
+    def _shedding_rs(self, *, lags):
+        """A ReplicaSet whose primary admission controller is shedding
+        and whose replicas are all lagged (never ready), with the given
+        known lags (None = unknown)."""
+        from repro.admission import AdmissionController, ClockBox
+
+        clock = ClockBox(0.0)
+        primary = ClassAdministrator(
+            admission=AdmissionController(clock=clock)
+        )
+        rs = ReplicaSet(primary, max_staleness_records=10)
+        session = _login(rs, "registrar", "administrator")
+        for i, lag in enumerate(lags):
+            rs.add_replica(
+                f"r{i}", ClassAdministrator(),
+                ready=lambda: False,
+                lag=(lambda value=lag: value) if lag is not None else None,
+            )
+        rs.session = session
+        rs.clock = clock
+        return rs
+
+    def _mark_shedding(self, rs):
+        rs.primary.admission._last_shed_at = rs.clock.now
+
+    def test_all_lagged_falls_back_to_primary(self, metrics_registry):
+        """Regression: every replica lagging must route to the primary
+        (counted), never error or drop the read."""
+        rs = self._shedding_rs(lags=[None, None])  # lag unknown: no
+        # bounded-staleness route exists even while shedding
+        self._mark_shedding(rs)
+        response = _call(rs, rs.session, "roster", course_number="x")
+        assert response.ok
+        assert rs.stats()["fallbacks"] == 1
+        assert rs.stats()["reads_primary"] == 1
+        snap = metrics_registry.snapshot()
+        key = ("replica.fallback", (("target", "primary"),))
+        assert snap.counters[key] == 1
+
+    def test_all_lagged_without_shedding_also_falls_back(self):
+        rs = self._shedding_rs(lags=[5])
+        response = _call(rs, rs.session, "roster", course_number="x")
+        assert response.ok
+        assert rs.stats()["fallbacks"] == 1
+        assert rs.stats()["reads_lagged"] == 0  # primary healthy: no
+        # need to trade staleness for capacity
+
+    def test_shedding_primary_routes_to_least_lagged_replica(self):
+        rs = self._shedding_rs(lags=[7, 3])
+        self._mark_shedding(rs)
+        response = _call(rs, rs.session, "roster", course_number="x")
+        assert response.ok
+        assert response.degraded == "lagged-replica"
+        assert rs.stats()["reads_lagged"] == 1
+        assert rs.stats()["replicas"]["r1"]["served"] == 1  # lag 3 wins
+
+    def test_staleness_bound_excludes_too_lagged(self):
+        rs = self._shedding_rs(lags=[99, None])
+        self._mark_shedding(rs)
+        response = _call(rs, rs.session, "roster", course_number="x")
+        assert response.ok
+        assert response.degraded is None  # served fresh by the primary
+        assert rs.stats()["reads_lagged"] == 0
+        assert rs.stats()["fallbacks"] == 1
+
+    def test_lagged_read_metrics(self, metrics_registry):
+        rs = self._shedding_rs(lags=[2])
+        self._mark_shedding(rs)
+        _call(rs, rs.session, "roster", course_number="x")
+        snap = metrics_registry.snapshot()
+        reads = ("replica.reads", (("target", "lagged"),))
+        fallback = ("replica.fallback", (("target", "lagged-replica"),))
+        assert snap.counters[reads] == 1
+        assert snap.counters[fallback] == 1
+
+    def test_caught_up_replica_still_preferred(self):
+        rs = self._shedding_rs(lags=[2])
+        rs.add_replica("fresh", ClassAdministrator(), ready=lambda: True)
+        # Mirror the session onto the new replica happened in
+        # add_replica; shedding or not, caught-up wins.
+        self._mark_shedding(rs)
+        response = _call(rs, rs.session, "roster", course_number="x")
+        assert response.ok and response.degraded is None
+        assert rs.stats()["replicas"]["fresh"]["served"] == 1
